@@ -1,0 +1,44 @@
+"""Shared fixtures and workloads for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the
+paper: it benchmarks the laptop-scale live code path with pytest-benchmark
+and prints/asserts the paper-scale modeled series whose shape must match
+the published figure.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frameworks import make_framework
+from repro.trajectory import BilayerSpec, EnsembleSpec, make_bilayer, make_clustered_ensemble
+
+#: worker threads used by all live benchmark runs
+BENCH_WORKERS = 4
+
+
+@pytest.fixture(scope="session")
+def bench_ensemble():
+    """PSA workload: 8 trajectories x 24 frames x 64 atoms."""
+    return make_clustered_ensemble(
+        EnsembleSpec(n_trajectories=8, n_frames=24, n_atoms=64, n_clusters=2, seed=2018)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_bilayer():
+    """Leaflet Finder workload: 1500-particle bilayer."""
+    return make_bilayer(BilayerSpec(n_atoms=1500, seed=2018))
+
+
+@pytest.fixture(scope="session")
+def bench_bilayer_large():
+    """Larger Leaflet Finder workload for the tree-search crossover."""
+    return make_bilayer(BilayerSpec(n_atoms=4000, seed=2018))
+
+
+def framework(name: str):
+    """A fresh framework substrate with the benchmark worker count."""
+    return make_framework(name, executor="threads", workers=BENCH_WORKERS)

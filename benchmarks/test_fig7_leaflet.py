@@ -1,0 +1,93 @@
+"""Figure 7 — Leaflet Finder: four approaches x three frameworks.
+
+Live benchmark: each (framework, approach) cell on a laptop-scale bilayer,
+with correctness asserted against the serial reference.  Modeled
+assertions: the published orderings (broadcast worst, parallel-cc beats
+task-2d, tree-search wins for the big systems, MPI fastest, feasibility
+annotations).
+"""
+
+import pytest
+
+from conftest import framework
+from repro.core import leaflet_serial, run_leaflet_finder
+from repro.experiments import fig7_leaflet_approaches
+
+CUTOFF = 15.0
+APPROACHES = ("broadcast-1d", "task-2d", "parallel-cc", "tree-search")
+
+
+@pytest.mark.parametrize("name", ["sparklite", "dasklite", "mpilite"])
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_fig7_leaflet_live(benchmark, bench_bilayer, name, approach):
+    """One Figure 7 cell at laptop scale."""
+    positions, labels = bench_bilayer
+    serial = leaflet_serial(positions, CUTOFF)
+    fw = framework(name)
+
+    def run():
+        result, _report = run_leaflet_finder(positions, CUTOFF, fw,
+                                             approach=approach, n_tasks=16)
+        return result
+
+    result = benchmark(run)
+    assert result.sizes[:2] == serial.sizes[:2]
+    assert result.agreement_with(labels) == 1.0
+    fw.close()
+
+
+def test_fig7_modeled_orderings(benchmark):
+    """Paper-scale shape assertions for the full Figure 7 grid."""
+    rows = benchmark(lambda: fig7_leaflet_approaches.modeled_rows(core_counts=(32, 256)))
+    by = {(r["framework"], r["approach"], r["n_atoms"], r["cores"]): r for r in rows}
+
+    # broadcast-1d is the slowest approach for Spark and Dask at every size it ran
+    for fw_name in ("spark", "dask"):
+        for n_atoms in (131_072, 262_144):
+            bc = by[(fw_name, "broadcast-1d", n_atoms, 256)]["runtime_s"]
+            for other in ("task-2d", "parallel-cc"):
+                assert bc >= by[(fw_name, other, n_atoms, 256)]["runtime_s"]
+
+    # parallel-cc improves on task-2d (the ~20% refinement)
+    for fw_name in ("spark", "dask"):
+        t2 = by[(fw_name, "task-2d", 524_288, 256)]["runtime_s"]
+        t3 = by[(fw_name, "parallel-cc", 524_288, 256)]["runtime_s"]
+        assert t3 < t2
+
+    # tree-search loses on the smallest system, wins on the 4M system
+    for fw_name in ("spark", "dask"):
+        assert (by[(fw_name, "tree-search", 131_072, 32)]["runtime_s"]
+                > by[(fw_name, "parallel-cc", 131_072, 32)]["runtime_s"])
+        assert (by[(fw_name, "tree-search", 4_194_304, 256)]["runtime_s"]
+                < by[(fw_name, "parallel-cc", 4_194_304, 256)]["runtime_s"])
+
+    # MPI is fastest for the cdist-based approaches
+    for approach in ("task-2d", "parallel-cc"):
+        assert (by[("mpi", approach, 262_144, 256)]["runtime_s"]
+                <= by[("spark", approach, 262_144, 256)]["runtime_s"])
+
+    # feasibility annotations match section 4.3
+    assert not by[("dask", "broadcast-1d", 524_288, 256)]["feasible"]
+    assert not by[("spark", "task-2d", 4_194_304, 256)]["feasible"]
+    assert by[("spark", "parallel-cc", 4_194_304, 256)]["feasible"]
+    assert by[("dask", "tree-search", 4_194_304, 256)]["feasible"]
+
+    # MPI speedups are the highest of the three frameworks (closest to linear)
+    for approach in ("parallel-cc",):
+        assert (by[("mpi", approach, 524_288, 256)]["speedup"]
+                >= by[("dask", approach, 524_288, 256)]["speedup"] * 0.9)
+
+
+def test_fig7_live_shuffle_reduction(benchmark, bench_bilayer):
+    """Approach 3 really does shuffle fewer bytes than approach 2 (live metrics)."""
+    positions, _ = bench_bilayer
+    fw = framework("sparklite")
+
+    def run():
+        _r2, rep2 = run_leaflet_finder(positions, CUTOFF, fw, approach="task-2d", n_tasks=16)
+        _r3, rep3 = run_leaflet_finder(positions, CUTOFF, fw, approach="parallel-cc", n_tasks=16)
+        return rep2.metrics.bytes_shuffled, rep3.metrics.bytes_shuffled
+
+    edge_bytes, component_bytes = benchmark(run)
+    assert component_bytes < edge_bytes
+    fw.close()

@@ -1,0 +1,41 @@
+"""Tables 1-3 — regeneration of the qualitative comparisons.
+
+There is nothing to time here beyond the rendering itself; the value of
+these benchmarks is asserting that the encoded tables carry the paper's
+content and that the decision framework's recommendations match the
+paper's conclusions (section 4.4).
+"""
+
+from repro.core.characterization import (
+    DECISION_FRAMEWORK,
+    FRAMEWORK_COMPARISON,
+    LEAFLET_MAPREDUCE_OPERATIONS,
+    recommend_framework,
+)
+from repro.experiments import tables
+
+
+def test_table1_render(benchmark):
+    text = benchmark(lambda: tables.render_table_text(1))
+    assert "RADICAL-Pilot" in text and "Spark" in text and "Dask" in text
+    assert FRAMEWORK_COMPARISON["Spark"]["scheduler"] == "Stage-oriented DAG"
+    assert FRAMEWORK_COMPARISON["RADICAL-Pilot"]["shuffle"] == "-"
+
+
+def test_table2_render(benchmark):
+    text = benchmark(lambda: tables.render_table_text(2))
+    assert "partial connected components" in text
+    # approaches 3 and 4 shuffle O(n), approaches 1 and 2 shuffle O(E)
+    assert "O(n)" in LEAFLET_MAPREDUCE_OPERATIONS["tree-search"]["shuffle"]
+    assert "O(E)" in LEAFLET_MAPREDUCE_OPERATIONS["broadcast-1d"]["shuffle"]
+
+
+def test_table3_render_and_conclusions(benchmark):
+    text = benchmark(lambda: tables.render_table_text(3))
+    assert "low_latency" in text
+    # the paper's conclusions: Spark for shuffle/broadcast/caching-heavy work,
+    # Dask for Python-native low-latency task work, RP for MPI/HPC task work
+    assert recommend_framework({"shuffle": 1, "broadcast": 1, "caching": 1})[0][0] == "Spark"
+    assert recommend_framework({"task_api": 1, "low_latency": 1, "throughput": 1})[0][0] == "Dask"
+    assert recommend_framework({"mpi_hpc_tasks": 1})[0][0] == "RADICAL-Pilot"
+    assert DECISION_FRAMEWORK["throughput"]["Dask"] == "++"

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Choose a framework: measured task throughput + the paper's decision framework.
+
+Reproduces the reasoning of section 4.4 ("Conceptual Framework and
+Discussion"): measure what you can (task throughput on this machine, via
+the live substrates), model what you cannot (paper-scale scaling, via the
+calibrated cost models), and combine it with the qualitative decision
+framework (Table 3) to pick a framework for a given workload profile.
+
+Run with::
+
+    python examples/framework_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import make_framework, recommend_framework
+from repro.core.characterization import decision_framework_table
+from repro.perfmodel import model_throughput
+
+
+def measured_throughput(name: str, n_tasks: int = 1024, workers: int = 4) -> float:
+    """Tasks/second for zero-workload tasks on the live substrate."""
+    fw = make_framework(name, executor="threads", workers=workers)
+    start = time.perf_counter()
+    fw.map_tasks(lambda _x: 0, list(range(n_tasks)))
+    elapsed = time.perf_counter() - start
+    fw.close()
+    return n_tasks / elapsed
+
+
+def main() -> None:
+    print("== measured task throughput on this machine (1024 zero-workload tasks) ==")
+    for name in ("sparklite", "dasklite", "pilot", "mpilite"):
+        print(f"  {name:<10} {measured_throughput(name):>10.0f} tasks/s")
+
+    print("\n== modeled paper-scale throughput (one Wrangler node, 16k tasks) ==")
+    for name in ("spark", "dask", "pilot"):
+        print(f"  {name:<10} {model_throughput(name, 16_384):>10.0f} tasks/s")
+
+    print("\n== decision framework (Table 3) ==")
+    print(decision_framework_table())
+
+    print("\n== recommendations ==")
+    profiles = {
+        "PSA-like: coarse-grained, Python-native, embarrassingly parallel": {
+            "python_native_code": 1.0, "task_api": 1.0, "mpi_hpc_tasks": 0.5,
+        },
+        "LeafletFinder-like: fine-grained, shuffle and broadcast heavy": {
+            "shuffle": 1.0, "broadcast": 1.0, "large_number_of_tasks": 1.0,
+            "higher_level_abstraction": 0.5,
+        },
+        "iterative ML over a cached dataset": {
+            "caching": 1.0, "higher_level_abstraction": 1.0, "shuffle": 0.5,
+        },
+        "ensemble of MPI simulations with in-situ analysis": {
+            "mpi_hpc_tasks": 1.0, "python_native_code": 0.5,
+        },
+    }
+    for label, weights in profiles.items():
+        ranking = recommend_framework(weights)
+        ranked = ", ".join(f"{fw} ({score:.2f})" for fw, score in ranking)
+        print(f"  {label}:\n      {ranked}")
+
+
+if __name__ == "__main__":
+    main()

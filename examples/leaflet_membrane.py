@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Leaflet Finder on a synthetic membrane: all four architectural approaches.
+
+Mirrors the paper's Figure 7/8 workflow at laptop scale: build a curved
+bilayer, select the phosphorus head groups with the selection language, and
+run every architectural approach on one framework, reporting wall time,
+broadcast volume and shuffle volume — the quantities whose trade-offs
+section 4.3 of the paper analyses.
+
+Run with::
+
+    python examples/leaflet_membrane.py [--atoms 4000] [--framework dask]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import make_framework
+from repro.core import LEAFLET_APPROACHES, leaflet_serial, run_leaflet_finder
+from repro.trajectory import BilayerSpec, make_bilayer_universe
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--atoms", type=int, default=4000)
+    parser.add_argument("--cutoff", type=float, default=15.0)
+    parser.add_argument("--framework", default="dask",
+                        choices=["spark", "dask", "pilot", "mpi"])
+    parser.add_argument("--tasks", type=int, default=32)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--curvature", type=float, default=4.0,
+                        help="amplitude of the membrane undulation (Angstrom)")
+    args = parser.parse_args()
+
+    spec = BilayerSpec(n_atoms=args.atoms, seed=7,
+                       curvature_amplitude=args.curvature, curvature_periods=1.5)
+    universe, true_labels = make_bilayer_universe(spec)
+    head_groups = universe.select_atoms("name P")
+    print(f"membrane: {universe.n_atoms} particles, selection 'name P' -> "
+          f"{head_groups.n_atoms} head groups")
+
+    serial = leaflet_serial(head_groups.positions, args.cutoff)
+    print(f"serial reference: {serial.n_edges} edges, "
+          f"leaflet sizes {serial.sizes[:2]}, "
+          f"agreement {serial.agreement_with(true_labels):.3f}")
+
+    fw = make_framework(args.framework, executor="threads", workers=args.workers)
+    print(f"\nframework: {fw.name} ({args.workers} workers, {args.tasks} tasks)")
+    print(f"{'approach':<14} {'wall (s)':>9} {'broadcast (B)':>14} {'shuffle (B)':>12} {'ok':>4}")
+    for approach in LEAFLET_APPROACHES:
+        result, report = run_leaflet_finder(head_groups.positions, args.cutoff, fw,
+                                            approach=approach, n_tasks=args.tasks)
+        ok = result.sizes[:2] == serial.sizes[:2]
+        print(f"{approach:<14} {report.wall_time_s:>9.3f} "
+              f"{report.metrics.bytes_broadcast:>14d} "
+              f"{report.metrics.bytes_shuffled:>12d} {'yes' if ok else 'NO':>4}")
+    fw.close()
+
+    print("\nNote the paper's two findings visible even at this scale: the")
+    print("broadcast approach ships the whole system to every task, and the")
+    print("parallel-connected-components approaches shuffle far fewer bytes")
+    print("than the edge-list approaches.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Project laptop-scale measurements to the paper's scale with the perf model.
+
+Workflow:
+
+1. calibrate the kernel rates on this machine (micro-benchmarks of the
+   2D-RMSD GEMM, cdist, BallTree and union-find kernels),
+2. regenerate the paper-scale series for every figure with those rates, and
+3. print a compact summary of each figure's headline findings.
+
+Run with::
+
+    python examples/paper_scale_projection.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import report as report_module
+from repro.perfmodel import (
+    WRANGLER,
+    calibrate_kernels,
+    model_leaflet_runtime,
+    model_psa_runtime,
+    model_throughput,
+)
+
+
+def main() -> None:
+    print("== calibrating kernel rates on this machine ==")
+    calibration = calibrate_kernels()
+    print(calibration.summary())
+    rates = calibration.rates
+
+    print("\n== figure 2/3: task throughput (modeled, 1 node / 4 nodes) ==")
+    for fw in ("dask", "spark", "pilot"):
+        one = model_throughput(fw, 16_384, nodes=1)
+        four = model_throughput(fw, 16_384, nodes=4)
+        print(f"  {fw:<6} {one:>8.0f} tasks/s on 1 node   {four:>8.0f} tasks/s on 4 nodes")
+
+    print("\n== figure 4: PSA, 128 small trajectories on Wrangler (calibrated rates) ==")
+    for fw in ("mpi", "spark", "dask", "pilot"):
+        r16 = model_psa_runtime(fw, WRANGLER, cores=16, rates=rates)
+        r256 = model_psa_runtime(fw, WRANGLER, cores=256, rates=rates)
+        print(f"  {fw:<6} 16 cores: {r16:>8.1f} s   256 cores: {r256:>8.1f} s   "
+              f"speedup {r16 / r256:.1f}x")
+
+    print("\n== figure 7: Leaflet Finder, 524k atoms, 256 cores (calibrated rates) ==")
+    for approach in ("broadcast-1d", "task-2d", "parallel-cc", "tree-search"):
+        row = "  " + f"{approach:<14}"
+        for fw in ("spark", "dask", "mpi"):
+            runtime = model_leaflet_runtime(fw, approach, cores=256,
+                                            n_atoms=524_288, rates=rates)
+            row += f" {fw}: {runtime:>7.1f} s "
+        print(row)
+
+    print("\n== full modeled report (row counts per figure) ==")
+    for figure, rows in report_module.all_modeled().items():
+        print(f"  {figure}: {len(rows)} modeled configurations")
+    print("\nRun `python -m repro.experiments.report --live` for the complete")
+    print("tables, including the laptop-scale live measurements.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so the package can be installed editable in environments without the
+``wheel`` package (``pip install -e . --no-build-isolation`` falls back to
+the legacy ``setup.py develop`` path).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

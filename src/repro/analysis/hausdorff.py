@@ -1,0 +1,172 @@
+"""Hausdorff and related path metrics.
+
+The Path Similarity Analysis of the paper (Algorithm 1) quantifies the
+similarity of two trajectories with the symmetric Hausdorff distance under
+the per-frame ``dRMS`` metric:
+
+.. math::
+
+    d_H(T_1, T_2) = \\max\\Big(
+        \\max_{f_1 \\in T_1} \\min_{f_2 \\in T_2} dRMS(f_1, f_2),\\;
+        \\max_{f_2 \\in T_2} \\min_{f_1 \\in T_1} dRMS(f_2, f_1) \\Big)
+
+Implementations provided:
+
+* :func:`hausdorff_naive` — the double loop exactly as written in
+  Algorithm 1 (reference implementation),
+* :func:`hausdorff` — vectorized: one 2D-RMSD matrix then min/max
+  reductions (what the parallel tasks execute),
+* :func:`hausdorff_earlybreak` — the early-break algorithm of Taha &
+  Hanbury (2015) that the paper cites as a potential optimization
+  (our ablation benchmark quantifies the speedup), and
+* :func:`discrete_frechet` — the discrete Fréchet distance, the other
+  metric offered by MDAnalysis' PSA module, included for completeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rmsd import rmsd, rmsd_matrix
+
+__all__ = [
+    "hausdorff",
+    "hausdorff_naive",
+    "hausdorff_earlybreak",
+    "directed_hausdorff",
+    "discrete_frechet",
+]
+
+
+def _flatten_paths(traj_a: np.ndarray, traj_b: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """Validate a pair of trajectories and return flattened path views."""
+    a = np.asarray(traj_a, dtype=np.float64)
+    b = np.asarray(traj_b, dtype=np.float64)
+    if a.ndim != 3 or b.ndim != 3 or a.shape[2] != 3 or b.shape[2] != 3:
+        raise ValueError("trajectories must have shape (n_frames, n_atoms, 3)")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"trajectories must have the same atom count: {a.shape[1]} vs {b.shape[1]}"
+        )
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        raise ValueError("trajectories must contain at least one frame")
+    n_atoms = a.shape[1]
+    return a.reshape(a.shape[0], -1), b.reshape(b.shape[0], -1), n_atoms
+
+
+def hausdorff_naive(traj_a: np.ndarray, traj_b: np.ndarray) -> float:
+    """Hausdorff distance computed with the literal double loop of Algorithm 1.
+
+    Quadratic in the number of frames and slow in Python; kept as the
+    executable specification against which the vectorized and early-break
+    variants are verified.
+    """
+    a = np.asarray(traj_a, dtype=np.float64)
+    b = np.asarray(traj_b, dtype=np.float64)
+    _flatten_paths(a, b)  # shape validation only
+    d_t1 = []
+    for frame1 in a:
+        d1 = [rmsd(frame1, frame2) for frame2 in b]
+        d_t1.append(min(d1))
+    d_t2 = []
+    for frame2 in b:
+        d2 = [rmsd(frame2, frame1) for frame1 in a]
+        d_t2.append(min(d2))
+    return float(max(max(d_t1), max(d_t2)))
+
+
+def directed_hausdorff(traj_a: np.ndarray, traj_b: np.ndarray) -> float:
+    """Directed Hausdorff distance ``h(A, B) = max_a min_b dRMS(a, b)``."""
+    matrix = rmsd_matrix(np.asarray(traj_a, dtype=np.float64),
+                         np.asarray(traj_b, dtype=np.float64))
+    return float(matrix.min(axis=1).max())
+
+
+def hausdorff(traj_a: np.ndarray, traj_b: np.ndarray) -> float:
+    """Symmetric Hausdorff distance (vectorized).
+
+    Builds the full 2D-RMSD matrix once and takes min/max reductions in
+    both directions; this is what each PSA task computes for its block of
+    trajectory pairs.
+    """
+    matrix = rmsd_matrix(np.asarray(traj_a, dtype=np.float64),
+                         np.asarray(traj_b, dtype=np.float64))
+    forward = matrix.min(axis=1).max()
+    backward = matrix.min(axis=0).max()
+    return float(max(forward, backward))
+
+
+def hausdorff_earlybreak(traj_a: np.ndarray, traj_b: np.ndarray,
+                         shuffle_seed: int | None = 0) -> float:
+    """Hausdorff distance with the early-break optimization.
+
+    Implements the algorithm of Taha & Hanbury (IEEE TPAMI 2015) cited by
+    the paper: for each point of ``A`` we scan points of ``B`` and break as
+    soon as a distance below the current global maximum ``cmax`` is found
+    (that point can no longer contribute to the directed Hausdorff value).
+    Scanning order is randomized once, which on structured inputs makes
+    early breaks much more likely.
+
+    The result is exactly the symmetric Hausdorff distance; only the work
+    performed changes.
+    """
+    flat_a, flat_b, n_atoms = _flatten_paths(traj_a, traj_b)
+    rng = np.random.default_rng(shuffle_seed) if shuffle_seed is not None else None
+
+    def directed(points_a: np.ndarray, points_b: np.ndarray) -> float:
+        order_a = np.arange(points_a.shape[0])
+        order_b = np.arange(points_b.shape[0])
+        if rng is not None:
+            rng.shuffle(order_a)
+            rng.shuffle(order_b)
+        cmax = 0.0
+        sq_b = (points_b * points_b).sum(axis=1)
+        for ia in order_a:
+            a_vec = points_a[ia]
+            cmin = np.inf
+            # squared distances to all of B for this point, but scanned with
+            # early break in the randomized order
+            for ib in order_b:
+                diff = a_vec - points_b[ib]
+                d2 = float(diff @ diff)
+                if d2 < cmin:
+                    cmin = d2
+                    if cmin <= cmax:
+                        break
+            else:
+                pass
+            if cmin > cmax and np.isfinite(cmin):
+                cmax = cmin
+        _ = sq_b  # kept for clarity; squared norms not needed in loop form
+        return cmax
+
+    forward = directed(flat_a, flat_b)
+    backward = directed(flat_b, flat_a)
+    return float(np.sqrt(max(forward, backward) / n_atoms))
+
+
+def discrete_frechet(traj_a: np.ndarray, traj_b: np.ndarray) -> float:
+    """Discrete Fréchet distance between two trajectories under ``dRMS``.
+
+    Dynamic-programming formulation (Eiter & Mannila 1994).  The Fréchet
+    distance is always >= the Hausdorff distance for the same pair; the
+    property-based tests assert this invariant.
+    """
+    matrix = rmsd_matrix(np.asarray(traj_a, dtype=np.float64),
+                         np.asarray(traj_b, dtype=np.float64))
+    n_a, n_b = matrix.shape
+    ca = np.full((n_a, n_b), -1.0)
+    ca[0, 0] = matrix[0, 0]
+    for i in range(1, n_a):
+        ca[i, 0] = max(ca[i - 1, 0], matrix[i, 0])
+    for j in range(1, n_b):
+        ca[0, j] = max(ca[0, j - 1], matrix[0, j])
+    for i in range(1, n_a):
+        row_prev = ca[i - 1]
+        row_cur = ca[i]
+        for j in range(1, n_b):
+            row_cur[j] = max(
+                min(row_prev[j], row_prev[j - 1], row_cur[j - 1]),
+                matrix[i, j],
+            )
+    return float(ca[-1, -1])

@@ -1,0 +1,102 @@
+"""Sub-setting: isolating parts of interest of an MD simulation.
+
+The paper lists sub-setting among the "commonly used algorithms for
+analyzing MD trajectories" (section 2): extract a subset of atoms and/or
+frames from a trajectory, typically to shrink the data before a more
+expensive analysis.  These helpers operate directly on position arrays and
+on :class:`~repro.trajectory.trajectory.Trajectory` objects and are used by
+the examples and by the PSA pre-processing step (selecting the atoms the
+Hausdorff distance is computed over).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..trajectory.selections import select
+from ..trajectory.trajectory import Trajectory, TrajectoryEnsemble
+
+__all__ = [
+    "subset_atoms",
+    "subset_frames",
+    "stride_frames",
+    "subset_trajectory",
+    "subset_ensemble",
+    "within_sphere",
+]
+
+
+def subset_atoms(positions: np.ndarray, indices: Sequence[int]) -> np.ndarray:
+    """Restrict ``(n_frames, n_atoms, 3)`` positions to the given atom indices."""
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 3 or positions.shape[2] != 3:
+        raise ValueError("positions must have shape (n_frames, n_atoms, 3)")
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= positions.shape[1]):
+        raise IndexError("atom index out of range")
+    return positions[:, idx, :]
+
+
+def subset_frames(positions: np.ndarray, frame_indices: Sequence[int]) -> np.ndarray:
+    """Restrict positions to the given frame indices (in the given order)."""
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 3 or positions.shape[2] != 3:
+        raise ValueError("positions must have shape (n_frames, n_atoms, 3)")
+    idx = np.asarray(frame_indices, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= positions.shape[0]):
+        raise IndexError("frame index out of range")
+    return positions[idx]
+
+
+def stride_frames(positions: np.ndarray, stride: int, offset: int = 0) -> np.ndarray:
+    """Take every ``stride``-th frame starting at ``offset``."""
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    positions = np.asarray(positions, dtype=np.float64)
+    return positions[offset::stride]
+
+
+def subset_trajectory(trajectory: Trajectory, selection: str | None = None,
+                      frame_slice: slice | None = None,
+                      stride: int | None = None) -> Trajectory:
+    """Apply atom selection, frame slicing and/or striding to a trajectory.
+
+    The operations compose in that order.  Returns a new trajectory.
+    """
+    result = trajectory
+    if selection is not None:
+        indices = select(selection, result.topology,
+                         result.positions[0] if result.n_frames else None)
+        result = result.select_atoms_by_index(indices)
+    if frame_slice is not None:
+        result = result.slice_frames(frame_slice)
+    if stride is not None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        result = result.slice_frames(slice(None, None, stride))
+    return result
+
+
+def subset_ensemble(ensemble: TrajectoryEnsemble, selection: str | None = None,
+                    stride: int | None = None) -> TrajectoryEnsemble:
+    """Apply the same sub-setting to every member of an ensemble."""
+    out = TrajectoryEnsemble()
+    for traj in ensemble:
+        out.add(subset_trajectory(traj, selection=selection, stride=stride))
+    return out
+
+
+def within_sphere(positions: np.ndarray, center: np.ndarray, radius: float) -> np.ndarray:
+    """Indices of atoms within ``radius`` of ``center`` in a single frame."""
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError("positions must have shape (n_atoms, 3)")
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    center = np.asarray(center, dtype=np.float64).reshape(3)
+    d2 = ((positions - center) ** 2).sum(axis=1)
+    return np.flatnonzero(d2 <= radius * radius)

@@ -1,0 +1,130 @@
+"""High-level convenience API.
+
+These are the functions a downstream user calls first: build a framework
+by name, run PSA on an ensemble, run the Leaflet Finder on a membrane,
+and compare frameworks/approaches on the same workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..frameworks import TaskFramework, make_framework
+from ..trajectory.trajectory import TrajectoryEnsemble
+from ..trajectory.universe import Universe
+from .leaflet import LEAFLET_APPROACHES, run_leaflet_finder
+from .psa import run_psa
+from .results import DistanceMatrix, LeafletResult, RunReport
+
+__all__ = ["psa", "leaflet_finder", "compare_frameworks", "compare_leaflet_approaches"]
+
+
+def _resolve_framework(framework: str | TaskFramework, **kwargs) -> TaskFramework:
+    if isinstance(framework, TaskFramework):
+        return framework
+    return make_framework(framework, **kwargs)
+
+
+def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite",
+        *, metric: str = "hausdorff", n_tasks: int | None = None,
+        group_size: int | None = None, workers: int | None = None,
+        executor: str = "threads") -> Tuple[DistanceMatrix, RunReport]:
+    """Run Path Similarity Analysis on an ensemble.
+
+    Parameters
+    ----------
+    ensemble:
+        The trajectories to compare all-to-all.
+    framework:
+        Framework name (``"spark"``, ``"dask"``, ``"pilot"``, ``"mpi"`` or
+        their canonical sparklite/dasklite/pilot/mpilite spellings) or an
+        already constructed :class:`TaskFramework`.
+    metric:
+        ``"hausdorff"`` (default), ``"hausdorff_earlybreak"``, ``"frechet"``
+        or ``"hausdorff_naive"``.
+    """
+    fw = _resolve_framework(framework, executor=executor, workers=workers) \
+        if isinstance(framework, str) else framework
+    return run_psa(ensemble, fw, metric=metric, n_tasks=n_tasks, group_size=group_size)
+
+
+def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
+                   selection: str = "name P", cutoff: float = 15.0,
+                   approach: str = "tree-search", n_tasks: int = 16,
+                   workers: int | None = None,
+                   executor: str = "threads") -> Tuple[LeafletResult, RunReport]:
+    """Run the Leaflet Finder on a membrane system.
+
+    ``system`` may be a :class:`~repro.trajectory.universe.Universe` (the
+    ``selection`` is applied to pick the head-group atoms) or a raw
+    ``(n_atoms, 3)`` position array.
+    """
+    if isinstance(system, Universe):
+        group = system.select_atoms(selection)
+        if group.n_atoms == 0:
+            raise ValueError(f"selection {selection!r} matched no atoms")
+        positions = group.positions
+    else:
+        positions = np.asarray(system, dtype=np.float64)
+    fw = _resolve_framework(framework, executor=executor, workers=workers) \
+        if isinstance(framework, str) else framework
+    return run_leaflet_finder(positions, cutoff, fw, approach=approach, n_tasks=n_tasks)
+
+
+def compare_frameworks(ensemble: TrajectoryEnsemble,
+                       frameworks: Sequence[str] = ("sparklite", "dasklite", "pilot", "mpilite"),
+                       *, metric: str = "hausdorff", n_tasks: int | None = None,
+                       workers: int | None = None) -> Dict[str, RunReport]:
+    """Run the same PSA workload on several frameworks and collect reports.
+
+    The returned reports are the raw material of the paper's Figure 4/5
+    style comparisons; distance matrices are checked for agreement across
+    frameworks (they must be identical up to floating-point noise) and the
+    first framework's matrix is discarded after the check.
+    """
+    reports: Dict[str, RunReport] = {}
+    reference = None
+    for name in frameworks:
+        fw = make_framework(name, executor="threads", workers=workers)
+        matrix, report = run_psa(ensemble, fw, metric=metric, n_tasks=n_tasks)
+        if reference is None:
+            reference = matrix.values
+        elif not np.allclose(reference, matrix.values, atol=1e-9):
+            raise AssertionError(
+                f"framework {name} produced a different distance matrix"
+            )
+        reports[name] = report
+    return reports
+
+
+def compare_leaflet_approaches(positions: np.ndarray, cutoff: float = 15.0,
+                               framework: str | TaskFramework = "dasklite", *,
+                               approaches: Sequence[str] | None = None,
+                               n_tasks: int = 16,
+                               workers: int | None = None) -> Dict[str, RunReport]:
+    """Run every Leaflet Finder approach on the same system (Figure 7 rows).
+
+    All approaches must agree on the two leaflet components; disagreement
+    raises, since that would indicate an implementation bug rather than a
+    performance difference.
+    """
+    approaches = list(approaches or LEAFLET_APPROACHES)
+    fw = _resolve_framework(framework, executor="threads", workers=workers) \
+        if isinstance(framework, str) else framework
+    reports: Dict[str, RunReport] = {}
+    reference_sizes = None
+    for approach in approaches:
+        result, report = run_leaflet_finder(positions, cutoff, fw,
+                                            approach=approach, n_tasks=n_tasks)
+        top_sizes = result.sizes[:2]
+        if reference_sizes is None:
+            reference_sizes = top_sizes
+        elif top_sizes != reference_sizes:
+            raise AssertionError(
+                f"approach {approach} found leaflet sizes {top_sizes}, "
+                f"expected {reference_sizes}"
+            )
+        reports[approach] = report
+    return reports

@@ -1,0 +1,293 @@
+"""Application characterization and the framework decision framework.
+
+Section 2 of the paper characterizes the two analysis applications with
+the Big Data Ogres classification (views and facets); section 3.4 and
+Table 1 compare the frameworks' abstractions; Table 2 lists the MapReduce
+operations of each Leaflet Finder approach; section 4.4 and Table 3 give a
+qualitative decision framework ranking the frameworks against criteria.
+
+This module encodes all of that as data plus small rendering helpers, so
+``python -m repro.experiments.tables`` regenerates the paper's three
+tables and the qualitative content is testable (e.g. the recommendation
+logic of :func:`recommend_framework`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = [
+    "OgreClassification",
+    "PSA_OGRES",
+    "LEAFLET_OGRES",
+    "FRAMEWORK_COMPARISON",
+    "LEAFLET_MAPREDUCE_OPERATIONS",
+    "DECISION_FRAMEWORK",
+    "Support",
+    "render_table",
+    "framework_comparison_table",
+    "leaflet_operations_table",
+    "decision_framework_table",
+    "recommend_framework",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Big Data Ogres (section 2)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class OgreClassification:
+    """Ogre facets of one application, organized by the four views."""
+
+    name: str
+    execution: Sequence[str]
+    data_source_style: Sequence[str]
+    processing: Sequence[str]
+    problem_architecture: Sequence[str]
+
+    def all_facets(self) -> Dict[str, Sequence[str]]:
+        """View name -> facets mapping."""
+        return {
+            "execution": self.execution,
+            "data source & style": self.data_source_style,
+            "processing": self.processing,
+            "problem architecture": self.problem_architecture,
+        }
+
+
+PSA_OGRES = OgreClassification(
+    name="Path Similarity Analysis (Hausdorff)",
+    execution=(
+        "HPC nodes",
+        "Python arithmetic libraries (NumPy)",
+        "medium-to-large input volume, small output",
+        "single pass (non-iterative)",
+    ),
+    data_source_style=(
+        "input produced by HPC simulations",
+        "stored on parallel filesystems (e.g. Lustre)",
+    ),
+    processing=("linear algebra kernels", "O(n^2) pairwise comparison"),
+    problem_architecture=("embarrassingly parallel", "map-only / bag of tasks"),
+)
+
+LEAFLET_OGRES = OgreClassification(
+    name="Leaflet Finder",
+    execution=(
+        "HPC nodes",
+        "NumPy arrays for the physical system and distance matrix",
+        "medium input volume, output smaller than input",
+    ),
+    data_source_style=(
+        "input produced by HPC simulations",
+        "stored on parallel filesystems (e.g. Lustre)",
+    ),
+    processing=(
+        "linear algebra kernels (pairwise distances)",
+        "graph algorithms (connected components)",
+        "edge discovery O(n^2) or O(n log n) with trees",
+        "connected components O(|V| + |E|)",
+    ),
+    problem_architecture=("MapReduce", "two stages: edge discovery + components"),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Table 1: framework comparison
+# --------------------------------------------------------------------------- #
+FRAMEWORK_COMPARISON: Dict[str, Dict[str, str]] = {
+    "RADICAL-Pilot": {
+        "languages": "Python",
+        "task_abstraction": "Task (Compute Unit)",
+        "functional_abstraction": "-",
+        "higher_level_abstractions": "EnTK",
+        "resource_management": "Pilot-Job",
+        "scheduler": "Individual tasks",
+        "shuffle": "-",
+        "limitations": "no shuffle, filesystem-based communication",
+    },
+    "Spark": {
+        "languages": "Java, Scala, Python, R",
+        "task_abstraction": "Map-Task",
+        "functional_abstraction": "RDD API",
+        "higher_level_abstractions": "Dataframe, ML Pipeline, MLlib",
+        "resource_management": "Spark execution engines",
+        "scheduler": "Stage-oriented DAG",
+        "shuffle": "hash/sort-based shuffle",
+        "limitations": "high overheads for Python tasks (serialization)",
+    },
+    "Dask": {
+        "languages": "Python",
+        "task_abstraction": "Delayed",
+        "functional_abstraction": "Bag",
+        "higher_level_abstractions": "Dataframe, Arrays for block computations",
+        "resource_management": "Dask distributed scheduler",
+        "scheduler": "DAG",
+        "shuffle": "hash/sort-based shuffle",
+        "limitations": "Dask Array cannot deal with dynamic output shapes",
+    },
+}
+
+
+# --------------------------------------------------------------------------- #
+# Table 2: MapReduce operations per Leaflet Finder approach
+# --------------------------------------------------------------------------- #
+LEAFLET_MAPREDUCE_OPERATIONS: Dict[str, Dict[str, str]] = {
+    "broadcast-1d": {
+        "data_partitioning": "1D",
+        "map": "edge discovery via pairwise distance",
+        "shuffle": "edge list (O(E))",
+        "reduce": "connected components",
+    },
+    "task-2d": {
+        "data_partitioning": "2D",
+        "map": "edge discovery via pairwise distance",
+        "shuffle": "edge list (O(E))",
+        "reduce": "connected components",
+    },
+    "parallel-cc": {
+        "data_partitioning": "2D",
+        "map": "edge discovery via pairwise distance and partial connected components",
+        "shuffle": "partial connected components (O(n))",
+        "reduce": "joined connected components",
+    },
+    "tree-search": {
+        "data_partitioning": "2D",
+        "map": "edge discovery via tree-based algorithm and partial connected components",
+        "shuffle": "partial connected components (O(n))",
+        "reduce": "joined connected components",
+    },
+}
+
+
+# --------------------------------------------------------------------------- #
+# Table 3: decision framework
+# --------------------------------------------------------------------------- #
+class Support:
+    """Qualitative support levels used by Table 3."""
+
+    UNSUPPORTED = "-"    # unsupported or low performance
+    MINOR = "o"          # minor support
+    SUPPORTED = "+"      # supported
+    MAJOR = "++"         # major support
+
+    ORDER = {UNSUPPORTED: 0, MINOR: 1, SUPPORTED: 2, MAJOR: 3}
+
+    @classmethod
+    def score(cls, level: str) -> int:
+        """Numeric score of a support level (higher is better)."""
+        if level not in cls.ORDER:
+            raise ValueError(f"unknown support level {level!r}")
+        return cls.ORDER[level]
+
+
+#: criterion -> {framework: support level}, exactly Table 3 of the paper.
+DECISION_FRAMEWORK: Dict[str, Dict[str, str]] = {
+    # task management
+    "low_latency": {"RADICAL-Pilot": "-", "Spark": "o", "Dask": "+"},
+    "throughput": {"RADICAL-Pilot": "-", "Spark": "+", "Dask": "++"},
+    "mpi_hpc_tasks": {"RADICAL-Pilot": "+", "Spark": "o", "Dask": "o"},
+    "task_api": {"RADICAL-Pilot": "+", "Spark": "o", "Dask": "++"},
+    "large_number_of_tasks": {"RADICAL-Pilot": "-", "Spark": "++", "Dask": "++"},
+    # application characteristics
+    "python_native_code": {"RADICAL-Pilot": "++", "Spark": "o", "Dask": "+"},
+    "java": {"RADICAL-Pilot": "o", "Spark": "++", "Dask": "o"},
+    "higher_level_abstraction": {"RADICAL-Pilot": "-", "Spark": "++", "Dask": "+"},
+    "shuffle": {"RADICAL-Pilot": "-", "Spark": "++", "Dask": "+"},
+    "broadcast": {"RADICAL-Pilot": "-", "Spark": "++", "Dask": "+"},
+    "caching": {"RADICAL-Pilot": "-", "Spark": "++", "Dask": "o"},
+}
+
+#: criteria that belong to the "Task Management" block of Table 3
+TASK_MANAGEMENT_CRITERIA = (
+    "low_latency", "throughput", "mpi_hpc_tasks", "task_api", "large_number_of_tasks",
+)
+#: criteria that belong to the "Application Characteristics" block
+APPLICATION_CRITERIA = (
+    "python_native_code", "java", "higher_level_abstraction", "shuffle",
+    "broadcast", "caching",
+)
+
+
+def recommend_framework(requirements: Mapping[str, float]) -> List[tuple]:
+    """Rank the frameworks against weighted requirements.
+
+    ``requirements`` maps criterion names (keys of
+    :data:`DECISION_FRAMEWORK`) to non-negative weights.  Returns
+    ``(framework, score)`` pairs sorted best-first, where the score is the
+    weight-averaged support level (0-3).  This operationalizes the paper's
+    "conceptual framework that allows application developers to carefully
+    select a framework according to their requirements".
+    """
+    if not requirements:
+        raise ValueError("requirements must not be empty")
+    unknown = [k for k in requirements if k not in DECISION_FRAMEWORK]
+    if unknown:
+        raise ValueError(f"unknown criteria: {unknown}; valid: {sorted(DECISION_FRAMEWORK)}")
+    if any(w < 0 for w in requirements.values()):
+        raise ValueError("weights must be non-negative")
+    total_weight = sum(requirements.values())
+    if total_weight == 0:
+        raise ValueError("at least one weight must be positive")
+    frameworks = sorted({fw for row in DECISION_FRAMEWORK.values() for fw in row})
+    scores = []
+    for fw in frameworks:
+        score = sum(
+            weight * Support.score(DECISION_FRAMEWORK[criterion][fw])
+            for criterion, weight in requirements.items()
+        ) / total_weight
+        scores.append((fw, score))
+    scores.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scores
+
+
+# --------------------------------------------------------------------------- #
+# rendering helpers
+# --------------------------------------------------------------------------- #
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a plain-text table with aligned columns."""
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+    sep = "  ".join("-" * w for w in widths)
+    lines = [fmt(headers), sep]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def framework_comparison_table() -> str:
+    """Regenerate Table 1 as text."""
+    attributes = ["languages", "task_abstraction", "functional_abstraction",
+                  "higher_level_abstractions", "resource_management", "scheduler",
+                  "shuffle", "limitations"]
+    headers = ["attribute"] + list(FRAMEWORK_COMPARISON)
+    rows = [[attr] + [FRAMEWORK_COMPARISON[fw][attr] for fw in FRAMEWORK_COMPARISON]
+            for attr in attributes]
+    return render_table(headers, rows)
+
+
+def leaflet_operations_table() -> str:
+    """Regenerate Table 2 as text."""
+    attributes = ["data_partitioning", "map", "shuffle", "reduce"]
+    headers = ["operation"] + list(LEAFLET_MAPREDUCE_OPERATIONS)
+    rows = [[attr] + [LEAFLET_MAPREDUCE_OPERATIONS[a][attr]
+                      for a in LEAFLET_MAPREDUCE_OPERATIONS]
+            for attr in attributes]
+    return render_table(headers, rows)
+
+
+def decision_framework_table() -> str:
+    """Regenerate Table 3 as text."""
+    frameworks = ["RADICAL-Pilot", "Spark", "Dask"]
+    headers = ["criterion"] + frameworks
+    rows: List[List[str]] = [["-- task management --", "", "", ""]]
+    for criterion in TASK_MANAGEMENT_CRITERIA:
+        rows.append([criterion] + [DECISION_FRAMEWORK[criterion][fw] for fw in frameworks])
+    rows.append(["-- application characteristics --", "", "", ""])
+    for criterion in APPLICATION_CRITERIA:
+        rows.append([criterion] + [DECISION_FRAMEWORK[criterion][fw] for fw in frameworks])
+    return render_table(headers, rows)

@@ -1,0 +1,169 @@
+"""Work partitioning (Algorithm 2 of the paper and the Leaflet Finder layouts).
+
+PSA produces an ``N x N`` distance matrix over ``N`` trajectories; naively
+every entry is a task.  Algorithm 2 groups ``n1 x n1`` entries into a
+single task, giving ``k^2`` tasks with ``k = N / n1`` — the
+"two-dimensional partitioning" the paper applies to PSA.  Because the
+Hausdorff distance is symmetric we only generate tasks for the upper
+triangle (including the diagonal blocks) and mirror the result.
+
+The Leaflet Finder uses two layouts over the atoms of a single frame:
+
+* **1-D partitioning** (approach 1): every task owns a contiguous chunk of
+  atoms and compares it against *all* atoms (which therefore must be
+  broadcast),
+* **2-D partitioning** (approaches 2-4): every task owns a pair of chunks
+  (an upper-triangular block of the atom x atom matrix) and only needs
+  those two chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BlockTask",
+    "chunk_ranges",
+    "one_dimensional_partition",
+    "two_dimensional_partition",
+    "pair_blocks",
+    "tasks_for_group_size",
+    "choose_group_size",
+]
+
+
+@dataclass(frozen=True)
+class BlockTask:
+    """One task of a 2-D decomposition: compare items [row block] x [col block].
+
+    ``row_start/row_stop`` and ``col_start/col_stop`` are half-open index
+    ranges into the item list (trajectories for PSA, atoms for the Leaflet
+    Finder).  ``diagonal`` marks blocks on the matrix diagonal, where only
+    the upper triangle of the block needs computing.
+    """
+
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+
+    @property
+    def diagonal(self) -> bool:
+        """True when the block lies on the diagonal of the pair matrix."""
+        return self.row_start == self.col_start and self.row_stop == self.col_stop
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of item pairs this task compares (symmetric pairs counted once)."""
+        rows = self.row_stop - self.row_start
+        cols = self.col_stop - self.col_start
+        if self.diagonal:
+            return rows * (rows + 1) // 2
+        return rows * cols
+
+    @property
+    def row_indices(self) -> np.ndarray:
+        """Row item indices covered by this block."""
+        return np.arange(self.row_start, self.row_stop, dtype=np.int64)
+
+    @property
+    def col_indices(self) -> np.ndarray:
+        """Column item indices covered by this block."""
+        return np.arange(self.col_start, self.col_stop, dtype=np.int64)
+
+
+def chunk_ranges(n_items: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Split ``range(n_items)`` into contiguous half-open ranges of ``chunk_size``."""
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [(start, min(start + chunk_size, n_items))
+            for start in range(0, n_items, chunk_size)]
+
+
+def one_dimensional_partition(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Split ``n_items`` into ``n_chunks`` nearly equal contiguous ranges.
+
+    Ranges are half-open; chunks never overlap and cover all items.  Extra
+    items go to the first ``n_items % n_chunks`` chunks.  Empty chunks are
+    dropped when there are more chunks than items.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    base, extra = divmod(n_items, n_chunks)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            continue
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def two_dimensional_partition(n_items: int, chunk_size: int,
+                              upper_triangle: bool = True) -> List[BlockTask]:
+    """Algorithm 2: group the ``n_items x n_items`` pair matrix into blocks.
+
+    Parameters
+    ----------
+    n_items:
+        Number of items being compared all-to-all.
+    chunk_size:
+        ``n1`` in the paper — each task owns an ``n1 x n1`` block.
+    upper_triangle:
+        Only generate blocks with ``col_start >= row_start`` (the distance
+        is symmetric, so the lower triangle is redundant).  Set to False to
+        generate the full matrix (used by the throughput-oriented ablation).
+    """
+    chunks = chunk_ranges(n_items, chunk_size)
+    tasks: List[BlockTask] = []
+    for i, (r0, r1) in enumerate(chunks):
+        for j, (c0, c1) in enumerate(chunks):
+            if upper_triangle and j < i:
+                continue
+            tasks.append(BlockTask(r0, r1, c0, c1))
+    return tasks
+
+
+def pair_blocks(n_items: int, n_groups: int) -> List[BlockTask]:
+    """Partition the pair matrix into roughly ``n_groups^2 / 2`` block tasks.
+
+    Convenience wrapper over :func:`two_dimensional_partition` that chooses
+    the chunk size from a desired number of groups per dimension (``k`` in
+    Algorithm 2).
+    """
+    if n_groups < 1:
+        raise ValueError("n_groups must be >= 1")
+    chunk_size = max(1, -(-n_items // n_groups))  # ceil division
+    return two_dimensional_partition(n_items, chunk_size)
+
+
+def tasks_for_group_size(n_items: int, chunk_size: int) -> int:
+    """Number of upper-triangular block tasks produced by Algorithm 2."""
+    k = len(chunk_ranges(n_items, chunk_size))
+    return k * (k + 1) // 2
+
+
+def choose_group_size(n_items: int, target_tasks: int) -> int:
+    """Choose ``n1`` so the decomposition yields roughly ``target_tasks`` tasks.
+
+    The paper sizes its decompositions by task count (e.g. 1024 partitions
+    for the Leaflet Finder, one task per core for PSA); this inverts
+    Algorithm 2's task-count formula ``k (k + 1) / 2`` with ``k = ceil(N / n1)``.
+    """
+    if n_items < 1:
+        raise ValueError("n_items must be >= 1")
+    if target_tasks < 1:
+        raise ValueError("target_tasks must be >= 1")
+    # solve k (k + 1) / 2 ~= target_tasks for k
+    k = max(1, int((np.sqrt(8.0 * target_tasks + 1.0) - 1.0) / 2.0))
+    k = min(k, n_items)
+    return max(1, -(-n_items // k))  # ceil division

@@ -1,0 +1,170 @@
+"""Result containers returned by the core algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from ..frameworks.base import RunMetrics
+
+__all__ = ["DistanceMatrix", "LeafletResult", "RunReport"]
+
+
+@dataclass
+class RunReport:
+    """How a run went: framework, parameters, timings and data volumes."""
+
+    algorithm: str
+    framework: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    n_tasks: int = 0
+    metrics: RunMetrics = field(default_factory=RunMetrics)
+
+    def as_dict(self) -> dict:
+        """Flat dict for tabular reports."""
+        out = {
+            "algorithm": self.algorithm,
+            "framework": self.framework,
+            "wall_time_s": self.wall_time_s,
+            "n_tasks": self.n_tasks,
+        }
+        out.update({f"param_{k}": v for k, v in self.parameters.items()})
+        out.update(self.metrics.as_dict())
+        return out
+
+
+class DistanceMatrix:
+    """A symmetric trajectory-to-trajectory distance matrix (PSA output).
+
+    Parameters
+    ----------
+    values:
+        ``(n, n)`` symmetric array of distances.
+    labels:
+        Names of the ``n`` trajectories, in matrix order.
+    """
+
+    def __init__(self, values: np.ndarray, labels: Sequence[str] | None = None) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2 or values.shape[0] != values.shape[1]:
+            raise ValueError("distance matrix must be square")
+        self.values = values
+        self.labels = list(labels) if labels is not None else [str(i) for i in range(values.shape[0])]
+        if len(self.labels) != values.shape[0]:
+            raise ValueError("label count does not match matrix size")
+
+    @property
+    def n(self) -> int:
+        """Number of trajectories."""
+        return self.values.shape[0]
+
+    def __getitem__(self, key) -> float:
+        return self.values[key]
+
+    def is_symmetric(self, tol: float = 1e-9) -> bool:
+        """Whether the matrix is symmetric within ``tol``."""
+        return bool(np.allclose(self.values, self.values.T, atol=tol))
+
+    def condensed(self) -> np.ndarray:
+        """Upper-triangular (condensed) form, scipy-style ordering."""
+        iu = np.triu_indices(self.n, k=1)
+        return self.values[iu]
+
+    def nearest_neighbors(self) -> List[int]:
+        """Index of each trajectory's closest other trajectory."""
+        masked = self.values.copy()
+        np.fill_diagonal(masked, np.inf)
+        return [int(i) for i in masked.argmin(axis=1)]
+
+    def cluster_by_threshold(self, threshold: float) -> List[np.ndarray]:
+        """Single-linkage clustering: connected components of ``d <= threshold``.
+
+        PSA's end goal is to "cluster the trajectories based on their
+        distance matrix"; thresholded single linkage is the simplest such
+        clustering and is what the examples and tests use to check that
+        the synthetic path families are recovered.
+        """
+        from ..analysis.graph import connected_components
+
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        close = np.argwhere((self.values <= threshold) & ~np.eye(self.n, dtype=bool))
+        edges = close[close[:, 0] < close[:, 1]]
+        return connected_components(edges, self.n)
+
+    def as_dict(self) -> dict:
+        """Serializable representation."""
+        return {"labels": self.labels, "values": self.values.tolist()}
+
+
+class LeafletResult:
+    """Leaflet Finder output: the connected components of the neighbor graph.
+
+    Components are sorted by decreasing size; for a well-formed bilayer the
+    two largest are the outer and inner leaflets.
+    """
+
+    def __init__(self, components: Sequence[np.ndarray], n_atoms: int,
+                 n_edges: int | None = None) -> None:
+        self.components = [np.asarray(c, dtype=np.int64) for c in components]
+        self.n_atoms = int(n_atoms)
+        self.n_edges = None if n_edges is None else int(n_edges)
+
+    @property
+    def n_components(self) -> int:
+        """Number of connected components (including singletons if present)."""
+        return len(self.components)
+
+    @property
+    def sizes(self) -> List[int]:
+        """Component sizes in decreasing order."""
+        return sorted((len(c) for c in self.components), reverse=True)
+
+    @property
+    def leaflet0(self) -> np.ndarray:
+        """Atom indices of the largest component (one leaflet)."""
+        if not self.components:
+            raise ValueError("no components found")
+        return max(self.components, key=len)
+
+    @property
+    def leaflet1(self) -> np.ndarray:
+        """Atom indices of the second largest component (the other leaflet)."""
+        if len(self.components) < 2:
+            raise ValueError("fewer than two components found")
+        ordered = sorted(self.components, key=len, reverse=True)
+        return ordered[1]
+
+    def labels(self) -> np.ndarray:
+        """Per-atom component labels (-1 for atoms in no component)."""
+        from ..analysis.graph import components_to_labels
+
+        return components_to_labels(self.components, self.n_atoms)
+
+    def agreement_with(self, true_labels: np.ndarray) -> float:
+        """Fraction of atoms whose 2-way leaflet assignment matches ``true_labels``.
+
+        Handles label permutation (component 0 may be either leaflet).
+        Only meaningful for systems with exactly two ground-truth groups.
+        """
+        true_labels = np.asarray(true_labels)
+        if true_labels.shape[0] != self.n_atoms:
+            raise ValueError("true_labels length must equal n_atoms")
+        ours = self.labels()
+        best = 0.0
+        for mapping in ((0, 1), (1, 0)):
+            mapped = np.where(ours == 0, mapping[0], np.where(ours == 1, mapping[1], -1))
+            best = max(best, float((mapped == true_labels).mean()))
+        return best
+
+    def as_dict(self) -> dict:
+        """Serializable summary (component sizes, not full membership)."""
+        return {
+            "n_atoms": self.n_atoms,
+            "n_edges": self.n_edges,
+            "n_components": self.n_components,
+            "sizes": self.sizes[:10],
+        }

@@ -1,0 +1,32 @@
+"""Experiment drivers: one module per figure/table of the paper's evaluation.
+
+Each ``figN_*`` module exposes ``modeled_rows()`` (paper-scale series from
+the calibrated performance model), ``measured_rows()`` (laptop-scale live
+run of the same code path) and a ``main()`` CLI.  ``report`` runs them all.
+"""
+
+from . import (
+    fig2_throughput,
+    fig3_throughput_nodes,
+    fig4_psa_wrangler,
+    fig5_psa_comet_wrangler,
+    fig6_cpptraj,
+    fig7_leaflet_approaches,
+    fig8_broadcast,
+    fig9_rp_leaflet,
+    report,
+    tables,
+)
+
+__all__ = [
+    "fig2_throughput",
+    "fig3_throughput_nodes",
+    "fig4_psa_wrangler",
+    "fig5_psa_comet_wrangler",
+    "fig6_cpptraj",
+    "fig7_leaflet_approaches",
+    "fig8_broadcast",
+    "fig9_rp_leaflet",
+    "tables",
+    "report",
+]

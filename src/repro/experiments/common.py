@@ -1,0 +1,71 @@
+"""Shared helpers for the experiment drivers.
+
+Every ``figN_*`` module exposes:
+
+* ``modeled_rows()`` — the paper-scale configuration swept through the
+  calibrated performance model (this regenerates the published figure's
+  series), and
+* ``measured_rows()`` — a laptop-scale live run of the same code path on
+  the real substrates (small synthetic data, real wall clocks), used by
+  the pytest-benchmark harness and to sanity-check the model's shape.
+
+``main()`` prints both as aligned text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["format_rows", "print_rows", "standard_argparser", "geometric_factor"]
+
+
+def format_rows(rows: Sequence[Mapping], columns: Sequence[str] | None = None,
+                float_fmt: str = "{:.3f}") -> str:
+    """Render dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    def fmt(value):
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in table)) for i, col in enumerate(columns)]
+    lines = ["  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)),
+             "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in table]
+    return "\n".join(lines)
+
+
+def print_rows(title: str, rows: Sequence[Mapping],
+               columns: Sequence[str] | None = None) -> None:
+    """Print a titled table."""
+    print(f"\n== {title} ==")
+    print(format_rows(rows, columns))
+
+
+def standard_argparser(description: str) -> argparse.ArgumentParser:
+    """Argument parser shared by the experiment entry points."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--live", action="store_true",
+                        help="also run the laptop-scale live measurement")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker threads for live runs (default: 4)")
+    return parser
+
+
+def geometric_factor(values: Iterable[float]) -> float:
+    """Geometric mean ratio between consecutive values (sweep growth factor)."""
+    values = [float(v) for v in values]
+    if len(values) < 2:
+        raise ValueError("need at least two values")
+    ratios = [values[i + 1] / values[i] for i in range(len(values) - 1) if values[i] > 0]
+    if not ratios:
+        raise ValueError("values must be positive")
+    prod = 1.0
+    for r in ratios:
+        prod *= r
+    return prod ** (1.0 / len(ratios))

@@ -1,0 +1,74 @@
+"""Figure 2 — task throughput by framework on a single node.
+
+Paper setup: submit 16 ... 131072 zero-workload tasks (``/bin/hostname``)
+to RADICAL-Pilot, Spark and Dask on one Wrangler node and measure the
+total execution time and the sustained throughput.  Published findings:
+Dask is fastest and reaches the highest throughput, Spark is roughly an
+order of magnitude lower, RADICAL-Pilot plateaus below 100 tasks/s and
+could not run 32k or more tasks.
+
+``modeled_rows`` regenerates the paper-scale curve from the calibrated
+cost models; ``measured_rows`` submits real zero-workload tasks to the
+three substrates at laptop scale.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from ..frameworks import make_framework
+from ..perfmodel.throughput import PAPER_TASK_COUNTS, throughput_sweep
+from .common import print_rows, standard_argparser
+
+__all__ = ["modeled_rows", "measured_rows", "main"]
+
+#: task counts used for the laptop-scale live measurement
+LIVE_TASK_COUNTS = (16, 64, 256, 1024, 4096)
+
+
+def _noop(_value: int) -> int:
+    """The zero-workload task (the analogue of /bin/hostname)."""
+    return 0
+
+
+def modeled_rows(task_counts=None) -> List[dict]:
+    """Paper-scale modeled series (single Wrangler node)."""
+    points = throughput_sweep(frameworks=("spark", "dask", "pilot"),
+                              task_counts=task_counts or PAPER_TASK_COUNTS,
+                              nodes=1)
+    return [p.as_dict() for p in points]
+
+
+def measured_rows(task_counts=LIVE_TASK_COUNTS, workers: int = 4) -> List[dict]:
+    """Laptop-scale live measurement on the real substrates."""
+    rows: List[dict] = []
+    for name in ("sparklite", "dasklite", "pilot"):
+        for n in task_counts:
+            fw = make_framework(name, executor="threads", workers=workers)
+            start = time.perf_counter()
+            results = fw.map_tasks(_noop, list(range(n)))
+            elapsed = time.perf_counter() - start
+            assert len(results) == n
+            rows.append({
+                "framework": name,
+                "n_tasks": n,
+                "time_s": elapsed,
+                "throughput_tasks_per_s": n / elapsed if elapsed > 0 else float("inf"),
+            })
+            fw.close()
+    return rows
+
+
+def main(argv=None) -> None:
+    """Entry point: ``python -m repro.experiments.fig2_throughput``."""
+    args = standard_argparser(__doc__ or "figure 2").parse_args(argv)
+    print_rows("Figure 2 (modeled, paper scale): task throughput, single node",
+               modeled_rows(),
+               columns=["framework", "n_tasks", "time_s", "throughput_tasks_per_s", "supported"])
+    if args.live:
+        print_rows("Figure 2 (measured, laptop scale)", measured_rows(workers=args.workers))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,86 @@
+"""Figure 4 — PSA (Hausdorff) runtimes on Wrangler.
+
+Paper setup: ensembles of 128 and 256 trajectories of three sizes
+(small = 3341, medium = 6682, large = 13364 atoms/frame; 102 frames),
+run with MPI4py, Spark, Dask and RADICAL-Pilot on 16/1, 64/2 and 256/8
+cores/nodes of Wrangler.  Published findings: all frameworks perform
+similarly for this embarrassingly parallel workload, every framework
+scales by roughly a factor of 6 from 16 to 256 cores, MPI4py is fastest,
+and RADICAL-Pilot shows large variance due to database latency.
+
+``measured_rows`` runs the same code path live on reduced ensembles
+(scaled-down atom counts) across all four substrates and reports real
+wall-clock times.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.psa import run_psa
+from ..frameworks import make_framework
+from ..perfmodel.machines import WRANGLER
+from ..perfmodel.scaling import PAPER_PSA_CORE_COUNTS, psa_sweep
+from ..trajectory.generators import PAPER_PSA_SIZES, paper_psa_ensemble
+from .common import print_rows, standard_argparser
+
+__all__ = ["modeled_rows", "measured_rows", "main"]
+
+PAPER_FRAMEWORKS = ("mpi", "spark", "dask", "pilot")
+
+
+def modeled_rows(ensemble_sizes: Sequence[int] = (128, 256),
+                 trajectory_sizes: Sequence[str] = ("small", "medium", "large"),
+                 core_counts: Sequence[int] = PAPER_PSA_CORE_COUNTS) -> List[dict]:
+    """Paper-scale modeled grid: every cell of Figure 4."""
+    rows: List[dict] = []
+    for n_traj in ensemble_sizes:
+        for size in trajectory_sizes:
+            n_atoms = PAPER_PSA_SIZES[size]
+            for point in psa_sweep(frameworks=PAPER_FRAMEWORKS, machine=WRANGLER,
+                                   core_counts=core_counts,
+                                   n_trajectories=n_traj, n_atoms=n_atoms,
+                                   figure="fig4"):
+                row = point.as_dict()
+                row.update({"n_trajectories": n_traj, "trajectory_size": size})
+                rows.append(row)
+    return rows
+
+
+def measured_rows(n_trajectories: int = 12, size: str = "small",
+                  scale: float = 0.02, workers: int = 4,
+                  frameworks: Sequence[str] = ("mpilite", "sparklite", "dasklite", "pilot"),
+                  n_frames: int = 24) -> List[dict]:
+    """Laptop-scale live PSA on every substrate (same code path, small data)."""
+    ensemble = paper_psa_ensemble(size, n_trajectories, n_frames=n_frames, scale=scale)
+    rows: List[dict] = []
+    for name in frameworks:
+        fw = make_framework(name, executor="threads", workers=workers)
+        matrix, report = run_psa(ensemble, fw, n_tasks=workers * 2)
+        rows.append({
+            "framework": name,
+            "n_trajectories": n_trajectories,
+            "n_atoms": ensemble[0].n_atoms,
+            "n_frames": n_frames,
+            "n_tasks": report.n_tasks,
+            "wall_time_s": report.wall_time_s,
+            "overhead_s": report.metrics.overhead_s,
+            "max_distance": float(matrix.values.max()),
+        })
+        fw.close()
+    return rows
+
+
+def main(argv=None) -> None:
+    """Entry point: ``python -m repro.experiments.fig4_psa_wrangler``."""
+    args = standard_argparser(__doc__ or "figure 4").parse_args(argv)
+    rows = modeled_rows()
+    print_rows("Figure 4 (modeled, paper scale): PSA on Wrangler",
+               rows, columns=["n_trajectories", "trajectory_size", "framework",
+                              "cores", "nodes", "runtime_s", "speedup"])
+    if args.live:
+        print_rows("Figure 4 (measured, laptop scale)", measured_rows(workers=args.workers))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

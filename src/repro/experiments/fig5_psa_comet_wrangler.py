@@ -1,0 +1,75 @@
+"""Figure 5 — PSA runtime and speedup on Comet vs Wrangler.
+
+Paper setup: 128 large trajectories (13364 atoms/frame), all four
+frameworks, 16/64/256 cores on both machines.  Published findings: the
+frameworks behave similarly on both systems, Comet gives slightly better
+runtimes and higher speedups than Wrangler because Wrangler's extra slots
+are hyper-threads (half the nodes for the same core count), and MPI4py
+achieves the best speedup (~12 on Comet).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.psa import run_psa
+from ..frameworks import make_framework
+from ..perfmodel.machines import COMET, WRANGLER
+from ..perfmodel.scaling import PAPER_PSA_CORE_COUNTS, psa_sweep
+from ..trajectory.generators import PAPER_PSA_SIZES, paper_psa_ensemble
+from .common import print_rows, standard_argparser
+
+__all__ = ["modeled_rows", "measured_rows", "main"]
+
+PAPER_FRAMEWORKS = ("mpi", "spark", "dask", "pilot")
+
+
+def modeled_rows(core_counts: Sequence[int] = PAPER_PSA_CORE_COUNTS,
+                 n_trajectories: int = 128) -> List[dict]:
+    """Paper-scale modeled grid: both machines, 128 large trajectories."""
+    n_atoms = PAPER_PSA_SIZES["large"]
+    rows: List[dict] = []
+    for machine in (COMET, WRANGLER):
+        for point in psa_sweep(frameworks=PAPER_FRAMEWORKS, machine=machine,
+                               core_counts=core_counts,
+                               n_trajectories=n_trajectories, n_atoms=n_atoms,
+                               figure="fig5"):
+            rows.append(point.as_dict())
+    return rows
+
+
+def measured_rows(workers_grid: Sequence[int] = (1, 2, 4),
+                  n_trajectories: int = 10, scale: float = 0.02,
+                  n_frames: int = 24) -> List[dict]:
+    """Laptop-scale speedup curve: same workload, growing worker counts."""
+    ensemble = paper_psa_ensemble("large", n_trajectories, n_frames=n_frames, scale=scale)
+    rows: List[dict] = []
+    for name in ("mpilite", "dasklite"):
+        base = None
+        for workers in workers_grid:
+            fw = make_framework(name, executor="threads", workers=workers)
+            _matrix, report = run_psa(ensemble, fw, n_tasks=max(2, workers * 2))
+            if base is None:
+                base = report.wall_time_s
+            rows.append({
+                "framework": name,
+                "workers": workers,
+                "wall_time_s": report.wall_time_s,
+                "speedup": base / report.wall_time_s if report.wall_time_s > 0 else float("nan"),
+            })
+            fw.close()
+    return rows
+
+
+def main(argv=None) -> None:
+    """Entry point: ``python -m repro.experiments.fig5_psa_comet_wrangler``."""
+    args = standard_argparser(__doc__ or "figure 5").parse_args(argv)
+    print_rows("Figure 5 (modeled, paper scale): PSA, Comet vs Wrangler, 128 large",
+               modeled_rows(),
+               columns=["machine", "framework", "cores", "nodes", "runtime_s", "speedup"])
+    if args.live:
+        print_rows("Figure 5 (measured, laptop scale)", measured_rows())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

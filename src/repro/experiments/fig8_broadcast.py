@@ -1,0 +1,71 @@
+"""Figure 8 — broadcast-time breakdown of Leaflet Finder approach 1.
+
+Paper setup: approach 1 (broadcast + 1-D partitioning) on the 131k and
+262k atom systems, 32-256 cores, reporting total runtime and the
+broadcast time for Spark, Dask and MPI4py.  Published findings: broadcast
+time is 3-15% of the edge-discovery time for Spark, 40-65% for Dask and
+<1-10% for MPI; MPI's broadcast time grows linearly with the process
+count while Spark's and Dask's stay roughly constant; Dask could not
+broadcast the 524k system at all.
+
+``measured_rows`` times the broadcast and the map phase live on the real
+substrates and reports the same breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.leaflet import leaflet_broadcast_1d
+from ..frameworks import make_framework
+from ..perfmodel.scaling import model_broadcast_breakdown
+from ..trajectory.bilayer import BilayerSpec, make_bilayer
+from .common import print_rows, standard_argparser
+
+__all__ = ["modeled_rows", "measured_rows", "main"]
+
+
+def modeled_rows(atom_counts: Sequence[int] = (131_072, 262_144)) -> List[dict]:
+    """Paper-scale modeled breakdown (runtime + broadcast time)."""
+    return [p.as_dict() for p in model_broadcast_breakdown(atom_counts=atom_counts)]
+
+
+def measured_rows(n_atoms: int = 3000, cutoff: float = 15.0, n_tasks: int = 16,
+                  workers: int = 4,
+                  frameworks: Sequence[str] = ("sparklite", "dasklite", "mpilite")) -> List[dict]:
+    """Laptop-scale live broadcast/map breakdown for approach 1."""
+    positions, _labels = make_bilayer(BilayerSpec(n_atoms=n_atoms, seed=11))
+    rows: List[dict] = []
+    for name in frameworks:
+        fw = make_framework(name, executor="threads", workers=workers)
+        _result, report = leaflet_broadcast_1d(positions, cutoff, fw, n_tasks=n_tasks)
+        phases = {k: v for k, v in report.metrics.events if isinstance(v, float)}
+        broadcast_s = report.parameters.get("phase_broadcast_s", 0.0)
+        map_s = report.parameters.get("phase_map_s", 0.0)
+        rows.append({
+            "framework": name,
+            "n_atoms": n_atoms,
+            "wall_time_s": report.wall_time_s,
+            "broadcast_s": broadcast_s,
+            "map_s": map_s,
+            "broadcast_fraction_of_map": (broadcast_s / map_s) if map_s > 0 else float("nan"),
+            "bytes_broadcast": report.metrics.bytes_broadcast,
+        })
+        fw.close()
+        _ = phases
+    return rows
+
+
+def main(argv=None) -> None:
+    """Entry point: ``python -m repro.experiments.fig8_broadcast``."""
+    args = standard_argparser(__doc__ or "figure 8").parse_args(argv)
+    print_rows("Figure 8 (modeled, paper scale): approach-1 broadcast breakdown",
+               modeled_rows(),
+               columns=["framework", "workload", "cores", "runtime_s",
+                        "broadcast_s", "broadcast_fraction"])
+    if args.live:
+        print_rows("Figure 8 (measured, laptop scale)", measured_rows(workers=args.workers))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,61 @@
+"""Run every experiment and produce one consolidated report.
+
+``python -m repro.experiments.report`` prints the modeled (paper-scale)
+series for every figure and all three tables; ``--live`` adds the
+laptop-scale live measurements.  This is the single command a reviewer
+runs to regenerate the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from . import (
+    fig2_throughput,
+    fig3_throughput_nodes,
+    fig4_psa_wrangler,
+    fig5_psa_comet_wrangler,
+    fig6_cpptraj,
+    fig7_leaflet_approaches,
+    fig8_broadcast,
+    fig9_rp_leaflet,
+    tables,
+)
+from .common import print_rows, standard_argparser
+
+__all__ = ["main", "all_modeled"]
+
+FIGURES = {
+    "fig2": fig2_throughput,
+    "fig3": fig3_throughput_nodes,
+    "fig4": fig4_psa_wrangler,
+    "fig5": fig5_psa_comet_wrangler,
+    "fig6": fig6_cpptraj,
+    "fig7": fig7_leaflet_approaches,
+    "fig8": fig8_broadcast,
+    "fig9": fig9_rp_leaflet,
+}
+
+
+def all_modeled() -> dict:
+    """All modeled series keyed by figure id."""
+    return {name: module.modeled_rows() for name, module in FIGURES.items()}
+
+
+def main(argv=None) -> None:
+    """Entry point: ``python -m repro.experiments.report [--live]``."""
+    parser = standard_argparser(__doc__ or "report")
+    parser.add_argument("--figure", choices=sorted(FIGURES), default=None,
+                        help="only this figure (default: all)")
+    args = parser.parse_args(argv)
+    selected = {args.figure: FIGURES[args.figure]} if args.figure else FIGURES
+    for name, module in selected.items():
+        print_rows(f"{name} (modeled, paper scale)", module.modeled_rows())
+        if args.live:
+            print_rows(f"{name} (measured, laptop scale)", module.measured_rows())
+    if not args.figure:
+        for t in (1, 2, 3):
+            print(f"\n== Table {t} ==")
+            print(tables.render_table_text(t))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,61 @@
+"""Tables 1-3 — the paper's qualitative comparisons.
+
+* Table 1: framework properties (abstractions, schedulers, shuffle,
+  limitations),
+* Table 2: the MapReduce operations used by each Leaflet Finder approach,
+* Table 3: the decision framework (criteria and per-framework rankings).
+
+All three are encoded as data in :mod:`repro.core.characterization`; this
+driver renders them and, for Table 3, additionally demonstrates the
+recommendation logic on the two applications of the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..core.characterization import (
+    decision_framework_table,
+    framework_comparison_table,
+    leaflet_operations_table,
+    recommend_framework,
+)
+
+__all__ = ["render_table_text", "main"]
+
+
+def render_table_text(table: int) -> str:
+    """Render table 1, 2 or 3 as text."""
+    if table == 1:
+        return framework_comparison_table()
+    if table == 2:
+        return leaflet_operations_table()
+    if table == 3:
+        text = decision_framework_table()
+        psa_pick = recommend_framework({"python_native_code": 1.0, "task_api": 1.0,
+                                        "mpi_hpc_tasks": 0.5})
+        lf_pick = recommend_framework({"shuffle": 1.0, "broadcast": 1.0,
+                                       "large_number_of_tasks": 1.0,
+                                       "higher_level_abstraction": 0.5})
+        text += "\n\nrecommendation for PSA-like (coarse-grained, Python-native) workloads:\n"
+        text += "  " + ", ".join(f"{fw}={score:.2f}" for fw, score in psa_pick)
+        text += "\nrecommendation for LeafletFinder-like (shuffle-heavy, fine-grained) workloads:\n"
+        text += "  " + ", ".join(f"{fw}={score:.2f}" for fw, score in lf_pick)
+        return text
+    raise ValueError("table must be 1, 2 or 3")
+
+
+def main(argv=None) -> None:
+    """Entry point: ``python -m repro.experiments.tables [--table N]``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--table", type=int, choices=(1, 2, 3), default=None,
+                        help="render only this table (default: all)")
+    args = parser.parse_args(argv)
+    tables = [args.table] if args.table else [1, 2, 3]
+    for t in tables:
+        print(f"\n== Table {t} ==")
+        print(render_table_text(t))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,184 @@
+"""Common framework interface and run metrics.
+
+The paper compares four task-parallel substrates.  To let the algorithms
+in :mod:`repro.core` run unchanged on every substrate, each substrate
+exposes the same minimal surface:
+
+* ``name`` — the framework's identity ("sparklite", "dasklite", "pilot",
+  "mpilite"),
+* ``map_tasks(fn, items)`` — run a bag of independent tasks and return
+  results in order (the task-API / map-only pattern used by PSA and
+  Leaflet Finder approach 2),
+* ``broadcast(value)`` — make a value available to every task, returning a
+  handle with byte accounting (approach 1),
+* ``metrics`` — a :class:`RunMetrics` accumulating task counts, overheads
+  and communication volumes for the most recent operation.
+
+Richer, framework-specific APIs (RDDs, bags, delayed graphs, compute
+units, communicators) remain available on the concrete classes — the
+algorithms use them where the paper's implementation did.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Sequence
+
+from .cluster import ClusterSpec, local_cluster
+from .executors import ExecutorBase, SerialExecutor, make_executor
+from .serialization import nbytes_of
+
+__all__ = ["RunMetrics", "BroadcastHandle", "TaskFramework"]
+
+
+@dataclass
+class RunMetrics:
+    """Accumulated measurements for one framework operation.
+
+    Attributes
+    ----------
+    tasks_submitted / tasks_completed:
+        Task counts.
+    wall_time_s:
+        End-to-end wall clock of the operation.
+    task_time_s:
+        Sum of the individual task durations (useful work + per-task
+        overhead inside workers).
+    overhead_s:
+        Framework overhead: wall time not attributable to the critical
+        path of useful work (estimated as ``wall - task_time/workers``).
+    bytes_broadcast / bytes_shuffled / bytes_staged:
+        Communication volumes, measured with
+        :func:`repro.frameworks.serialization.nbytes_of` /
+        ``serialized_size`` depending on the substrate.
+    events:
+        Free-form ``(label, value)`` pairs recorded by substrates
+        (e.g. per-stage timings, database round-trips).
+    """
+
+    tasks_submitted: int = 0
+    tasks_completed: int = 0
+    wall_time_s: float = 0.0
+    task_time_s: float = 0.0
+    overhead_s: float = 0.0
+    bytes_broadcast: int = 0
+    bytes_shuffled: int = 0
+    bytes_staged: int = 0
+    events: List[tuple] = field(default_factory=list)
+
+    def record_event(self, label: str, value: Any) -> None:
+        """Append a free-form measurement."""
+        self.events.append((label, value))
+
+    def merge(self, other: "RunMetrics") -> "RunMetrics":
+        """Combine two metric records (used when an algorithm runs stages)."""
+        merged = RunMetrics(
+            tasks_submitted=self.tasks_submitted + other.tasks_submitted,
+            tasks_completed=self.tasks_completed + other.tasks_completed,
+            wall_time_s=self.wall_time_s + other.wall_time_s,
+            task_time_s=self.task_time_s + other.task_time_s,
+            overhead_s=self.overhead_s + other.overhead_s,
+            bytes_broadcast=self.bytes_broadcast + other.bytes_broadcast,
+            bytes_shuffled=self.bytes_shuffled + other.bytes_shuffled,
+            bytes_staged=self.bytes_staged + other.bytes_staged,
+            events=self.events + other.events,
+        )
+        return merged
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reports."""
+        return {
+            "tasks_submitted": self.tasks_submitted,
+            "tasks_completed": self.tasks_completed,
+            "wall_time_s": self.wall_time_s,
+            "task_time_s": self.task_time_s,
+            "overhead_s": self.overhead_s,
+            "bytes_broadcast": self.bytes_broadcast,
+            "bytes_shuffled": self.bytes_shuffled,
+            "bytes_staged": self.bytes_staged,
+        }
+
+
+@dataclass
+class BroadcastHandle:
+    """Handle to a broadcast value plus its measured size.
+
+    ``value`` is accessible from every task (all substrates here share an
+    address space or re-ship the value to worker processes); ``nbytes``
+    records how much data a distributed deployment would have had to move
+    to every node.
+    """
+
+    value: Any
+    nbytes: int
+    framework: str = ""
+
+    def unpersist(self) -> None:
+        """Drop the reference to the underlying value."""
+        self.value = None
+
+
+class TaskFramework:
+    """Base class for the four substrates.
+
+    Parameters
+    ----------
+    cluster:
+        The resources the framework is "deployed" on; defaults to a
+        single-node local cluster sized to the executor's worker count.
+    executor:
+        Physical task executor ("serial", "threads", "processes" or an
+        :class:`ExecutorBase` instance).
+    """
+
+    name = "base"
+
+    def __init__(self, cluster: ClusterSpec | None = None,
+                 executor: str | ExecutorBase = "serial",
+                 workers: int | None = None) -> None:
+        if isinstance(executor, ExecutorBase):
+            self.executor = executor
+        else:
+            self.executor = make_executor(executor, workers)
+        self.cluster = cluster or local_cluster(cores=self.executor.workers)
+        self.metrics = RunMetrics()
+
+    # ------------------------------------------------------------------ #
+    # the uniform surface used by repro.core
+    # ------------------------------------------------------------------ #
+    def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Run independent tasks and return their results in input order."""
+        items = list(items)
+        self.metrics = RunMetrics(tasks_submitted=len(items))
+        start = time.perf_counter()
+        results = self._run_tasks(fn, items)
+        wall = time.perf_counter() - start
+        task_time = self.executor.total_task_time
+        self.metrics.tasks_completed = len(results)
+        self.metrics.wall_time_s = wall
+        self.metrics.task_time_s = task_time
+        workers = max(1, self.executor.workers)
+        self.metrics.overhead_s = max(0.0, wall - task_time / workers)
+        return results
+
+    def broadcast(self, value: Any) -> BroadcastHandle:
+        """Make ``value`` available to all tasks; record its size."""
+        handle = BroadcastHandle(value=value, nbytes=nbytes_of(value),
+                                 framework=self.name)
+        self.metrics.bytes_broadcast += handle.nbytes
+        return handle
+
+    # ------------------------------------------------------------------ #
+    def _run_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Substrate-specific execution; default delegates to the executor."""
+        return self.executor.map_tasks(fn, items)
+
+    def close(self) -> None:
+        """Release executor resources."""
+        self.executor.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<{type(self).__name__} on {self.cluster.name}: "
+                f"{self.cluster.total_cores} cores, "
+                f"executor={type(self.executor).__name__}>")

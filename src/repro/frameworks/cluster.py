@@ -1,0 +1,93 @@
+"""Cluster resource model.
+
+The paper runs on two XSEDE machines — SDSC Comet (24 Haswell cores and
+128 GB per node) and TACC Wrangler (24 hyper-threaded Haswell cores, i.e.
+48 hardware threads, and 128 GB per node) — using up to 10 nodes.  All
+frameworks in this package describe the resources they run on with a
+:class:`ClusterSpec`; the perfmodel extends it with machine-specific cost
+constants (see :mod:`repro.perfmodel.machines`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ClusterSpec", "local_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster allocation.
+
+    Attributes
+    ----------
+    nodes:
+        Number of allocated nodes.
+    cores_per_node:
+        Physical cores per node.
+    memory_per_node_gb:
+        Usable memory per node in GB.
+    hyperthreads_per_core:
+        Hardware threads per core (2 on Wrangler, 1 on Comet).  The paper
+        observes that scheduling onto hyperthreads yields lower speedups
+        than onto physical cores; the perfmodel uses this factor for that
+        effect.
+    name:
+        Label used in reports ("comet", "wrangler", "local", ...).
+    """
+
+    nodes: int = 1
+    cores_per_node: int = 4
+    memory_per_node_gb: float = 8.0
+    hyperthreads_per_core: int = 1
+    name: str = "local"
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.cores_per_node < 1:
+            raise ValueError("cores_per_node must be >= 1")
+        if self.memory_per_node_gb <= 0:
+            raise ValueError("memory_per_node_gb must be positive")
+        if self.hyperthreads_per_core < 1:
+            raise ValueError("hyperthreads_per_core must be >= 1")
+
+    @property
+    def total_cores(self) -> int:
+        """Total physical cores in the allocation."""
+        return self.nodes * self.cores_per_node
+
+    @property
+    def total_slots(self) -> int:
+        """Total schedulable slots (cores x hyperthreads)."""
+        return self.total_cores * self.hyperthreads_per_core
+
+    @property
+    def total_memory_gb(self) -> float:
+        """Total memory in the allocation (GB)."""
+        return self.nodes * self.memory_per_node_gb
+
+    def with_nodes(self, nodes: int) -> "ClusterSpec":
+        """Return a copy with a different node count."""
+        return ClusterSpec(nodes=nodes, cores_per_node=self.cores_per_node,
+                           memory_per_node_gb=self.memory_per_node_gb,
+                           hyperthreads_per_core=self.hyperthreads_per_core,
+                           name=self.name)
+
+    def for_cores(self, cores: int) -> "ClusterSpec":
+        """Return the smallest allocation of whole nodes providing ``cores`` slots.
+
+        Mirrors how the paper reports runs as "cores/nodes" pairs
+        (e.g. 256/8 on Wrangler where a node exposes 32 slots used).
+        """
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        per_node = self.cores_per_node * self.hyperthreads_per_core
+        nodes = max(1, -(-cores // per_node))  # ceil division
+        return self.with_nodes(nodes)
+
+
+def local_cluster(cores: int = 4, memory_gb: float = 8.0) -> ClusterSpec:
+    """A single-node "cluster" describing the local machine."""
+    return ClusterSpec(nodes=1, cores_per_node=cores, memory_per_node_gb=memory_gb,
+                       hyperthreads_per_core=1, name="local")

@@ -1,0 +1,31 @@
+"""dasklite: a Dask-style substrate (delayed graphs, bags, client/futures)."""
+
+from .bag import Bag, from_sequence
+from .delayed import Delayed, compute, delayed
+from .distributed import DaskLiteClient, Future, ScatteredData
+from .graph import GraphError, KeyRef, TaskGraph, TaskSpec
+from .scheduler import (
+    SchedulerBase,
+    SynchronousScheduler,
+    ThreadedScheduler,
+    get_scheduler,
+)
+
+__all__ = [
+    "DaskLiteClient",
+    "Future",
+    "ScatteredData",
+    "Delayed",
+    "delayed",
+    "compute",
+    "Bag",
+    "from_sequence",
+    "TaskGraph",
+    "TaskSpec",
+    "KeyRef",
+    "GraphError",
+    "SchedulerBase",
+    "SynchronousScheduler",
+    "ThreadedScheduler",
+    "get_scheduler",
+]

@@ -1,0 +1,150 @@
+"""Dask-Bag-style collection API.
+
+Dask Bags are the MapReduce-flavoured collection the paper mentions as the
+functional abstraction of Dask ("Dask Bags are similar to Spark RDDs").
+A :class:`Bag` is a partitioned, lazily evaluated collection built on top
+of the delayed/task-graph machinery; ``map``/``filter``/``map_partitions``
+are narrow, ``fold``/``frequencies``/``groupby`` perform a concat-style
+reduction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Hashable, Iterable, List, Sequence
+
+from ..sparklite.partitioner import split_into_partitions
+from .graph import KeyRef, TaskGraph, TaskSpec
+from .scheduler import SchedulerBase, get_scheduler
+
+__all__ = ["Bag", "from_sequence"]
+
+_bag_counter = itertools.count()
+
+
+class Bag:
+    """A partitioned collection with lazy element-wise operations.
+
+    Internally every partition is one node of a task graph; operations add
+    new layers of nodes.  ``compute`` culls and executes the graph.
+    """
+
+    def __init__(self, graph: TaskGraph, partition_keys: Sequence[Hashable]) -> None:
+        if not partition_keys:
+            raise ValueError("a Bag needs at least one partition")
+        self._graph = graph
+        self._partition_keys = list(partition_keys)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def npartitions(self) -> int:
+        """Number of partitions."""
+        return len(self._partition_keys)
+
+    def _derive(self, fn: Callable[[List[Any]], List[Any]], label: str) -> "Bag":
+        """Add one task per partition applying ``fn`` to the partition list."""
+        new_keys = []
+        bag_id = next(_bag_counter)
+        for i, key in enumerate(self._partition_keys):
+            new_key = f"{label}-{bag_id}-{i}"
+            self._graph.add_task(new_key, TaskSpec(fn, (KeyRef(key),)))
+            new_keys.append(new_key)
+        return Bag(self._graph, new_keys)
+
+    # ------------------------------------------------------------------ #
+    # element-wise (narrow) operations
+    # ------------------------------------------------------------------ #
+    def map(self, fn: Callable[[Any], Any]) -> "Bag":
+        """Apply ``fn`` to every element."""
+        return self._derive(lambda part: [fn(x) for x in part], "map")
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "Bag":
+        """Keep elements satisfying ``predicate``."""
+        return self._derive(lambda part: [x for x in part if predicate(x)], "filter")
+
+    def flatten(self) -> "Bag":
+        """Concatenate element iterables inside each partition."""
+        return self._derive(
+            lambda part: [x for sub in part for x in sub], "flatten"
+        )
+
+    def map_partitions(self, fn: Callable[[List[Any]], Iterable[Any]]) -> "Bag":
+        """Apply ``fn`` to whole partitions."""
+        return self._derive(lambda part: list(fn(part)), "map_partitions")
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def fold(self, binop: Callable[[Any, Any], Any], initial: Any = None,
+             scheduler: str | SchedulerBase = "sync", workers: int = 4) -> Any:
+        """Reduce all elements with ``binop`` (tree reduction over partitions).
+
+        ``initial`` is applied exactly once (to the final combine), so
+        ``fold(add, initial=100)`` adds 100 to the total regardless of the
+        partition count.
+        """
+        partials = []
+        for part in self._compute_partitions(scheduler, workers):
+            iterator = iter(part)
+            try:
+                acc = next(iterator)
+            except StopIteration:
+                continue
+            for item in iterator:
+                acc = binop(acc, item)
+            partials.append(acc)
+        if not partials:
+            if initial is not None:
+                return initial
+            raise ValueError("fold() of an empty Bag with no initial value")
+        result = initial if initial is not None else partials[0]
+        for value in (partials if initial is not None else partials[1:]):
+            result = binop(result, value)
+        return result
+
+    def frequencies(self, scheduler: str | SchedulerBase = "sync", workers: int = 4) -> dict:
+        """Count occurrences of each distinct element."""
+        counts: dict = {}
+        for part in self._compute_partitions(scheduler, workers):
+            for item in part:
+                counts[item] = counts.get(item, 0) + 1
+        return counts
+
+    def groupby(self, key_fn: Callable[[Any], Hashable],
+                scheduler: str | SchedulerBase = "sync", workers: int = 4) -> dict:
+        """Group elements by ``key_fn`` (materializes the bag)."""
+        groups: dict = {}
+        for part in self._compute_partitions(scheduler, workers):
+            for item in part:
+                groups.setdefault(key_fn(item), []).append(item)
+        return groups
+
+    def count(self, scheduler: str | SchedulerBase = "sync", workers: int = 4) -> int:
+        """Number of elements."""
+        return sum(len(part) for part in self._compute_partitions(scheduler, workers))
+
+    # ------------------------------------------------------------------ #
+    def _compute_partitions(self, scheduler: str | SchedulerBase = "sync",
+                            workers: int = 4) -> List[List[Any]]:
+        sched = scheduler if isinstance(scheduler, SchedulerBase) else get_scheduler(scheduler, workers)
+        results = sched.execute(self._graph, self._partition_keys)
+        return [results[key] for key in self._partition_keys]
+
+    def compute(self, scheduler: str | SchedulerBase = "sync", workers: int = 4) -> List[Any]:
+        """Materialize the bag as a flat list."""
+        return [x for part in self._compute_partitions(scheduler, workers) for x in part]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Bag npartitions={self.npartitions}>"
+
+
+def from_sequence(data: Sequence[Any], npartitions: int = 4) -> Bag:
+    """Create a Bag from a driver-side sequence."""
+    graph = TaskGraph()
+    keys = []
+    bag_id = next(_bag_counter)
+    for i, chunk in enumerate(split_into_partitions(list(data), npartitions)):
+        key = f"from_sequence-{bag_id}-{i}"
+        graph.add_literal(key, chunk)
+        keys.append(key)
+    return Bag(graph, keys)

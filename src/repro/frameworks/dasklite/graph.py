@@ -1,0 +1,207 @@
+"""Task graphs.
+
+Dask represents computations as a dict-like task graph: every key maps to
+either a literal value or a ``(callable, arg_keys...)`` spec.  The graph is
+a DAG; Dask's scheduler executes a task as soon as its dependencies are
+satisfied (no stage barrier).  This module provides the graph container,
+dependency extraction, topological ordering and cycle detection used by
+both the delayed API and the Bag API.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Set, Tuple
+
+__all__ = ["TaskSpec", "TaskGraph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised for malformed task graphs (cycles, missing keys)."""
+
+
+class TaskSpec:
+    """A single node: ``fn(*args)`` where args may reference other keys.
+
+    Arguments that are :class:`KeyRef` instances are resolved to the value
+    of the referenced key at execution time; everything else is passed
+    through literally.
+    """
+
+    def __init__(self, fn: Callable[..., Any], args: Tuple[Any, ...] = (),
+                 kwargs: Mapping[str, Any] | None = None) -> None:
+        if not callable(fn):
+            raise TypeError("TaskSpec fn must be callable")
+        self.fn = fn
+        self.args = tuple(args)
+        self.kwargs = dict(kwargs or {})
+
+    def dependencies(self) -> Set[Hashable]:
+        """Keys of other graph nodes this task depends on."""
+        deps: Set[Hashable] = set()
+        for value in list(self.args) + list(self.kwargs.values()):
+            deps |= _refs_in(value)
+        return deps
+
+    def resolve(self, results: Mapping[Hashable, Any]) -> Any:
+        """Execute the task given the results of its dependencies."""
+        args = [_substitute(a, results) for a in self.args]
+        kwargs = {k: _substitute(v, results) for k, v in self.kwargs.items()}
+        return self.fn(*args, **kwargs)
+
+
+class KeyRef:
+    """A reference to another key in the graph."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KeyRef({self.key!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KeyRef) and other.key == self.key
+
+    def __hash__(self) -> int:
+        return hash(("KeyRef", self.key))
+
+
+def _refs_in(value: Any) -> Set[Hashable]:
+    if isinstance(value, KeyRef):
+        return {value.key}
+    if isinstance(value, (list, tuple)):
+        out: Set[Hashable] = set()
+        for item in value:
+            out |= _refs_in(item)
+        return out
+    if isinstance(value, dict):
+        out = set()
+        for item in value.values():
+            out |= _refs_in(item)
+        return out
+    return set()
+
+
+def _substitute(value: Any, results: Mapping[Hashable, Any]) -> Any:
+    if isinstance(value, KeyRef):
+        return results[value.key]
+    if isinstance(value, list):
+        return [_substitute(v, results) for v in value]
+    if isinstance(value, tuple):
+        return tuple(_substitute(v, results) for v in value)
+    if isinstance(value, dict):
+        return {k: _substitute(v, results) for k, v in value.items()}
+    return value
+
+
+class TaskGraph:
+    """A DAG of :class:`TaskSpec` nodes and literal values."""
+
+    def __init__(self) -> None:
+        self._tasks: Dict[Hashable, TaskSpec] = {}
+        self._literals: Dict[Hashable, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    def add_literal(self, key: Hashable, value: Any) -> None:
+        """Insert a pre-computed value under ``key``."""
+        if key in self._tasks or key in self._literals:
+            raise GraphError(f"duplicate graph key {key!r}")
+        self._literals[key] = value
+
+    def add_task(self, key: Hashable, spec: TaskSpec) -> None:
+        """Insert a task node under ``key``."""
+        if key in self._tasks or key in self._literals:
+            raise GraphError(f"duplicate graph key {key!r}")
+        self._tasks[key] = spec
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._tasks or key in self._literals
+
+    def __len__(self) -> int:
+        return len(self._tasks) + len(self._literals)
+
+    @property
+    def task_keys(self) -> List[Hashable]:
+        """Keys of task (non-literal) nodes."""
+        return list(self._tasks)
+
+    @property
+    def literal_keys(self) -> List[Hashable]:
+        """Keys of literal nodes."""
+        return list(self._literals)
+
+    def spec(self, key: Hashable) -> TaskSpec:
+        """The :class:`TaskSpec` under ``key``."""
+        return self._tasks[key]
+
+    def literal(self, key: Hashable) -> Any:
+        """The literal value under ``key``."""
+        return self._literals[key]
+
+    def is_literal(self, key: Hashable) -> bool:
+        """True if ``key`` names a literal value."""
+        return key in self._literals
+
+    # ------------------------------------------------------------------ #
+    def dependencies(self, key: Hashable) -> Set[Hashable]:
+        """Keys this node depends on (empty for literals)."""
+        if key in self._literals:
+            return set()
+        spec = self._tasks.get(key)
+        if spec is None:
+            raise GraphError(f"unknown graph key {key!r}")
+        deps = spec.dependencies()
+        missing = [d for d in deps if d not in self]
+        if missing:
+            raise GraphError(f"task {key!r} depends on missing keys {missing}")
+        return deps
+
+    def dependents(self) -> Dict[Hashable, Set[Hashable]]:
+        """Reverse dependency map: key -> set of keys that need it."""
+        out: Dict[Hashable, Set[Hashable]] = {k: set() for k in list(self._tasks) + list(self._literals)}
+        for key in self._tasks:
+            for dep in self.dependencies(key):
+                out[dep].add(key)
+        return out
+
+    def topological_order(self, targets: Iterable[Hashable] | None = None) -> List[Hashable]:
+        """Keys in an order where dependencies come before dependents.
+
+        When ``targets`` is given only the keys needed to compute the
+        targets are returned (graph culling, as Dask performs).  Raises
+        :class:`GraphError` on cycles.
+        """
+        if targets is None:
+            needed = set(self._tasks) | set(self._literals)
+        else:
+            needed = set()
+            stack = list(targets)
+            while stack:
+                key = stack.pop()
+                if key in needed:
+                    continue
+                if key not in self:
+                    raise GraphError(f"unknown graph key {key!r}")
+                needed.add(key)
+                stack.extend(self.dependencies(key))
+        indegree: Dict[Hashable, int] = {}
+        dependents: Dict[Hashable, Set[Hashable]] = {k: set() for k in needed}
+        for key in needed:
+            deps = self.dependencies(key) & needed
+            indegree[key] = len(deps)
+            for dep in deps:
+                dependents[dep].add(key)
+        queue = deque(sorted((k for k, deg in indegree.items() if deg == 0), key=repr))
+        order: List[Hashable] = []
+        while queue:
+            key = queue.popleft()
+            order.append(key)
+            for child in sorted(dependents[key], key=repr):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        if len(order) != len(needed):
+            raise GraphError("task graph contains a cycle")
+        return order

@@ -1,0 +1,13 @@
+"""mpilite: an MPI-style SPMD substrate (communicator, collectives, runtime)."""
+
+from .comm import Communicator, ReduceOp, WorldContext
+from .runtime import MPIFramework, SPMDError, run_spmd
+
+__all__ = [
+    "MPIFramework",
+    "Communicator",
+    "WorldContext",
+    "ReduceOp",
+    "run_spmd",
+    "SPMDError",
+]

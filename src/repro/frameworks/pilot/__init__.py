@@ -1,0 +1,29 @@
+"""pilot: a RADICAL-Pilot-style substrate (pilots, compute units, DB-mediated state)."""
+
+from .agent import AgentStats, PilotAgent
+from .database import DatabaseStats, StateDatabase
+from .pilot import (
+    Pilot,
+    PilotDescription,
+    PilotFramework,
+    PilotManager,
+    Session,
+    UnitManager,
+)
+from .units import ComputeUnit, ComputeUnitDescription, UnitState
+
+__all__ = [
+    "PilotFramework",
+    "Pilot",
+    "PilotDescription",
+    "PilotManager",
+    "UnitManager",
+    "Session",
+    "ComputeUnit",
+    "ComputeUnitDescription",
+    "UnitState",
+    "PilotAgent",
+    "AgentStats",
+    "StateDatabase",
+    "DatabaseStats",
+]

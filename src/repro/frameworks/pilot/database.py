@@ -1,0 +1,165 @@
+"""Simulated coordination database.
+
+RADICAL-Pilot coordinates its client and agent through a MongoDB
+instance: unit descriptions, state transitions and results all pass
+through the database.  The paper attributes RP's low task throughput and
+its large runtime variance directly to these round trips ("It relies on a
+MongoDB to communicate between Client and Agent ... introduce delays in
+the execution of the tasks").
+
+:class:`StateDatabase` reproduces that architecture: an in-process
+document store where every operation (insert, update, query) charges a
+configurable latency and counts round trips.  Setting the latency to zero
+turns it into a plain dict store for fast unit tests; the calibrated
+perfmodel uses realistic values to regenerate the throughput ceiling of
+Figures 2 and 3.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["DatabaseStats", "StateDatabase"]
+
+
+@dataclass
+class DatabaseStats:
+    """Operation counters for one database instance."""
+
+    inserts: int = 0
+    updates: int = 0
+    queries: int = 0
+    round_trips: int = 0
+    simulated_latency_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for metric events."""
+        return {
+            "inserts": self.inserts,
+            "updates": self.updates,
+            "queries": self.queries,
+            "round_trips": self.round_trips,
+            "simulated_latency_s": self.simulated_latency_s,
+        }
+
+
+class StateDatabase:
+    """An in-process document store with per-operation latency.
+
+    Parameters
+    ----------
+    latency_s:
+        Time charged per round trip.  ``0.0`` (default) performs no sleep
+        and only counts operations; positive values sleep, letting live
+        experiments feel the coordination cost.
+    batch_size:
+        Maximum number of documents returned by one ``pull`` round trip —
+        RP's agent pulls units in batches, so throughput is bounded by
+        ``batch_size / latency``.
+    """
+
+    def __init__(self, latency_s: float = 0.0, batch_size: int = 128) -> None:
+        if latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.latency_s = float(latency_s)
+        self.batch_size = int(batch_size)
+        self.stats = DatabaseStats()
+        self._documents: Dict[str, dict] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def _round_trip(self) -> None:
+        self.stats.round_trips += 1
+        if self.latency_s > 0:
+            time.sleep(self.latency_s)
+            self.stats.simulated_latency_s += self.latency_s
+
+    # ------------------------------------------------------------------ #
+    def insert(self, uid: str, document: dict) -> None:
+        """Insert a new document (one round trip)."""
+        with self._lock:
+            if uid in self._documents:
+                raise KeyError(f"document {uid!r} already exists")
+            self._documents[uid] = dict(document)
+            self.stats.inserts += 1
+        self._round_trip()
+
+    def insert_many(self, documents: Dict[str, dict]) -> None:
+        """Bulk insert (a single round trip, as RP's client batches submissions)."""
+        with self._lock:
+            for uid, doc in documents.items():
+                if uid in self._documents:
+                    raise KeyError(f"document {uid!r} already exists")
+                self._documents[uid] = dict(doc)
+            self.stats.inserts += len(documents)
+        self._round_trip()
+
+    def update(self, uid: str, fields: dict) -> None:
+        """Update fields of a document (one round trip)."""
+        with self._lock:
+            if uid not in self._documents:
+                raise KeyError(f"unknown document {uid!r}")
+            self._documents[uid].update(fields)
+            self.stats.updates += 1
+        self._round_trip()
+
+    def update_many(self, updates: Dict[str, dict]) -> None:
+        """Bulk update (a single round trip)."""
+        with self._lock:
+            for uid, fields in updates.items():
+                if uid not in self._documents:
+                    raise KeyError(f"unknown document {uid!r}")
+                self._documents[uid].update(fields)
+            self.stats.updates += len(updates)
+        self._round_trip()
+
+    def get(self, uid: str) -> dict:
+        """Fetch one document (one round trip)."""
+        with self._lock:
+            if uid not in self._documents:
+                raise KeyError(f"unknown document {uid!r}")
+            doc = dict(self._documents[uid])
+            self.stats.queries += 1
+        self._round_trip()
+        return doc
+
+    def pull(self, filter_field: str, filter_value: Any,
+             limit: Optional[int] = None) -> List[dict]:
+        """Fetch up to ``limit`` documents matching ``field == value``.
+
+        Used by the agent to pull schedulable units; each call is one round
+        trip regardless of how many documents it returns (capped at
+        ``batch_size``).
+        """
+        cap = self.batch_size if limit is None else min(limit, self.batch_size)
+        with self._lock:
+            matches = [
+                dict(doc, uid=uid)
+                for uid, doc in self._documents.items()
+                if doc.get(filter_field) == filter_value
+            ][:cap]
+            self.stats.queries += 1
+        self._round_trip()
+        return matches
+
+    def count(self, filter_field: str | None = None, filter_value: Any = None) -> int:
+        """Count documents, optionally filtered (one round trip)."""
+        with self._lock:
+            if filter_field is None:
+                result = len(self._documents)
+            else:
+                result = sum(1 for doc in self._documents.values()
+                             if doc.get(filter_field) == filter_value)
+            self.stats.queries += 1
+        self._round_trip()
+        return result
+
+    def drop(self) -> None:
+        """Remove all documents (session teardown)."""
+        with self._lock:
+            self._documents.clear()

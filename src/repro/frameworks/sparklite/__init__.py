@@ -1,0 +1,26 @@
+"""sparklite: a Spark-style substrate (RDDs, stages, shuffle, broadcast)."""
+
+from .broadcast import Broadcast
+from .context import SparkLiteContext
+from .dag import DAGScheduler, StageInfo
+from .partitioner import HashPartitioner, RangePartitioner, split_into_partitions
+from .rdd import RDD, MapPartitionsRDD, ParallelCollectionRDD, ShuffledRDD, UnionRDD
+from .shuffle import ShuffleResult, combine_by_key, shuffle_partitions
+
+__all__ = [
+    "SparkLiteContext",
+    "RDD",
+    "ParallelCollectionRDD",
+    "MapPartitionsRDD",
+    "ShuffledRDD",
+    "UnionRDD",
+    "Broadcast",
+    "DAGScheduler",
+    "StageInfo",
+    "HashPartitioner",
+    "RangePartitioner",
+    "split_into_partitions",
+    "ShuffleResult",
+    "shuffle_partitions",
+    "combine_by_key",
+]

@@ -1,0 +1,138 @@
+"""Stage-oriented DAG scheduler.
+
+Spark's ``DAGScheduler`` translates an RDD lineage into stages separated
+by shuffle boundaries and executes them one after the other; a stage must
+finish completely before the next one starts (the synchronization point
+the paper contrasts with Dask's scheduler).  This module implements that
+behaviour:
+
+1. walk the lineage of the action's RDD and collect every un-materialized
+   :class:`~repro.frameworks.sparklite.rdd.ShuffledRDD` ancestor in
+   topological order,
+2. for each, run a *map stage* over the parent's partitions, shuffle the
+   keyed outputs into reduce-side buckets (measuring the shuffled bytes)
+   and mark the ShuffledRDD materialized,
+3. run the *result stage* over the final RDD's partitions.
+
+Each stage is executed by the framework's task executor with one task per
+partition.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, TYPE_CHECKING
+
+from ..executors import ExecutorBase
+from .rdd import RDD, ShuffledRDD
+from .shuffle import shuffle_partitions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import SparkLiteContext
+
+__all__ = ["StageInfo", "DAGScheduler"]
+
+
+class StageInfo:
+    """Book-keeping for one executed stage."""
+
+    def __init__(self, stage_id: int, kind: str, rdd: RDD, num_tasks: int) -> None:
+        self.stage_id = stage_id
+        self.kind = kind           # "shuffle-map" or "result"
+        self.rdd_id = rdd.id
+        self.num_tasks = num_tasks
+        self.duration_s = 0.0
+        self.bytes_shuffled = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for metrics events."""
+        return {
+            "stage_id": self.stage_id,
+            "kind": self.kind,
+            "rdd_id": self.rdd_id,
+            "num_tasks": self.num_tasks,
+            "duration_s": self.duration_s,
+            "bytes_shuffled": self.bytes_shuffled,
+        }
+
+
+class DAGScheduler:
+    """Executes RDD lineages stage by stage."""
+
+    def __init__(self, context: "SparkLiteContext", executor: ExecutorBase) -> None:
+        self.context = context
+        self.executor = executor
+        self.stages: List[StageInfo] = []
+        self._stage_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # partition access used by narrow RDD lineage
+    # ------------------------------------------------------------------ #
+    def partition_of(self, rdd: RDD, index: int) -> List[Any]:
+        """Contents of ``rdd`` partition ``index`` honouring the cache."""
+        if rdd.is_cached and rdd._cached_partitions is not None:
+            cached = rdd._cached_partitions[index]
+            if cached is not None:
+                return cached
+        data = rdd.compute_partition(index)
+        if rdd.is_cached:
+            if rdd._cached_partitions is None:
+                rdd._cached_partitions = [None] * rdd.num_partitions  # type: ignore[list-item]
+            rdd._cached_partitions[index] = data
+        return data
+
+    # ------------------------------------------------------------------ #
+    def run(self, rdd: RDD) -> List[List[Any]]:
+        """Materialize every partition of ``rdd`` and return them in order."""
+        for shuffle_rdd in self._pending_shuffles(rdd):
+            self._run_shuffle_stage(shuffle_rdd)
+        return self._run_result_stage(rdd)
+
+    # ------------------------------------------------------------------ #
+    def _pending_shuffles(self, rdd: RDD) -> List[ShuffledRDD]:
+        """Un-materialized ShuffledRDD ancestors in dependency order."""
+        ordered: List[ShuffledRDD] = []
+        seen: set[int] = set()
+
+        def visit(node: RDD) -> None:
+            if node.id in seen:
+                return
+            seen.add(node.id)
+            for parent in node.parents:
+                visit(parent)
+            if isinstance(node, ShuffledRDD) and node._materialized is None:
+                ordered.append(node)
+
+        visit(rdd)
+        return ordered
+
+    def _run_stage_tasks(self, rdd: RDD) -> List[List[Any]]:
+        """One task per partition of ``rdd``, run through the executor."""
+        indices = list(range(rdd.num_partitions))
+        return self.executor.map_tasks(lambda idx: self.partition_of(rdd, idx), indices)
+
+    def _run_shuffle_stage(self, shuffled: ShuffledRDD) -> None:
+        parent = shuffled.parents[0]
+        self._stage_counter += 1
+        info = StageInfo(self._stage_counter, "shuffle-map", parent, parent.num_partitions)
+        start = time.perf_counter()
+        map_outputs = self._run_stage_tasks(parent)
+        result = shuffle_partitions(map_outputs, shuffled.partitioner)
+        shuffled._materialized = result.buckets
+        info.duration_s = time.perf_counter() - start
+        info.bytes_shuffled = result.bytes_shuffled
+        self.stages.append(info)
+        self.context.metrics.bytes_shuffled += result.bytes_shuffled
+        self.context.metrics.record_event("stage", info.as_dict())
+
+    def _run_result_stage(self, rdd: RDD) -> List[List[Any]]:
+        self._stage_counter += 1
+        info = StageInfo(self._stage_counter, "result", rdd, rdd.num_partitions)
+        start = time.perf_counter()
+        partitions = self._run_stage_tasks(rdd)
+        info.duration_s = time.perf_counter() - start
+        self.stages.append(info)
+        self.context.metrics.record_event("stage", info.as_dict())
+        self.context.metrics.tasks_submitted += rdd.num_partitions
+        self.context.metrics.tasks_completed += rdd.num_partitions
+        return partitions

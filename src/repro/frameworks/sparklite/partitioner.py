@@ -1,0 +1,65 @@
+"""Partitioners: how keyed records map to reduce-side partitions."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+__all__ = ["HashPartitioner", "RangePartitioner", "split_into_partitions"]
+
+
+class HashPartitioner:
+    """Assign a key to partition ``hash(key) % num_partitions``.
+
+    This is Spark's default partitioner and the one the paper's shuffles
+    rely on (hash/sort-based shuffle, Table 1).
+    """
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = int(num_partitions)
+
+    def partition_for(self, key: Hashable) -> int:
+        """Partition index for ``key``."""
+        return hash(key) % self.num_partitions
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, HashPartitioner)
+                and other.num_partitions == self.num_partitions)
+
+
+class RangePartitioner:
+    """Assign ordered keys to contiguous ranges (for sorted outputs)."""
+
+    def __init__(self, boundaries: list) -> None:
+        self.boundaries = sorted(boundaries)
+        self.num_partitions = len(self.boundaries) + 1
+
+    def partition_for(self, key: Any) -> int:
+        """Partition index for ``key`` by binary placement among boundaries."""
+        for i, bound in enumerate(self.boundaries):
+            if key <= bound:
+                return i
+        return len(self.boundaries)
+
+
+def split_into_partitions(data: list, num_partitions: int) -> list:
+    """Split a list into ``num_partitions`` nearly equal contiguous chunks.
+
+    Mirrors Spark's ``parallelize`` slicing: the first ``len % n`` chunks
+    get one extra element, every chunk is contiguous, order is preserved.
+    Empty partitions are allowed when there are fewer items than
+    partitions.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    data = list(data)
+    n = len(data)
+    base, extra = divmod(n, num_partitions)
+    partitions = []
+    start = 0
+    for i in range(num_partitions):
+        size = base + (1 if i < extra else 0)
+        partitions.append(data[start:start + size])
+        start += size
+    return partitions

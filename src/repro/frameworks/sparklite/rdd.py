@@ -1,0 +1,292 @@
+"""Resilient Distributed Dataset (RDD) abstraction.
+
+A faithful-in-architecture, small-in-code re-implementation of the Spark
+programming model the paper uses:
+
+* RDDs are **lazy**: transformations (``map``, ``flatMap``, ``filter``,
+  ``mapPartitions``, ``reduceByKey``, ...) only record lineage,
+* **actions** (``collect``, ``count``, ``reduce``, ...) hand the lineage to
+  the context's DAG scheduler, which splits it into **stages** at shuffle
+  boundaries and executes stage by stage with a barrier in between
+  (Spark's stage-oriented scheduling, contrasted with Dask's
+  dependency-driven scheduling in section 3.4 of the paper),
+* **narrow** transformations are pipelined inside one stage; **wide**
+  transformations (``reduceByKey``, ``groupByKey``, ``partitionBy``)
+  introduce a hash shuffle whose volume is measured,
+* ``cache()``/``persist()`` keep materialized partitions in memory for
+  reuse across jobs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from .partitioner import HashPartitioner, split_into_partitions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import SparkLiteContext
+
+__all__ = [
+    "RDD",
+    "ParallelCollectionRDD",
+    "MapPartitionsRDD",
+    "ShuffledRDD",
+    "UnionRDD",
+]
+
+
+class RDD:
+    """Base class: lineage node with ``num_partitions`` partitions."""
+
+    def __init__(self, context: "SparkLiteContext", num_partitions: int,
+                 parents: Sequence["RDD"] = ()) -> None:
+        if num_partitions < 1:
+            raise ValueError("an RDD needs at least one partition")
+        self.context = context
+        self.num_partitions = int(num_partitions)
+        self.parents = list(parents)
+        self.id = context._next_rdd_id()
+        self._cached = False
+        self._cached_partitions: Optional[List[List[Any]]] = None
+
+    # ------------------------------------------------------------------ #
+    # plumbing used by the scheduler
+    # ------------------------------------------------------------------ #
+    def compute_partition(self, index: int) -> List[Any]:
+        """Compute the contents of partition ``index`` (narrow lineage only)."""
+        raise NotImplementedError
+
+    def getNumPartitions(self) -> int:
+        """Number of partitions (Spark API spelling)."""
+        return self.num_partitions
+
+    @property
+    def is_cached(self) -> bool:
+        """True when this RDD's partitions should be kept after first use."""
+        return self._cached
+
+    # ------------------------------------------------------------------ #
+    # transformations (lazy)
+    # ------------------------------------------------------------------ #
+    def mapPartitionsWithIndex(self, fn: Callable[[int, Iterable[Any]], Iterable[Any]]) -> "RDD":
+        """Apply ``fn(partition_index, iterator)`` to every partition."""
+        return MapPartitionsRDD(self, fn)
+
+    def mapPartitions(self, fn: Callable[[Iterable[Any]], Iterable[Any]]) -> "RDD":
+        """Apply ``fn(iterator)`` to every partition."""
+        return MapPartitionsRDD(self, lambda _idx, it: fn(it))
+
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        """Element-wise transformation."""
+        return MapPartitionsRDD(self, lambda _idx, it: (fn(x) for x in it))
+
+    def flatMap(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
+        """Element-wise transformation producing zero or more outputs each."""
+        return MapPartitionsRDD(
+            self, lambda _idx, it: itertools.chain.from_iterable(fn(x) for x in it)
+        )
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
+        """Keep elements satisfying ``predicate``."""
+        return MapPartitionsRDD(self, lambda _idx, it: (x for x in it if predicate(x)))
+
+    def glom(self) -> "RDD":
+        """Turn each partition into a single list element."""
+        return MapPartitionsRDD(self, lambda _idx, it: [list(it)])
+
+    def keys(self) -> "RDD":
+        """Keys of a pair RDD."""
+        return self.map(lambda kv: kv[0])
+
+    def values(self) -> "RDD":
+        """Values of a pair RDD."""
+        return self.map(lambda kv: kv[1])
+
+    def mapValues(self, fn: Callable[[Any], Any]) -> "RDD":
+        """Transform the value of every (key, value) pair."""
+        return self.map(lambda kv: (kv[0], fn(kv[1])))
+
+    def union(self, other: "RDD") -> "RDD":
+        """Concatenate two RDDs (partitions of self first)."""
+        return UnionRDD(self, other)
+
+    def repartition(self, num_partitions: int) -> "RDD":
+        """Re-distribute elements round-robin over ``num_partitions`` (shuffle)."""
+        keyed = self.mapPartitionsWithIndex(
+            lambda idx, it: ((i % num_partitions, x) for i, x in enumerate(it, start=idx))
+        )
+        shuffled = ShuffledRDD(keyed, HashPartitioner(num_partitions))
+        return shuffled.values()
+
+    def partitionBy(self, num_partitions: int) -> "RDD":
+        """Hash-partition a pair RDD by key (shuffle)."""
+        return ShuffledRDD(self, HashPartitioner(num_partitions))
+
+    def groupByKey(self, num_partitions: int | None = None) -> "RDD":
+        """Group values by key into lists (shuffle)."""
+        parts = num_partitions or self.num_partitions
+        shuffled = ShuffledRDD(self, HashPartitioner(parts))
+        return shuffled.mapPartitions(_group_bucket)
+
+    def reduceByKey(self, fn: Callable[[Any, Any], Any],
+                    num_partitions: int | None = None) -> "RDD":
+        """Combine all values of a key with ``fn`` (shuffle with map-side combine)."""
+        parts = num_partitions or self.num_partitions
+        # map-side combine shrinks the shuffle, as in Spark
+        combined = self.mapPartitions(lambda it: _combine_local(it, fn))
+        shuffled = ShuffledRDD(combined, HashPartitioner(parts))
+        return shuffled.mapPartitions(lambda it: _combine_local(it, fn))
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def cache(self) -> "RDD":
+        """Keep materialized partitions in memory after the first job."""
+        self._cached = True
+        return self
+
+    persist = cache
+
+    def unpersist(self) -> "RDD":
+        """Drop cached partitions."""
+        self._cached = False
+        self._cached_partitions = None
+        return self
+
+    # ------------------------------------------------------------------ #
+    # actions (eager — trigger the DAG scheduler)
+    # ------------------------------------------------------------------ #
+    def collect(self) -> List[Any]:
+        """Materialize every element on the driver."""
+        partitions = self.context._scheduler.run(self)
+        return [x for part in partitions for x in part]
+
+    def count(self) -> int:
+        """Number of elements."""
+        partitions = self.context._scheduler.run(self.mapPartitions(lambda it: [sum(1 for _ in it)]))
+        return int(sum(x for part in partitions for x in part))
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        """Fold all elements with an associative binary function."""
+        partials = self.mapPartitions(lambda it: _reduce_iter(it, fn)).collect()
+        if not partials:
+            raise ValueError("reduce() of an empty RDD")
+        result = partials[0]
+        for value in partials[1:]:
+            result = fn(result, value)
+        return result
+
+    def sum(self) -> Any:
+        """Sum of all elements."""
+        partials = self.mapPartitions(lambda it: [sum(it)]).collect()
+        return sum(partials)
+
+    def take(self, n: int) -> List[Any]:
+        """First ``n`` elements (materializes the RDD)."""
+        return self.collect()[:n]
+
+    def first(self) -> Any:
+        """First element."""
+        taken = self.take(1)
+        if not taken:
+            raise ValueError("first() of an empty RDD")
+        return taken[0]
+
+    def countByKey(self) -> dict:
+        """Count occurrences of each key of a pair RDD."""
+        counts: dict = {}
+        for key, _value in self.collect():
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} id={self.id} partitions={self.num_partitions}>"
+
+
+class ParallelCollectionRDD(RDD):
+    """An RDD created from a driver-side collection (``parallelize``)."""
+
+    def __init__(self, context: "SparkLiteContext", data: Sequence[Any],
+                 num_partitions: int) -> None:
+        super().__init__(context, num_partitions)
+        self._partitions = split_into_partitions(list(data), num_partitions)
+
+    def compute_partition(self, index: int) -> List[Any]:
+        return list(self._partitions[index])
+
+
+class MapPartitionsRDD(RDD):
+    """Narrow transformation: pipelined with its parent inside one stage."""
+
+    def __init__(self, parent: RDD, fn: Callable[[int, Iterable[Any]], Iterable[Any]]) -> None:
+        super().__init__(parent.context, parent.num_partitions, parents=[parent])
+        self._fn = fn
+
+    def compute_partition(self, index: int) -> List[Any]:
+        parent = self.parents[0]
+        parent_data = self.context._scheduler.partition_of(parent, index)
+        return list(self._fn(index, iter(parent_data)))
+
+
+class ShuffledRDD(RDD):
+    """Wide transformation: requires all parent partitions (stage boundary)."""
+
+    def __init__(self, parent: RDD, partitioner: HashPartitioner) -> None:
+        super().__init__(parent.context, partitioner.num_partitions, parents=[parent])
+        self.partitioner = partitioner
+        self._materialized: Optional[List[List[Tuple[Any, Any]]]] = None
+
+    def compute_partition(self, index: int) -> List[Any]:
+        if self._materialized is None:
+            raise RuntimeError(
+                "ShuffledRDD partitions requested before its shuffle stage ran; "
+                "this is a scheduler bug"
+            )
+        return list(self._materialized[index])
+
+
+class UnionRDD(RDD):
+    """Concatenation of two RDDs; partitions of the first parent come first."""
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(left.context, left.num_partitions + right.num_partitions,
+                         parents=[left, right])
+
+    def compute_partition(self, index: int) -> List[Any]:
+        left, right = self.parents
+        if index < left.num_partitions:
+            return self.context._scheduler.partition_of(left, index)
+        return self.context._scheduler.partition_of(right, index - left.num_partitions)
+
+
+# ---------------------------------------------------------------------- #
+# helpers (module level so they stay picklable for process executors)
+# ---------------------------------------------------------------------- #
+def _combine_local(records: Iterable[Tuple[Any, Any]],
+                   fn: Callable[[Any, Any], Any]) -> List[Tuple[Any, Any]]:
+    state: dict = {}
+    for key, value in records:
+        if key in state:
+            state[key] = fn(state[key], value)
+        else:
+            state[key] = value
+    return list(state.items())
+
+
+def _group_bucket(records: Iterable[Tuple[Any, Any]]) -> List[Tuple[Any, List[Any]]]:
+    state: dict = {}
+    for key, value in records:
+        state.setdefault(key, []).append(value)
+    return list(state.items())
+
+
+def _reduce_iter(iterator: Iterable[Any], fn: Callable[[Any, Any], Any]) -> List[Any]:
+    iterator = iter(iterator)
+    try:
+        acc = next(iterator)
+    except StopIteration:
+        return []
+    for value in iterator:
+        acc = fn(acc, value)
+    return [acc]

@@ -1,0 +1,70 @@
+"""Performance and scaling models for regenerating the paper-scale figures."""
+
+from .calibration import CalibrationResult, calibrate_kernels
+from .costs import (
+    DASK_COSTS,
+    MPI_COSTS,
+    PAPER_CALIBRATION,
+    PILOT_COSTS,
+    SPARK_COSTS,
+    FrameworkCostModel,
+    get_cost_model,
+)
+from .kernels import DEFAULT_RATES, KernelCosts, KernelRates
+from .machines import COMET, LOCAL, MACHINES, WRANGLER, MachineSpec
+from .scaling import (
+    PAPER_LEAFLET_CORE_COUNTS,
+    PAPER_PSA_CORE_COUNTS,
+    ScalingPoint,
+    cpptraj_sweep,
+    leaflet_sweep,
+    model_broadcast_breakdown,
+    model_cpptraj_runtime,
+    model_leaflet_runtime,
+    model_psa_runtime,
+    psa_sweep,
+)
+from .throughput import (
+    PAPER_TASK_COUNTS,
+    ThroughputPoint,
+    model_task_run_time,
+    model_throughput,
+    node_scaling_sweep,
+    throughput_sweep,
+)
+
+__all__ = [
+    "MachineSpec",
+    "COMET",
+    "WRANGLER",
+    "LOCAL",
+    "MACHINES",
+    "FrameworkCostModel",
+    "PAPER_CALIBRATION",
+    "get_cost_model",
+    "DASK_COSTS",
+    "SPARK_COSTS",
+    "PILOT_COSTS",
+    "MPI_COSTS",
+    "KernelRates",
+    "KernelCosts",
+    "DEFAULT_RATES",
+    "CalibrationResult",
+    "calibrate_kernels",
+    "ThroughputPoint",
+    "model_task_run_time",
+    "model_throughput",
+    "throughput_sweep",
+    "node_scaling_sweep",
+    "PAPER_TASK_COUNTS",
+    "ScalingPoint",
+    "model_psa_runtime",
+    "psa_sweep",
+    "model_cpptraj_runtime",
+    "cpptraj_sweep",
+    "model_leaflet_runtime",
+    "leaflet_sweep",
+    "model_broadcast_breakdown",
+    "PAPER_PSA_CORE_COUNTS",
+    "PAPER_LEAFLET_CORE_COUNTS",
+]

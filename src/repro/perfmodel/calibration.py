@@ -1,0 +1,99 @@
+"""Local calibration of the kernel rates.
+
+The defaults in :data:`repro.perfmodel.kernels.DEFAULT_RATES` describe a
+Haswell core of the paper's testbeds.  When comparing modeled curves with
+live laptop-scale measurements it helps to calibrate the rates on the
+machine actually running the benchmarks; :func:`calibrate_kernels` does
+that with a handful of sub-second micro-benchmarks of exactly the kernels
+the algorithms use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from ..analysis.neighbors import BallTree
+from ..analysis.rmsd import rmsd_matrix
+from ..analysis.graph import connected_components
+from .kernels import DEFAULT_RATES, KernelRates
+
+__all__ = ["CalibrationResult", "calibrate_kernels"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured rates plus the micro-benchmark timings that produced them."""
+
+    rates: KernelRates
+    timings: dict
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-kernel summary."""
+        lines = []
+        for key, value in self.timings.items():
+            lines.append(f"{key}: {value * 1e3:.2f} ms")
+        return "\n".join(lines)
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def calibrate_kernels(*, n_frames: int = 64, n_atoms: int = 512,
+                      n_points: int = 2000, seed: int = 0,
+                      repeats: int = 3) -> CalibrationResult:
+    """Measure the local machine's kernel rates.
+
+    The sizes are chosen so the whole calibration takes well under a
+    second; rates are extrapolated from the measured per-element
+    throughput, which is size-independent to first order for these
+    kernels.
+    """
+    rng = np.random.default_rng(seed)
+    traj_a = rng.normal(size=(n_frames, n_atoms, 3))
+    traj_b = rng.normal(size=(n_frames, n_atoms, 3))
+    points = rng.uniform(0.0, 100.0, size=(n_points, 3))
+    edges = rng.integers(0, n_points, size=(4 * n_points, 2))
+
+    timings = {}
+
+    t = _time(lambda: rmsd_matrix(traj_a, traj_b), repeats)
+    timings["rmsd_matrix"] = t
+    gemm_flops = 2.0 * (n_frames ** 2) * (3.0 * n_atoms) / max(t, 1e-9)
+
+    t = _time(lambda: cdist(points, points), repeats)
+    timings["cdist"] = t
+    cdist_evals = (n_points ** 2) / max(t, 1e-9)
+
+    t = _time(lambda: BallTree(points, leaf_size=32), repeats)
+    timings["balltree_build"] = t
+    tree_build = n_points / max(t, 1e-9)
+
+    tree = BallTree(points, leaf_size=32)
+    queries = points[: max(1, n_points // 10)]
+    t = _time(lambda: tree.query_radius(queries, 5.0), repeats)
+    timings["balltree_query"] = t
+    tree_query = queries.shape[0] * np.log2(n_points) / max(t, 1e-9)
+
+    t = _time(lambda: connected_components(edges, n_points), repeats)
+    timings["connected_components"] = t
+    uf_ops = (n_points + edges.shape[0]) / max(t, 1e-9)
+
+    rates = KernelRates(
+        gemm_flops=gemm_flops,
+        cdist_evals=cdist_evals,
+        tree_build_points=tree_build,
+        tree_query_points=tree_query,
+        union_find_ops=uf_ops,
+        io_bandwidth=DEFAULT_RATES.io_bandwidth,
+    )
+    return CalibrationResult(rates=rates, timings=timings)

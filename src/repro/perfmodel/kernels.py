@@ -1,0 +1,110 @@
+"""Analytical cost of the numerical kernels.
+
+The scaling model needs per-kernel time estimates as a function of problem
+size: the 2D-RMSD matrix of a trajectory pair (PSA's inner loop), a
+``cdist`` block, a BallTree build/query, and a connected-components pass.
+Each is parameterized by a throughput constant expressed in *element
+operations per second on one reference core*; the defaults are
+representative of NumPy/SciPy on a Haswell core, and
+:func:`repro.perfmodel.calibration.calibrate_kernels` can re-measure them
+on the local machine so that modeled and measured laptop-scale numbers
+line up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["KernelRates", "DEFAULT_RATES", "KernelCosts"]
+
+
+@dataclass(frozen=True)
+class KernelRates:
+    """Throughput constants (element operations per second per core)."""
+
+    #: fused multiply-adds per second achieved by the GEMM inside rmsd_matrix
+    gemm_flops: float = 4.0e9
+    #: element distance evaluations per second achieved by scipy cdist
+    cdist_evals: float = 2.0e8
+    #: point insertions per second for BallTree construction
+    tree_build_points: float = 6.0e5
+    #: neighbor candidates examined per second for BallTree queries
+    tree_query_points: float = 4.0e5
+    #: union-find operations per second for connected components
+    union_find_ops: float = 2.0e6
+    #: trajectory file read bandwidth (bytes/s) from the parallel filesystem
+    io_bandwidth: float = 5.0e8
+
+    def scaled(self, factor: float) -> "KernelRates":
+        """All rates multiplied by ``factor`` (e.g. a faster/slower core)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return replace(
+            self,
+            gemm_flops=self.gemm_flops * factor,
+            cdist_evals=self.cdist_evals * factor,
+            tree_build_points=self.tree_build_points * factor,
+            tree_query_points=self.tree_query_points * factor,
+            union_find_ops=self.union_find_ops * factor,
+        )
+
+
+DEFAULT_RATES = KernelRates()
+
+
+class KernelCosts:
+    """Kernel time estimates on one core, given a set of rates."""
+
+    def __init__(self, rates: KernelRates = DEFAULT_RATES) -> None:
+        self.rates = rates
+
+    # ------------------------------------------------------------------ #
+    def hausdorff_pair(self, n_frames: int, n_atoms: int) -> float:
+        """One Hausdorff distance between two trajectories.
+
+        Dominated by the 2D-RMSD GEMM: ``n_frames^2 x 3 n_atoms``
+        multiply-adds, plus the min/max reductions (negligible).
+        """
+        if n_frames < 1 or n_atoms < 1:
+            raise ValueError("n_frames and n_atoms must be positive")
+        flops = 2.0 * (n_frames ** 2) * (3.0 * n_atoms)
+        return flops / self.rates.gemm_flops
+
+    def rmsd_2d_pair(self, n_frames: int, n_atoms: int) -> float:
+        """One full 2D-RMSD matrix between two trajectories (CPPTraj kernel)."""
+        return self.hausdorff_pair(n_frames, n_atoms)
+
+    def trajectory_read(self, n_frames: int, n_atoms: int) -> float:
+        """Reading one trajectory from the filesystem (float32 on disk)."""
+        nbytes = n_frames * n_atoms * 3 * 4
+        return nbytes / self.rates.io_bandwidth
+
+    # ------------------------------------------------------------------ #
+    def cdist_block(self, n_rows: int, n_cols: int) -> float:
+        """A dense pairwise-distance block (Leaflet Finder approaches 1-3)."""
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError("block dimensions must be non-negative")
+        return (n_rows * n_cols) / self.rates.cdist_evals
+
+    def tree_block(self, n_rows: int, n_cols: int) -> float:
+        """Tree build over ``n_cols`` points plus ``n_rows`` radius queries."""
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError("block dimensions must be non-negative")
+        log_cols = max(1.0, np.log2(max(n_cols, 2)))
+        build = n_cols / self.rates.tree_build_points
+        query = n_rows * log_cols / self.rates.tree_query_points
+        return build + query
+
+    def connected_components(self, n_nodes: int, n_edges: int) -> float:
+        """Union-find over ``n_edges`` edges (plus node initialization)."""
+        if n_nodes < 0 or n_edges < 0:
+            raise ValueError("n_nodes and n_edges must be non-negative")
+        return (n_nodes + n_edges) / self.rates.union_find_ops
+
+    def partial_component_merge(self, n_memberships: int) -> float:
+        """Merging partial components with ``n_memberships`` (atom, comp) pairs."""
+        if n_memberships < 0:
+            raise ValueError("n_memberships must be non-negative")
+        return n_memberships / self.rates.union_find_ops

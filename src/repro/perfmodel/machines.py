@@ -1,0 +1,127 @@
+"""Machine descriptions for the paper's experimental platforms.
+
+The experiments were run on two XSEDE systems:
+
+* **SDSC Comet** — 24 Haswell cores/node, 128 GB/node, no hyper-threading
+  used, InfiniBand FDR interconnect,
+* **TACC Wrangler** — 24 Haswell cores/node with hyper-threading enabled
+  (48 hardware threads), 128 GB/node.
+
+The paper reports runs as "cores/nodes" pairs; on Wrangler 32 slots are
+used per node (hyper-threaded), on Comet 16 per node, which is why the
+same core count maps to different node counts on the two machines
+(e.g. 256 cores = 8 Wrangler nodes but 16 Comet nodes in Figure 5).  The
+paper also observes that hyper-threaded slots give lower speedup than
+physical cores; :attr:`MachineSpec.hyperthread_efficiency` captures that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frameworks.cluster import ClusterSpec
+
+__all__ = ["MachineSpec", "COMET", "WRANGLER", "LOCAL", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware model of one HPC system.
+
+    Attributes
+    ----------
+    name:
+        Machine name used in reports.
+    cores_per_node / hyperthreads_per_core / memory_per_node_gb:
+        Node shape.
+    slots_per_node_used:
+        How many execution slots per node the paper's experiments used
+        (32 on Wrangler due to hyper-threading, 16 on Comet).
+    core_ghz_effective:
+        Effective per-core throughput scale; only relative values matter
+        (Comet's Haswells clock slightly higher than Wrangler's, which the
+        paper observes as "Comet slightly outperforming Wrangler").
+    hyperthread_efficiency:
+        Fraction of a physical core's throughput delivered by the second
+        hardware thread (< 1.0 — the reason Wrangler speedups are lower).
+    network_bandwidth_gbps / network_latency_s:
+        Interconnect model used for broadcast/shuffle costs.
+    """
+
+    name: str
+    cores_per_node: int
+    hyperthreads_per_core: int
+    memory_per_node_gb: float
+    slots_per_node_used: int
+    core_ghz_effective: float
+    hyperthread_efficiency: float
+    network_bandwidth_gbps: float
+    network_latency_s: float
+
+    def nodes_for_cores(self, cores: int) -> int:
+        """Number of nodes the paper would allocate for ``cores`` slots."""
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        return max(1, -(-cores // self.slots_per_node_used))
+
+    def effective_cores(self, cores: int) -> float:
+        """Slots weighted by hyper-thread efficiency.
+
+        The first ``cores_per_node`` slots of each node are physical cores
+        (weight 1.0); slots beyond that are hyper-threads (weight
+        ``hyperthread_efficiency``).
+        """
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        nodes = self.nodes_for_cores(cores)
+        per_node = min(cores, self.slots_per_node_used * nodes) / nodes
+        physical = min(per_node, self.cores_per_node)
+        hyper = max(0.0, per_node - physical)
+        return nodes * (physical + hyper * self.hyperthread_efficiency) * self.core_ghz_effective
+
+    def cluster(self, nodes: int) -> ClusterSpec:
+        """A :class:`ClusterSpec` for ``nodes`` nodes of this machine."""
+        return ClusterSpec(nodes=nodes, cores_per_node=self.cores_per_node,
+                           memory_per_node_gb=self.memory_per_node_gb,
+                           hyperthreads_per_core=self.hyperthreads_per_core,
+                           name=self.name)
+
+
+COMET = MachineSpec(
+    name="comet",
+    cores_per_node=24,
+    hyperthreads_per_core=1,
+    memory_per_node_gb=128.0,
+    slots_per_node_used=16,
+    core_ghz_effective=1.05,
+    hyperthread_efficiency=1.0,
+    network_bandwidth_gbps=56.0,     # InfiniBand FDR
+    network_latency_s=2e-6,
+)
+
+WRANGLER = MachineSpec(
+    name="wrangler",
+    cores_per_node=24,
+    hyperthreads_per_core=2,
+    memory_per_node_gb=128.0,
+    slots_per_node_used=32,
+    core_ghz_effective=1.0,
+    hyperthread_efficiency=0.55,
+    network_bandwidth_gbps=40.0,
+    network_latency_s=3e-6,
+)
+
+LOCAL = MachineSpec(
+    name="local",
+    cores_per_node=4,
+    hyperthreads_per_core=1,
+    memory_per_node_gb=8.0,
+    slots_per_node_used=4,
+    core_ghz_effective=1.0,
+    hyperthread_efficiency=1.0,
+    network_bandwidth_gbps=10.0,
+    network_latency_s=1e-5,
+)
+
+#: name -> spec registry used by the experiment drivers
+MACHINES = {"comet": COMET, "wrangler": WRANGLER, "local": LOCAL}

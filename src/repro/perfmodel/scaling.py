@@ -1,0 +1,373 @@
+"""Runtime models for the PSA and Leaflet Finder experiments (Figures 4-9).
+
+These models compose three ingredients:
+
+* the **kernel costs** (:mod:`repro.perfmodel.kernels`) — how long the
+  numerical work of one task takes on one core,
+* the **framework costs** (:mod:`repro.perfmodel.costs`) — dispatch
+  overheads, broadcast/shuffle costs, worker efficiency, and
+* the **machine model** (:mod:`repro.perfmodel.machines`) — effective
+  cores (hyper-threading), shared-filesystem bandwidth and node counts.
+
+The absolute numbers depend on the authors' exact datasets and testbeds;
+what the model reproduces is the *shape* of every figure: which framework
+wins, roughly by what factor, where approaches cross over, and where
+scaling saturates.  EXPERIMENTS.md records modeled-vs-paper values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .costs import FrameworkCostModel, get_cost_model
+from .kernels import DEFAULT_RATES, KernelCosts, KernelRates
+from .machines import MachineSpec, WRANGLER
+
+__all__ = [
+    "ScalingPoint",
+    "model_psa_runtime",
+    "psa_sweep",
+    "model_cpptraj_runtime",
+    "cpptraj_sweep",
+    "model_leaflet_runtime",
+    "leaflet_sweep",
+    "model_broadcast_breakdown",
+    "PAPER_PSA_CORE_COUNTS",
+    "PAPER_LEAFLET_CORE_COUNTS",
+]
+
+#: Core counts used for PSA on Wrangler (Figure 4): 16, 64, 256.
+PAPER_PSA_CORE_COUNTS = (16, 64, 256)
+#: Core counts used for the Leaflet Finder (Figure 7): 32, 64, 128, 256.
+PAPER_LEAFLET_CORE_COUNTS = (32, 64, 128, 256)
+
+#: Shared-filesystem read bandwidth per node (bytes/s); trajectory input is
+#: striped over the allocation, so total bandwidth grows with nodes but much
+#: more slowly than compute — the main reason measured PSA speedups saturate
+#: around 6-8x instead of scaling with the core count.
+_FS_BANDWIDTH_PER_NODE = 8.0e8
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One modeled experiment configuration."""
+
+    figure: str
+    framework: str
+    machine: str
+    cores: int
+    nodes: int
+    workload: str
+    runtime_s: float
+    speedup: float = float("nan")
+    extra: dict | None = None
+
+    def as_dict(self) -> dict:
+        """Flat dict for tabular reports."""
+        out = {
+            "figure": self.figure,
+            "framework": self.framework,
+            "machine": self.machine,
+            "cores": self.cores,
+            "nodes": self.nodes,
+            "workload": self.workload,
+            "runtime_s": self.runtime_s,
+            "speedup": self.speedup,
+        }
+        if self.extra:
+            out.update(self.extra)
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# PSA (Figures 4 and 5)
+# --------------------------------------------------------------------------- #
+def model_psa_runtime(framework: str | FrameworkCostModel,
+                      machine: MachineSpec = WRANGLER, *,
+                      cores: int = 16,
+                      n_trajectories: int = 128,
+                      n_frames: int = 102,
+                      n_atoms: int = 3341,
+                      rates: KernelRates = DEFAULT_RATES) -> float:
+    """Modeled PSA (Hausdorff) runtime for one configuration.
+
+    The decomposition follows the paper: the pair matrix is split into one
+    task per core; every task reads its trajectories from the shared
+    filesystem, computes its block of Hausdorff distances and writes a
+    small result.
+    """
+    costs = framework if isinstance(framework, FrameworkCostModel) else get_cost_model(framework)
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    kern = KernelCosts(rates)
+    nodes = machine.nodes_for_cores(cores)
+    eff_cores = machine.effective_cores(cores)
+
+    n_pairs = n_trajectories * (n_trajectories - 1) / 2.0
+    compute = n_pairs * kern.hausdorff_pair(n_frames, n_atoms)
+    compute_parallel = compute / (eff_cores * costs.worker_efficiency)
+
+    # every trajectory is read by ~n_trajectories/ (2 * group) tasks; charge the
+    # aggregate volume against the shared filesystem's bandwidth
+    traj_bytes = n_frames * n_atoms * 3 * 4
+    total_read_bytes = 2.0 * n_pairs / max(1, n_trajectories // (2 * max(1, cores // 2))) * traj_bytes
+    # simpler, conservative model: each task re-reads the trajectories of its block
+    tasks = cores
+    trajs_per_task = max(2, int(np.ceil(2 * n_trajectories / np.sqrt(2 * tasks))))
+    total_read_bytes = tasks * trajs_per_task * traj_bytes
+    io_time = total_read_bytes / (_FS_BANDWIDTH_PER_NODE * nodes)
+
+    overhead = (costs.job_overhead_s
+                + costs.dispatch_time(tasks, nodes)
+                + tasks * costs.unit_overhead_s / max(1.0, eff_cores))
+    # small load imbalance: the last wave of tasks rarely fills every core
+    imbalance = 1.0 + 0.5 / np.sqrt(tasks)
+    return compute_parallel * imbalance + io_time + overhead
+
+
+def psa_sweep(frameworks: Sequence[str] = ("mpi", "spark", "dask", "pilot"),
+              machine: MachineSpec = WRANGLER, *,
+              core_counts: Sequence[int] = PAPER_PSA_CORE_COUNTS,
+              n_trajectories: int = 128,
+              n_frames: int = 102,
+              n_atoms: int = 3341,
+              rates: KernelRates = DEFAULT_RATES,
+              figure: str = "fig4") -> List[ScalingPoint]:
+    """Sweep PSA runtimes over frameworks and core counts (Figures 4/5)."""
+    points: List[ScalingPoint] = []
+    for fw in frameworks:
+        base = None
+        for cores in core_counts:
+            runtime = model_psa_runtime(fw, machine, cores=cores,
+                                        n_trajectories=n_trajectories,
+                                        n_frames=n_frames, n_atoms=n_atoms,
+                                        rates=rates)
+            if base is None:
+                base = runtime
+            points.append(ScalingPoint(
+                figure=figure, framework=fw, machine=machine.name, cores=cores,
+                nodes=machine.nodes_for_cores(cores),
+                workload=f"{n_trajectories}traj x {n_atoms}atoms",
+                runtime_s=runtime, speedup=base / runtime,
+            ))
+    return points
+
+
+# --------------------------------------------------------------------------- #
+# CPPTraj comparison (Figure 6)
+# --------------------------------------------------------------------------- #
+def model_cpptraj_runtime(cores: int, *, n_trajectories: int = 128,
+                          n_frames: int = 102, n_atoms: int = 3341,
+                          compiler_speedup: float = 1.0,
+                          rates: KernelRates = DEFAULT_RATES) -> float:
+    """Modeled runtime of the compiled (CPPTraj-style) 2D-RMSD comparator.
+
+    CPPTraj distributes whole trajectory pairs over MPI ranks and further
+    parallelizes the 2D-RMSD with OpenMP; its per-pair kernel is the same
+    GEMM-shaped computation but with a compiled constant factor.
+    ``compiler_speedup`` distinguishes the GNU (1.0) and Intel ``-O3``
+    builds the paper compares.
+    """
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    if compiler_speedup <= 0:
+        raise ValueError("compiler_speedup must be positive")
+    kern = KernelCosts(rates.scaled(compiler_speedup))
+    n_pairs = n_trajectories * (n_trajectories - 1) / 2.0
+    compute = n_pairs * kern.rmsd_2d_pair(n_frames, n_atoms) / cores
+    # gather of the per-pair results + serial Hausdorff reduction on rank 0
+    serial_tail = n_pairs * 2.0e-5
+    launch = 0.5 + 0.002 * cores      # mpiexec startup grows mildly with ranks
+    return compute + serial_tail + launch
+
+
+def cpptraj_sweep(core_counts: Sequence[int] = (1, 20, 40, 80, 120, 160, 200, 240),
+                  *, n_trajectories: int = 128, n_frames: int = 102,
+                  n_atoms: int = 3341,
+                  rates: KernelRates = DEFAULT_RATES) -> List[ScalingPoint]:
+    """Figure 6 sweep: GNU vs Intel-compiled CPPTraj over core counts."""
+    points: List[ScalingPoint] = []
+    for label, speedup in (("gnu", 1.0), ("intel-O3", 1.9)):
+        base = None
+        for cores in core_counts:
+            runtime = model_cpptraj_runtime(cores, n_trajectories=n_trajectories,
+                                            n_frames=n_frames, n_atoms=n_atoms,
+                                            compiler_speedup=speedup, rates=rates)
+            if base is None:
+                base = runtime * cores if cores == core_counts[0] else runtime
+            points.append(ScalingPoint(
+                figure="fig6", framework=f"cpptraj-{label}", machine="comet",
+                cores=cores, nodes=max(1, cores // 20),
+                workload=f"{n_trajectories}traj x {n_atoms}atoms",
+                runtime_s=runtime,
+                speedup=(model_cpptraj_runtime(1, n_trajectories=n_trajectories,
+                                               n_frames=n_frames, n_atoms=n_atoms,
+                                               compiler_speedup=speedup, rates=rates)
+                         / runtime),
+            ))
+    return points
+
+
+# --------------------------------------------------------------------------- #
+# Leaflet Finder (Figures 7, 8 and 9)
+# --------------------------------------------------------------------------- #
+#: average neighbor-graph edge counts of the paper's four datasets
+PAPER_EDGE_COUNTS = {131_072: 896_000, 262_144: 1_750_000,
+                     524_288: 3_520_000, 4_194_304: 44_600_000}
+
+
+def _edges_for(n_atoms: int) -> float:
+    """Interpolate the expected edge count for a system of ``n_atoms``."""
+    if n_atoms in PAPER_EDGE_COUNTS:
+        return float(PAPER_EDGE_COUNTS[n_atoms])
+    # edge density grows roughly linearly with atom count for these bilayers
+    return 8.0 * n_atoms
+
+
+def model_leaflet_runtime(framework: str | FrameworkCostModel,
+                          approach: str,
+                          machine: MachineSpec = WRANGLER, *,
+                          cores: int = 32,
+                          n_atoms: int = 131_072,
+                          n_tasks: int = 1024,
+                          rates: KernelRates = DEFAULT_RATES) -> float:
+    """Modeled Leaflet Finder runtime for one configuration (Figure 7).
+
+    ``approach`` is one of ``broadcast-1d``, ``task-2d``, ``parallel-cc``,
+    ``tree-search`` (the keys of
+    :data:`repro.core.leaflet.LEAFLET_APPROACHES`).
+    """
+    costs = framework if isinstance(framework, FrameworkCostModel) else get_cost_model(framework)
+    if cores < 1 or n_tasks < 1 or n_atoms < 2:
+        raise ValueError("cores, n_tasks must be >= 1 and n_atoms >= 2")
+    kern = KernelCosts(rates)
+    nodes = machine.nodes_for_cores(cores)
+    eff_cores = machine.effective_cores(cores) * costs.worker_efficiency
+    n_edges = _edges_for(n_atoms)
+    positions_bytes = n_atoms * 3 * 8
+    edge_bytes = n_edges * 2 * 8
+    component_bytes = n_atoms * 8
+
+    broadcast_time = 0.0
+    shuffle_bytes = 0.0
+    reduce_time = 0.0
+
+    if approach == "broadcast-1d":
+        # every task compares its 1/n_tasks chunk against all atoms
+        compute = kern.cdist_block(n_atoms, n_atoms)
+        broadcast_time = costs.broadcast_time(positions_bytes, nodes)
+        shuffle_bytes = edge_bytes
+        reduce_time = kern.connected_components(n_atoms, int(n_edges))
+    elif approach == "task-2d":
+        # upper-triangular blocks: half the pair evaluations of approach 1
+        compute = kern.cdist_block(n_atoms, n_atoms) / 2.0
+        shuffle_bytes = edge_bytes
+        reduce_time = kern.connected_components(n_atoms, int(n_edges))
+    elif approach == "parallel-cc":
+        compute = kern.cdist_block(n_atoms, n_atoms) / 2.0
+        compute += kern.connected_components(n_atoms, int(n_edges))  # in-map partial CC
+        shuffle_bytes = component_bytes
+        reduce_time = kern.partial_component_merge(2 * n_atoms)
+    elif approach == "tree-search":
+        block = max(2, int(np.ceil(n_atoms / np.sqrt(2.0 * n_tasks))))
+        blocks = n_tasks
+        compute = blocks * kern.tree_block(block, block)
+        compute += kern.connected_components(n_atoms, int(n_edges))
+        shuffle_bytes = component_bytes
+        reduce_time = kern.partial_component_merge(2 * n_atoms)
+    else:
+        raise ValueError(f"unknown leaflet approach {approach!r}")
+
+    compute_parallel = compute / eff_cores
+    shuffle_time = costs.shuffle_time(int(shuffle_bytes))
+    overhead = (costs.job_overhead_s
+                + costs.dispatch_time(n_tasks, nodes)
+                + n_tasks * costs.unit_overhead_s / max(1.0, eff_cores))
+    imbalance = 1.0 + 0.5 / np.sqrt(n_tasks)
+    return compute_parallel * imbalance + broadcast_time + shuffle_time + reduce_time + overhead
+
+
+def leaflet_sweep(frameworks: Sequence[str] = ("spark", "dask", "mpi"),
+                  approaches: Sequence[str] = ("broadcast-1d", "task-2d",
+                                               "parallel-cc", "tree-search"),
+                  machine: MachineSpec = WRANGLER, *,
+                  atom_counts: Sequence[int] = (131_072, 262_144, 524_288, 4_194_304),
+                  core_counts: Sequence[int] = PAPER_LEAFLET_CORE_COUNTS,
+                  n_tasks: int = 1024,
+                  rates: KernelRates = DEFAULT_RATES) -> List[ScalingPoint]:
+    """Figure 7 sweep: every (framework, approach, system size, cores) cell.
+
+    Configurations the paper could not run (broadcast of the 524k system
+    with Dask, cdist-based approaches on the 4M system, any 4M run with
+    Dask approach 3) are still modeled but flagged in ``extra['feasible']``
+    so the harness can reproduce the "did not scale" annotations.
+    """
+    points: List[ScalingPoint] = []
+    for fw in frameworks:
+        for approach in approaches:
+            for n_atoms in atom_counts:
+                feasible = _configuration_feasible(fw, approach, n_atoms)
+                base = None
+                for cores in core_counts:
+                    runtime = model_leaflet_runtime(fw, approach, machine,
+                                                    cores=cores, n_atoms=n_atoms,
+                                                    n_tasks=n_tasks, rates=rates)
+                    if base is None:
+                        base = runtime
+                    points.append(ScalingPoint(
+                        figure="fig7", framework=fw, machine=machine.name,
+                        cores=cores, nodes=machine.nodes_for_cores(cores),
+                        workload=f"{n_atoms}atoms/{approach}",
+                        runtime_s=runtime, speedup=base / runtime,
+                        extra={"approach": approach, "n_atoms": n_atoms,
+                               "feasible": feasible},
+                    ))
+    return points
+
+
+def _configuration_feasible(framework: str, approach: str, n_atoms: int) -> bool:
+    """Whether the paper managed to run this configuration (section 4.3)."""
+    fw = framework.lower()
+    if approach == "broadcast-1d":
+        if fw.startswith("dask") and n_atoms > 262_144:
+            return False      # Dask's element-wise scatter broke at 524k atoms
+        return n_atoms <= 524_288
+    if approach == "task-2d":
+        return n_atoms <= 524_288          # cdist memory: no 4M run for anyone
+    if approach == "parallel-cc":
+        if fw.startswith("dask"):
+            return n_atoms <= 524_288      # Dask workers hit the 95% memory limit
+        return True                         # Spark/MPI ran 4M with 42k tasks
+    return True                             # tree-search ran everything
+
+
+def model_broadcast_breakdown(frameworks: Sequence[str] = ("spark", "dask", "mpi"),
+                              machine: MachineSpec = WRANGLER, *,
+                              atom_counts: Sequence[int] = (131_072, 262_144),
+                              core_counts: Sequence[int] = PAPER_LEAFLET_CORE_COUNTS,
+                              n_tasks: int = 1024,
+                              rates: KernelRates = DEFAULT_RATES) -> List[ScalingPoint]:
+    """Figure 8: total runtime and broadcast time for approach 1."""
+    points: List[ScalingPoint] = []
+    for fw in frameworks:
+        costs = get_cost_model(fw)
+        for n_atoms in atom_counts:
+            positions_bytes = n_atoms * 3 * 8
+            for cores in core_counts:
+                nodes = machine.nodes_for_cores(cores)
+                total = model_leaflet_runtime(fw, "broadcast-1d", machine,
+                                              cores=cores, n_atoms=n_atoms,
+                                              n_tasks=n_tasks, rates=rates)
+                bcast = costs.broadcast_time(positions_bytes, nodes)
+                points.append(ScalingPoint(
+                    figure="fig8", framework=fw, machine=machine.name,
+                    cores=cores, nodes=nodes,
+                    workload=f"{n_atoms}atoms/broadcast-1d",
+                    runtime_s=total,
+                    extra={"broadcast_s": bcast, "n_atoms": n_atoms,
+                           "broadcast_fraction": bcast / total if total > 0 else 0.0},
+                ))
+    return points

@@ -1,0 +1,251 @@
+"""A small atom-selection language.
+
+MDAnalysis exposes selections such as ``"name P"`` or
+``"resname POPC and name P*"``; the Leaflet Finder is typically run on the
+phosphorus head-group atoms selected this way.  This module implements a
+compact, recursive-descent parsed selection language over
+:class:`~repro.trajectory.topology.Topology` arrays.
+
+Grammar (whitespace separated tokens)::
+
+    expr     := or_expr
+    or_expr  := and_expr ( "or" and_expr )*
+    and_expr := not_expr ( "and" not_expr )*
+    not_expr := "not" not_expr | primary
+    primary  := "(" expr ")"
+               | "all" | "none"
+               | "name"    pattern+
+               | "element" pattern+
+               | "resname" pattern+
+               | "segid"   pattern+
+               | "resid"   int_or_range+
+               | "index"   int_or_range+
+               | "prop" ("mass"|"charge"|"x"|"y"|"z") cmp number
+
+``pattern`` supports ``*`` wildcards (fnmatch semantics), ``int_or_range``
+accepts ``5`` or ``3:10`` (inclusive of both ends, matching MDAnalysis).
+The ``prop x|y|z`` selections require positions to be supplied.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import List, Sequence
+
+import numpy as np
+
+from .topology import Topology
+
+__all__ = ["select", "SelectionError", "parse_selection"]
+
+
+class SelectionError(ValueError):
+    """Raised when a selection string cannot be parsed or evaluated."""
+
+
+_KEYWORD_FIELDS = {
+    "name": "names",
+    "element": "elements",
+    "resname": "resnames",
+    "segid": "segids",
+}
+_INT_FIELDS = {"resid": "resids", "index": None}
+_PROP_COMPARATORS = ("<=", ">=", "==", "!=", "<", ">")
+_RESERVED = {"and", "or", "not", "(", ")", "all", "none", "prop"} | set(
+    _KEYWORD_FIELDS
+) | set(_INT_FIELDS)
+
+
+def _tokenize(text: str) -> List[str]:
+    """Split a selection string into tokens, keeping parentheses separate."""
+    out: List[str] = []
+    for raw in text.replace("(", " ( ").replace(")", " ) ").split():
+        out.append(raw)
+    return out
+
+
+class _Parser:
+    """Recursive-descent parser producing a boolean mask over atoms."""
+
+    def __init__(self, tokens: Sequence[str], topology: Topology,
+                 positions: np.ndarray | None) -> None:
+        self.tokens = list(tokens)
+        self.pos = 0
+        self.top = topology
+        self.positions = positions
+        self.n = topology.n_atoms
+
+    # -- token helpers -------------------------------------------------- #
+    def _peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> str:
+        tok = self._peek()
+        if tok is None:
+            raise SelectionError("unexpected end of selection string")
+        self.pos += 1
+        return tok
+
+    def _expect(self, token: str) -> None:
+        tok = self._next()
+        if tok != token:
+            raise SelectionError(f"expected {token!r}, got {tok!r}")
+
+    # -- grammar -------------------------------------------------------- #
+    def parse(self) -> np.ndarray:
+        mask = self._or_expr()
+        if self._peek() is not None:
+            raise SelectionError(f"unexpected trailing token {self._peek()!r}")
+        return mask
+
+    def _or_expr(self) -> np.ndarray:
+        mask = self._and_expr()
+        while self._peek() == "or":
+            self._next()
+            mask = mask | self._and_expr()
+        return mask
+
+    def _and_expr(self) -> np.ndarray:
+        mask = self._not_expr()
+        while self._peek() == "and":
+            self._next()
+            mask = mask & self._not_expr()
+        return mask
+
+    def _not_expr(self) -> np.ndarray:
+        if self._peek() == "not":
+            self._next()
+            return ~self._not_expr()
+        return self._primary()
+
+    def _primary(self) -> np.ndarray:
+        tok = self._next()
+        if tok == "(":
+            mask = self._or_expr()
+            self._expect(")")
+            return mask
+        if tok == "all":
+            return np.ones(self.n, dtype=bool)
+        if tok == "none":
+            return np.zeros(self.n, dtype=bool)
+        if tok in _KEYWORD_FIELDS:
+            return self._match_patterns(getattr(self.top, _KEYWORD_FIELDS[tok]))
+        if tok in _INT_FIELDS:
+            values = (
+                np.arange(self.n, dtype=np.int64)
+                if tok == "index"
+                else self.top.resids
+            )
+            return self._match_int_ranges(values, keyword=tok)
+        if tok == "prop":
+            return self._match_prop()
+        raise SelectionError(f"unknown selection keyword {tok!r}")
+
+    # -- leaf matchers --------------------------------------------------- #
+    def _collect_args(self) -> List[str]:
+        args: List[str] = []
+        while True:
+            tok = self._peek()
+            if tok is None or tok in _RESERVED:
+                break
+            args.append(self._next())
+        if not args:
+            raise SelectionError("selection keyword requires at least one argument")
+        return args
+
+    def _match_patterns(self, values: np.ndarray) -> np.ndarray:
+        patterns = self._collect_args()
+        mask = np.zeros(self.n, dtype=bool)
+        str_values = np.array([str(v) for v in values], dtype=object)
+        for pattern in patterns:
+            if any(ch in pattern for ch in "*?[]"):
+                matches = np.array(
+                    [fnmatch.fnmatchcase(v, pattern) for v in str_values], dtype=bool
+                )
+            else:
+                matches = str_values == pattern
+            mask |= matches
+        return mask
+
+    def _match_int_ranges(self, values: np.ndarray, keyword: str) -> np.ndarray:
+        args = self._collect_args()
+        mask = np.zeros(self.n, dtype=bool)
+        for arg in args:
+            if ":" in arg:
+                lo_s, hi_s = arg.split(":", 1)
+                try:
+                    lo, hi = int(lo_s), int(hi_s)
+                except ValueError as exc:
+                    raise SelectionError(
+                        f"invalid range {arg!r} for {keyword!r}"
+                    ) from exc
+                mask |= (values >= lo) & (values <= hi)
+            else:
+                try:
+                    val = int(arg)
+                except ValueError as exc:
+                    raise SelectionError(
+                        f"invalid integer {arg!r} for {keyword!r}"
+                    ) from exc
+                mask |= values == val
+        return mask
+
+    def _match_prop(self) -> np.ndarray:
+        prop = self._next()
+        op = self._next()
+        value_tok = self._next()
+        if op not in _PROP_COMPARATORS:
+            raise SelectionError(f"invalid comparator {op!r} in prop selection")
+        try:
+            value = float(value_tok)
+        except ValueError as exc:
+            raise SelectionError(f"invalid number {value_tok!r} in prop selection") from exc
+        if prop == "mass":
+            data = self.top.masses
+        elif prop == "charge":
+            data = self.top.charges
+        elif prop in ("x", "y", "z"):
+            if self.positions is None:
+                raise SelectionError(
+                    f"prop {prop} selection requires positions to be supplied"
+                )
+            data = np.asarray(self.positions)[:, "xyz".index(prop)]
+        else:
+            raise SelectionError(f"unknown property {prop!r}")
+        if op == "<":
+            return data < value
+        if op == "<=":
+            return data <= value
+        if op == ">":
+            return data > value
+        if op == ">=":
+            return data >= value
+        if op == "==":
+            return data == value
+        return data != value
+
+
+def parse_selection(selection: str, topology: Topology,
+                    positions: np.ndarray | None = None) -> np.ndarray:
+    """Parse ``selection`` and return a boolean mask over atoms.
+
+    Parameters
+    ----------
+    selection:
+        Selection string, see module docstring for the grammar.
+    topology:
+        Topology providing the per-atom attributes.
+    positions:
+        Optional ``(n_atoms, 3)`` array; required only for ``prop x|y|z``.
+    """
+    tokens = _tokenize(selection)
+    if not tokens:
+        raise SelectionError("empty selection string")
+    return _Parser(tokens, topology, positions).parse()
+
+
+def select(selection: str, topology: Topology,
+           positions: np.ndarray | None = None) -> np.ndarray:
+    """Return the sorted atom indices matching ``selection``."""
+    mask = parse_selection(selection, topology, positions)
+    return np.flatnonzero(mask)

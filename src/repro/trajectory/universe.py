@@ -1,0 +1,219 @@
+"""Universe and AtomGroup: the user-facing system objects.
+
+These mirror the MDAnalysis ``Universe``/``AtomGroup`` pattern used
+throughout the paper: the user builds a ``Universe`` from topology +
+trajectory, selects an ``AtomGroup`` with a selection string (for example
+the phosphorus head groups of a bilayer), and hands the group's positions
+to an analysis algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .selections import select
+from .topology import Topology
+from .trajectory import Frame, Trajectory
+
+__all__ = ["Universe", "AtomGroup"]
+
+
+class AtomGroup:
+    """An ordered set of atoms belonging to a :class:`Universe`.
+
+    The group is defined by integer indices into the universe's topology;
+    positions are always read from the universe's *current frame*, so
+    iterating the universe's trajectory updates what
+    :attr:`positions` returns — the same semantics MDAnalysis users rely
+    on when analyzing a trajectory frame by frame.
+    """
+
+    def __init__(self, universe: "Universe", indices: Sequence[int]) -> None:
+        self._universe = universe
+        self._indices = np.asarray(indices, dtype=np.int64)
+        if self._indices.size and (
+            self._indices.min() < 0 or self._indices.max() >= universe.n_atoms
+        ):
+            raise IndexError("atom indices out of range for universe")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def universe(self) -> "Universe":
+        """The parent universe."""
+        return self._universe
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Indices of the member atoms into the universe."""
+        return self._indices
+
+    @property
+    def n_atoms(self) -> int:
+        """Number of atoms in the group."""
+        return int(self._indices.size)
+
+    def __len__(self) -> int:
+        return self.n_atoms
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AtomGroup with {self.n_atoms} atoms>"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def positions(self) -> np.ndarray:
+        """Positions of the member atoms in the universe's current frame."""
+        return self._universe.current_frame.positions[self._indices]
+
+    @property
+    def names(self) -> np.ndarray:
+        """Atom names of the member atoms."""
+        return self._universe.topology.names[self._indices]
+
+    @property
+    def resids(self) -> np.ndarray:
+        """Residue ids of the member atoms."""
+        return self._universe.topology.resids[self._indices]
+
+    @property
+    def resnames(self) -> np.ndarray:
+        """Residue names of the member atoms."""
+        return self._universe.topology.resnames[self._indices]
+
+    @property
+    def masses(self) -> np.ndarray:
+        """Masses of the member atoms."""
+        return self._universe.topology.masses[self._indices]
+
+    @property
+    def topology(self) -> Topology:
+        """A topology restricted to this group."""
+        return self._universe.topology.subset(self._indices)
+
+    # ------------------------------------------------------------------ #
+    def center_of_geometry(self) -> np.ndarray:
+        """Centroid of the member atoms in the current frame."""
+        if self.n_atoms == 0:
+            raise ValueError("cannot compute the center of an empty AtomGroup")
+        return self.positions.mean(axis=0)
+
+    def center_of_mass(self) -> np.ndarray:
+        """Mass-weighted center of the member atoms in the current frame."""
+        if self.n_atoms == 0:
+            raise ValueError("cannot compute the center of an empty AtomGroup")
+        masses = self.masses
+        total = masses.sum()
+        if total <= 0:
+            return self.center_of_geometry()
+        return (self.positions * masses[:, None]).sum(axis=0) / total
+
+    def select_atoms(self, selection: str) -> "AtomGroup":
+        """Refine this group with another selection string."""
+        sub = select(selection, self.topology, self.positions)
+        return AtomGroup(self._universe, self._indices[sub])
+
+    def trajectory_slice(self) -> Trajectory:
+        """Extract the full trajectory restricted to this group's atoms."""
+        return self._universe.trajectory.select_atoms_by_index(self._indices)
+
+    def __getitem__(self, item) -> "AtomGroup":
+        if isinstance(item, (int, np.integer)):
+            return AtomGroup(self._universe, [self._indices[int(item)]])
+        return AtomGroup(self._universe, self._indices[item])
+
+    def union(self, other: "AtomGroup") -> "AtomGroup":
+        """Union of two groups (order preserving, duplicates removed)."""
+        if other.universe is not self._universe:
+            raise ValueError("cannot combine AtomGroups from different universes")
+        combined = np.concatenate([self._indices, other._indices])
+        _, first = np.unique(combined, return_index=True)
+        return AtomGroup(self._universe, combined[np.sort(first)])
+
+
+class Universe:
+    """Topology + trajectory, the top-level analysis object.
+
+    Parameters
+    ----------
+    topology:
+        The system topology.
+    trajectory:
+        The trajectory; its atom count must match the topology.
+    """
+
+    def __init__(self, topology: Topology, trajectory: Trajectory) -> None:
+        if topology.n_atoms != trajectory.n_atoms:
+            raise ValueError(
+                f"topology ({topology.n_atoms} atoms) does not match trajectory "
+                f"({trajectory.n_atoms} atoms)"
+            )
+        self.topology = topology
+        self.trajectory = trajectory
+        self._frame_index = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_positions(cls, positions: np.ndarray,
+                       topology: Topology | None = None) -> "Universe":
+        """Build a universe from a raw position array.
+
+        ``positions`` may be ``(n_atoms, 3)`` (single frame) or
+        ``(n_frames, n_atoms, 3)``.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim == 2:
+            positions = positions[None, :, :]
+        traj = Trajectory(positions, topology=topology)
+        return cls(traj.topology, traj)
+
+    @property
+    def n_atoms(self) -> int:
+        """Number of atoms in the system."""
+        return self.topology.n_atoms
+
+    @property
+    def n_frames(self) -> int:
+        """Number of frames in the trajectory."""
+        return self.trajectory.n_frames
+
+    # ------------------------------------------------------------------ #
+    @property
+    def current_frame(self) -> Frame:
+        """The currently active frame (set by :meth:`goto_frame` / iteration)."""
+        return self.trajectory.frame(self._frame_index)
+
+    @property
+    def frame_index(self) -> int:
+        """Index of the currently active frame."""
+        return self._frame_index
+
+    def goto_frame(self, index: int) -> Frame:
+        """Make ``index`` the active frame and return it."""
+        frame = self.trajectory.frame(index)
+        self._frame_index = frame.index
+        return frame
+
+    def iter_frames(self) -> Iterator[Frame]:
+        """Iterate over frames, updating the active frame as we go."""
+        for i in range(self.n_frames):
+            yield self.goto_frame(i)
+
+    # ------------------------------------------------------------------ #
+    def select_atoms(self, selection: str) -> AtomGroup:
+        """Select atoms with the mini selection language.
+
+        Examples
+        --------
+        >>> u.select_atoms("name P")            # doctest: +SKIP
+        >>> u.select_atoms("resname POPC and prop z > 50")  # doctest: +SKIP
+        """
+        indices = select(selection, self.topology, self.current_frame.positions)
+        return AtomGroup(self, indices)
+
+    def atoms(self) -> AtomGroup:
+        """An AtomGroup containing every atom."""
+        return AtomGroup(self, np.arange(self.n_atoms, dtype=np.int64))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Universe: {self.n_atoms} atoms, {self.n_frames} frames>"

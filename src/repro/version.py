@@ -1,0 +1,9 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: Paper reproduced by this package.
+PAPER = (
+    "Paraskevakos et al., 'Task-parallel Analysis of Molecular Dynamics "
+    "Trajectories', ICPP 2018 (arXiv:1801.07630)"
+)

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frameworks import make_framework
+from repro.trajectory import (
+    BilayerSpec,
+    EnsembleSpec,
+    make_bilayer,
+    make_clustered_ensemble,
+    paper_psa_ensemble,
+)
+
+FRAMEWORK_NAMES = ("sparklite", "dasklite", "pilot", "mpilite")
+
+
+@pytest.fixture(scope="session")
+def small_ensemble():
+    """A small clustered PSA ensemble (6 trajectories, 2 path families)."""
+    return make_clustered_ensemble(
+        EnsembleSpec(n_trajectories=6, n_frames=10, n_atoms=24, n_clusters=2, seed=7)
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_shaped_ensemble():
+    """A down-scaled version of the paper's 'small' PSA dataset."""
+    return paper_psa_ensemble("small", 8, n_frames=12, scale=0.01, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_bilayer():
+    """A small bilayer: positions plus ground-truth leaflet labels."""
+    spec = BilayerSpec(n_atoms=360, seed=11)
+    positions, labels = make_bilayer(spec)
+    return positions, labels
+
+
+@pytest.fixture(scope="session")
+def curved_bilayer():
+    """A bilayer with curvature (still two distinct leaflets)."""
+    spec = BilayerSpec(n_atoms=400, seed=5, curvature_amplitude=4.0,
+                       curvature_periods=1.5)
+    positions, labels = make_bilayer(spec)
+    return positions, labels
+
+
+@pytest.fixture(params=FRAMEWORK_NAMES)
+def any_framework(request):
+    """Each of the four framework substrates, threads executor, 2 workers."""
+    fw = make_framework(request.param, executor="threads", workers=2)
+    yield fw
+    fw.close()
+
+
+@pytest.fixture(params=FRAMEWORK_NAMES)
+def serial_framework(request):
+    """Each of the four framework substrates with the serial executor."""
+    fw = make_framework(request.param, executor="serial")
+    yield fw
+    fw.close()
+
+
+@pytest.fixture()
+def rng():
+    """A seeded random generator."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,121 @@
+"""Unit tests for Hausdorff / Fréchet path metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hausdorff import (
+    directed_hausdorff,
+    discrete_frechet,
+    hausdorff,
+    hausdorff_earlybreak,
+    hausdorff_naive,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+def straight_path(n_frames, n_atoms, offset=0.0):
+    """A straight-line path in configuration space shifted by ``offset``."""
+    t = np.linspace(0.0, 1.0, n_frames)[:, None, None]
+    base = np.zeros((n_atoms, 3))
+    end = np.ones((n_atoms, 3)) * 10.0
+    return (1 - t) * base + t * end + offset
+
+
+class TestHausdorffBasics:
+    def test_identical_paths_zero(self, rng):
+        a = rng.normal(size=(6, 5, 3))
+        assert hausdorff(a, a) == pytest.approx(0.0, abs=1e-6)
+        assert hausdorff_naive(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self, rng):
+        a, b = rng.normal(size=(5, 4, 3)), rng.normal(size=(7, 4, 3))
+        assert hausdorff(a, b) == pytest.approx(hausdorff(b, a))
+
+    def test_translation_gives_exact_offset(self):
+        a = straight_path(10, 4)
+        b = straight_path(10, 4, offset=2.0)
+        # every frame displaced by 2 in each coordinate -> dRMS = 2*sqrt(3)
+        assert hausdorff(a, b) == pytest.approx(2.0 * np.sqrt(3.0), rel=1e-9)
+
+    def test_non_negative(self, rng):
+        a, b = rng.normal(size=(4, 3, 3)), rng.normal(size=(5, 3, 3))
+        assert hausdorff(a, b) >= 0.0
+
+    def test_different_frame_counts_allowed(self, rng):
+        a, b = rng.normal(size=(3, 4, 3)), rng.normal(size=(9, 4, 3))
+        assert hausdorff(a, b) > 0.0
+
+    def test_atom_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            hausdorff(rng.normal(size=(3, 4, 3)), rng.normal(size=(3, 5, 3)))
+
+    def test_empty_trajectory_raises(self):
+        with pytest.raises(ValueError):
+            hausdorff(np.empty((0, 4, 3)), np.zeros((2, 4, 3)))
+
+
+class TestImplementationAgreement:
+    """The three Hausdorff implementations are the same function."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_vectorized_equals_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(6, 5, 3))
+        b = rng.normal(size=(8, 5, 3))
+        assert hausdorff(a, b) == pytest.approx(hausdorff_naive(a, b), rel=1e-10)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_earlybreak_equals_vectorized(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        a = rng.normal(size=(7, 4, 3))
+        b = rng.normal(size=(5, 4, 3))
+        assert hausdorff_earlybreak(a, b, shuffle_seed=seed) == pytest.approx(
+            hausdorff(a, b), rel=1e-10
+        )
+
+    def test_earlybreak_without_shuffle(self, rng):
+        a, b = rng.normal(size=(5, 3, 3)), rng.normal(size=(6, 3, 3))
+        assert hausdorff_earlybreak(a, b, shuffle_seed=None) == pytest.approx(
+            hausdorff(a, b), rel=1e-10
+        )
+
+
+class TestDirectedHausdorff:
+    def test_symmetric_is_max_of_directed(self, rng):
+        a, b = rng.normal(size=(5, 4, 3)), rng.normal(size=(6, 4, 3))
+        expected = max(directed_hausdorff(a, b), directed_hausdorff(b, a))
+        assert hausdorff(a, b) == pytest.approx(expected)
+
+    def test_directed_can_be_asymmetric(self):
+        # path b is a sub-path of a: h(b, a) == 0 but h(a, b) > 0
+        a = straight_path(20, 2)
+        b = a[:5]
+        assert directed_hausdorff(b, a) == pytest.approx(0.0, abs=1e-9)
+        assert directed_hausdorff(a, b) > 1.0
+
+
+class TestFrechet:
+    def test_identical_zero(self, rng):
+        a = rng.normal(size=(6, 4, 3))
+        assert discrete_frechet(a, a) == pytest.approx(0.0, abs=1e-6)
+
+    def test_frechet_geq_hausdorff(self, rng):
+        """The Fréchet distance upper-bounds the Hausdorff distance."""
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            a = local.normal(size=(6, 3, 3))
+            b = local.normal(size=(7, 3, 3))
+            assert discrete_frechet(a, b) >= hausdorff(a, b) - 1e-9
+
+    def test_translation_offset(self):
+        a = straight_path(8, 3)
+        b = straight_path(8, 3, offset=1.0)
+        assert discrete_frechet(a, b) == pytest.approx(np.sqrt(3.0), rel=1e-9)
+
+    def test_symmetry(self, rng):
+        a, b = rng.normal(size=(5, 3, 3)), rng.normal(size=(4, 3, 3))
+        assert discrete_frechet(a, b) == pytest.approx(discrete_frechet(b, a))

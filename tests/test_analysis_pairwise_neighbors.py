@@ -1,0 +1,201 @@
+"""Unit tests for pairwise-distance edge discovery and neighbor search."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.analysis.neighbors import (
+    BallTree,
+    GridNeighborSearch,
+    brute_force_radius,
+    radius_edges,
+)
+from repro.analysis.pairwise import (
+    edges_from_block,
+    edges_within_cutoff,
+    estimate_pairwise_memory,
+    iter_distance_blocks,
+    pairwise_distances,
+    self_edges_within_cutoff,
+)
+
+
+@pytest.fixture()
+def cloud(rng):
+    return rng.uniform(0.0, 50.0, size=(120, 3))
+
+
+def reference_edges(points, cutoff):
+    """Brute-force reference: all (i < j) pairs within cutoff."""
+    dist = cdist(points, points)
+    out = set()
+    n = len(points)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dist[i, j] <= cutoff:
+                out.add((i, j))
+    return out
+
+
+class TestPairwiseDistances:
+    def test_matches_cdist(self, rng):
+        a, b = rng.normal(size=(10, 3)), rng.normal(size=(7, 3))
+        assert np.allclose(pairwise_distances(a, b), cdist(a, b))
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((4, 2)), np.zeros((4, 3)))
+
+
+class TestEdgesFromBlock:
+    def test_simple_pair(self):
+        a = np.array([[0.0, 0, 0], [10.0, 0, 0]])
+        edges = self_edges_within_cutoff(a, 1.0)
+        assert edges.shape == (0, 2)
+        edges = self_edges_within_cutoff(a, 15.0)
+        assert edges.tolist() == [[0, 1]]
+
+    def test_offsets_applied(self):
+        a = np.zeros((2, 3))
+        b = np.zeros((3, 3))
+        edges = edges_within_cutoff(a, b, 1.0, offset_a=10, offset_b=20)
+        assert set(map(tuple, edges)) == {(10, 20), (10, 21), (10, 22),
+                                          (11, 20), (11, 21), (11, 22)}
+
+    def test_self_block_excludes_diagonal_and_mirrors(self, rng):
+        points = rng.uniform(0, 10, size=(20, 3))
+        edges = self_edges_within_cutoff(points, 4.0)
+        assert all(i < j for i, j in edges)
+        assert len(set(map(tuple, edges))) == len(edges)
+
+    def test_exclude_self_requires_square(self):
+        with pytest.raises(ValueError):
+            edges_from_block(np.zeros((2, 3)), np.zeros((3, 3)), 1.0, exclude_self=True)
+
+    def test_cutoff_validation(self):
+        with pytest.raises(ValueError):
+            edges_from_block(np.zeros((2, 3)), np.zeros((2, 3)), 0.0)
+
+    def test_block_decomposition_equals_global(self, cloud):
+        """Union of 2-D block edges == edges of the whole system."""
+        cutoff = 8.0
+        expected = reference_edges(cloud, cutoff)
+        found = set()
+        for r0, c0, rows, cols in iter_distance_blocks(cloud, block_size=37):
+            if r0 == c0:
+                block_edges = edges_from_block(rows, cols, cutoff, r0, c0, exclude_self=True)
+            else:
+                block_edges = edges_from_block(rows, cols, cutoff, r0, c0)
+            found.update(map(tuple, block_edges))
+        assert found == expected
+
+
+class TestIterDistanceBlocks:
+    def test_covers_upper_triangle_only(self):
+        points = np.zeros((10, 3))
+        blocks = list(iter_distance_blocks(points, 4))
+        coords = [(r, c) for r, c, _, _ in blocks]
+        assert coords == [(0, 0), (0, 4), (0, 8), (4, 4), (4, 8), (8, 8)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(iter_distance_blocks(np.zeros((5, 2)), 2))
+        with pytest.raises(ValueError):
+            list(iter_distance_blocks(np.zeros((5, 3)), 0))
+
+
+class TestMemoryEstimate:
+    def test_double_precision_block(self):
+        assert estimate_pairwise_memory(1000, 1000) == 8_000_000
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            estimate_pairwise_memory(-1, 10)
+
+
+class TestBallTree:
+    def test_matches_brute_force(self, cloud):
+        tree = BallTree(cloud, leaf_size=8)
+        queries = cloud[:25]
+        expected = brute_force_radius(cloud, queries, 9.0)
+        got = tree.query_radius(queries, 9.0)
+        for e, g in zip(expected, got):
+            assert np.array_equal(np.sort(e), np.sort(g))
+
+    def test_single_query_vector(self, cloud):
+        tree = BallTree(cloud)
+        result = tree.query_radius(cloud[0], 5.0)
+        assert len(result) == 1
+        assert 0 in result[0]
+
+    def test_count_within(self, cloud):
+        tree = BallTree(cloud)
+        counts = tree.count_within(cloud[:5], 6.0)
+        brute = brute_force_radius(cloud, cloud[:5], 6.0)
+        assert counts.tolist() == [len(b) for b in brute]
+
+    def test_empty_tree(self):
+        tree = BallTree(np.empty((0, 3)))
+        assert tree.query_radius(np.zeros((1, 3)), 1.0)[0].size == 0
+
+    def test_duplicate_points(self):
+        points = np.zeros((50, 3))
+        tree = BallTree(points, leaf_size=4)
+        hits = tree.query_radius(np.zeros((1, 3)), 0.5)[0]
+        assert hits.size == 50
+
+    def test_validation(self, cloud):
+        with pytest.raises(ValueError):
+            BallTree(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            BallTree(cloud, leaf_size=0)
+        tree = BallTree(cloud)
+        with pytest.raises(ValueError):
+            tree.query_radius(cloud[:2], -1.0)
+        with pytest.raises(ValueError):
+            tree.query_radius(np.zeros((2, 4)), 1.0)
+
+
+class TestGridNeighborSearch:
+    def test_matches_brute_force(self, cloud):
+        grid = GridNeighborSearch(cloud, cell_size=7.0)
+        queries = cloud[:20]
+        expected = brute_force_radius(cloud, queries, 7.0)
+        got = grid.query_radius(queries, 7.0)
+        for e, g in zip(expected, got):
+            assert np.array_equal(np.sort(e), np.sort(g))
+
+    def test_radius_larger_than_cell(self, cloud):
+        grid = GridNeighborSearch(cloud, cell_size=3.0)
+        expected = brute_force_radius(cloud, cloud[:10], 8.0)
+        got = grid.query_radius(cloud[:10], 8.0)
+        for e, g in zip(expected, got):
+            assert np.array_equal(np.sort(e), np.sort(g))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridNeighborSearch(np.zeros((3, 3)), cell_size=0.0)
+
+
+class TestRadiusEdges:
+    @pytest.mark.parametrize("method", ["balltree", "grid", "brute"])
+    def test_all_methods_agree_with_reference(self, cloud, method):
+        cutoff = 8.0
+        expected = reference_edges(cloud, cutoff)
+        edges = radius_edges(cloud, cutoff, method=method)
+        assert set(map(tuple, edges)) == expected
+
+    def test_query_subset(self, cloud):
+        cutoff = 8.0
+        edges = radius_edges(cloud, cutoff, query_indices=np.arange(10))
+        # only edges whose smaller endpoint is < 10 can be discovered this way
+        expected = {(i, j) for i, j in reference_edges(cloud, cutoff) if i < 10}
+        assert set(map(tuple, edges)) == expected
+
+    def test_unknown_method(self, cloud):
+        with pytest.raises(ValueError):
+            radius_edges(cloud, 5.0, method="quadtree")
+
+    def test_no_edges(self):
+        points = np.array([[0.0, 0, 0], [100.0, 0, 0]])
+        assert radius_edges(points, 1.0).shape == (0, 2)

@@ -1,0 +1,131 @@
+"""Unit tests for the RMSD kernels."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rmsd import (
+    kabsch_rmsd,
+    kabsch_rotation,
+    pairwise_rmsd_loop,
+    rmsd,
+    rmsd_matrix,
+    rmsd_matrix_blocked,
+    rmsd_trajectory,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestRMSD:
+    def test_identical_frames_zero(self, rng):
+        frame = rng.normal(size=(10, 3))
+        assert rmsd(frame, frame) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        a = np.zeros((2, 3))
+        b = np.array([[1.0, 0, 0], [0, 1.0, 0]])
+        # each atom displaced by 1 -> rmsd = 1
+        assert rmsd(a, b) == pytest.approx(1.0)
+
+    def test_symmetry(self, rng):
+        a, b = rng.normal(size=(5, 3)), rng.normal(size=(5, 3))
+        assert rmsd(a, b) == pytest.approx(rmsd(b, a))
+
+    def test_translation_changes_plain_rmsd(self, rng):
+        a = rng.normal(size=(8, 3))
+        assert rmsd(a, a + 5.0) == pytest.approx(np.sqrt(3 * 25.0))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            rmsd(rng.normal(size=(4, 3)), rng.normal(size=(5, 3)))
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            rmsd(np.zeros((4, 2)), np.zeros((4, 2)))
+
+
+class TestKabsch:
+    def test_rotation_is_orthogonal(self, rng):
+        a = rng.normal(size=(10, 3))
+        a -= a.mean(axis=0)
+        b = rng.normal(size=(10, 3))
+        b -= b.mean(axis=0)
+        rot = kabsch_rotation(a, b)
+        assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-10)
+        assert np.linalg.det(rot) == pytest.approx(1.0)
+
+    def test_kabsch_removes_rotation_and_translation(self, rng):
+        a = rng.normal(size=(12, 3))
+        theta = 0.7
+        rotation = np.array([[np.cos(theta), -np.sin(theta), 0],
+                             [np.sin(theta), np.cos(theta), 0],
+                             [0, 0, 1.0]])
+        b = a @ rotation.T + np.array([3.0, -1.0, 2.0])
+        assert kabsch_rmsd(a, b) == pytest.approx(0.0, abs=1e-9)
+        assert rmsd(a, b) > 1.0  # plain RMSD sees the transformation
+
+    def test_kabsch_leq_plain(self, rng):
+        a, b = rng.normal(size=(9, 3)), rng.normal(size=(9, 3))
+        assert kabsch_rmsd(a, b) <= rmsd(a - a.mean(0), b - b.mean(0)) + 1e-12
+
+    def test_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            kabsch_rmsd(rng.normal(size=(4, 3)), rng.normal(size=(6, 3)))
+
+
+class TestRmsdTrajectory:
+    def test_reference_default_first_frame(self, rng):
+        traj = rng.normal(size=(5, 6, 3))
+        series = rmsd_trajectory(traj)
+        assert series.shape == (5,)
+        assert series[0] == pytest.approx(0.0)
+
+    def test_explicit_reference(self, rng):
+        traj = rng.normal(size=(4, 6, 3))
+        ref = rng.normal(size=(6, 3))
+        series = rmsd_trajectory(traj, reference=ref)
+        assert series[2] == pytest.approx(rmsd(traj[2], ref))
+
+    def test_superposition_path(self, rng):
+        traj = rng.normal(size=(3, 6, 3))
+        plain = rmsd_trajectory(traj)
+        fitted = rmsd_trajectory(traj, superposition=True)
+        assert np.all(fitted <= plain + 1e-9)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            rmsd_trajectory(np.zeros((5, 3)))
+
+
+class TestRmsdMatrix:
+    def test_matches_loop_reference(self, rng):
+        a = rng.normal(size=(6, 5, 3))
+        b = rng.normal(size=(4, 5, 3))
+        assert np.allclose(rmsd_matrix(a, b), pairwise_rmsd_loop(a, b), atol=1e-10)
+
+    def test_blocked_matches_full(self, rng):
+        a = rng.normal(size=(7, 4, 3))
+        b = rng.normal(size=(9, 4, 3))
+        assert np.allclose(rmsd_matrix_blocked(a, b, block=3), rmsd_matrix(a, b), atol=1e-12)
+
+    def test_diagonal_of_self_comparison_zero(self, rng):
+        a = rng.normal(size=(5, 6, 3))
+        mat = rmsd_matrix(a, a)
+        assert np.allclose(np.diag(mat), 0.0, atol=1e-7)
+
+    def test_non_negative(self, rng):
+        a = rng.normal(size=(5, 4, 3))
+        b = rng.normal(size=(6, 4, 3))
+        assert np.all(rmsd_matrix(a, b) >= 0.0)
+
+    def test_atom_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            rmsd_matrix(rng.normal(size=(3, 4, 3)), rng.normal(size=(3, 5, 3)))
+
+    def test_blocked_bad_block(self, rng):
+        a = rng.normal(size=(3, 4, 3))
+        with pytest.raises(ValueError):
+            rmsd_matrix_blocked(a, a, block=0)

@@ -1,0 +1,146 @@
+"""Unit tests for the high-level API and the characterization / decision framework."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import compare_frameworks, compare_leaflet_approaches, leaflet_finder, psa
+from repro.core.characterization import (
+    DECISION_FRAMEWORK,
+    FRAMEWORK_COMPARISON,
+    LEAFLET_MAPREDUCE_OPERATIONS,
+    LEAFLET_OGRES,
+    PSA_OGRES,
+    Support,
+    decision_framework_table,
+    framework_comparison_table,
+    leaflet_operations_table,
+    recommend_framework,
+    render_table,
+)
+from repro.core.psa import psa_serial
+from repro.frameworks import make_framework
+from repro.trajectory import BilayerSpec, make_bilayer_universe
+
+
+class TestHighLevelApi:
+    def test_psa_with_framework_name(self, small_ensemble):
+        matrix, report = psa(small_ensemble, framework="dask", workers=2, n_tasks=4)
+        assert np.allclose(matrix.values, psa_serial(small_ensemble).values, atol=1e-9)
+        assert report.framework == "dasklite"
+
+    def test_psa_with_framework_instance(self, small_ensemble):
+        fw = make_framework("mpi", workers=2)
+        matrix, _ = psa(small_ensemble, framework=fw, group_size=3)
+        assert matrix.is_symmetric()
+        fw.close()
+
+    def test_leaflet_finder_from_universe(self):
+        universe, labels = make_bilayer_universe(BilayerSpec(n_atoms=200, seed=23))
+        result, report = leaflet_finder(universe, framework="spark", workers=2,
+                                        approach="parallel-cc", n_tasks=4)
+        assert result.agreement_with(labels) == 1.0
+        assert report.algorithm.startswith("leaflet_finder")
+
+    def test_leaflet_finder_from_positions(self, small_bilayer):
+        positions, labels = small_bilayer
+        result, _ = leaflet_finder(positions, framework="mpi", workers=2,
+                                   approach="task-2d", n_tasks=4)
+        assert result.agreement_with(labels) == 1.0
+
+    def test_leaflet_finder_empty_selection(self):
+        universe, _ = make_bilayer_universe(BilayerSpec(n_atoms=50, seed=2))
+        with pytest.raises(ValueError):
+            leaflet_finder(universe, selection="name ZZZ")
+
+    def test_compare_frameworks_reports_all(self, small_ensemble):
+        reports = compare_frameworks(small_ensemble,
+                                     frameworks=("dasklite", "mpilite"),
+                                     workers=2, n_tasks=4)
+        assert set(reports) == {"dasklite", "mpilite"}
+        assert all(r.wall_time_s > 0 for r in reports.values())
+
+    def test_compare_leaflet_approaches_consistent(self, small_bilayer):
+        positions, _ = small_bilayer
+        reports = compare_leaflet_approaches(positions, framework="dasklite",
+                                             approaches=("task-2d", "parallel-cc"),
+                                             n_tasks=4, workers=2)
+        assert set(reports) == {"task-2d", "parallel-cc"}
+
+
+class TestOgres:
+    def test_psa_classification(self):
+        facets = PSA_OGRES.all_facets()
+        assert set(facets) == {"execution", "data source & style", "processing",
+                               "problem architecture"}
+        assert any("embarrassingly parallel" in f for f in PSA_OGRES.problem_architecture)
+
+    def test_leaflet_classification(self):
+        assert any("MapReduce" in f for f in LEAFLET_OGRES.problem_architecture)
+        assert any("graph" in f for f in LEAFLET_OGRES.processing)
+
+
+class TestTables:
+    def test_table1_content(self):
+        assert set(FRAMEWORK_COMPARISON) == {"RADICAL-Pilot", "Spark", "Dask"}
+        assert FRAMEWORK_COMPARISON["RADICAL-Pilot"]["shuffle"] == "-"
+        text = framework_comparison_table()
+        assert "Stage-oriented DAG" in text
+
+    def test_table2_content(self):
+        assert set(LEAFLET_MAPREDUCE_OPERATIONS) == {"broadcast-1d", "task-2d",
+                                                     "parallel-cc", "tree-search"}
+        assert "O(n)" in LEAFLET_MAPREDUCE_OPERATIONS["parallel-cc"]["shuffle"]
+        assert "O(E)" in LEAFLET_MAPREDUCE_OPERATIONS["task-2d"]["shuffle"]
+        assert "tree" in leaflet_operations_table()
+
+    def test_table2_matches_leaflet_approaches(self):
+        from repro.core.leaflet import LEAFLET_APPROACHES
+        assert set(LEAFLET_MAPREDUCE_OPERATIONS) == set(LEAFLET_APPROACHES)
+
+    def test_table3_content(self):
+        frameworks = {"RADICAL-Pilot", "Spark", "Dask"}
+        for criterion, row in DECISION_FRAMEWORK.items():
+            assert set(row) == frameworks, criterion
+            assert all(level in Support.ORDER for level in row.values())
+        text = decision_framework_table()
+        assert "throughput" in text
+
+    def test_support_scoring(self):
+        assert Support.score("++") > Support.score("+") > Support.score("o") > Support.score("-")
+        with pytest.raises(ValueError):
+            Support.score("+++")
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+
+class TestRecommendation:
+    def test_shuffle_heavy_prefers_spark(self):
+        ranking = recommend_framework({"shuffle": 1.0, "broadcast": 1.0, "caching": 1.0})
+        assert ranking[0][0] == "Spark"
+
+    def test_python_task_api_prefers_dask(self):
+        ranking = recommend_framework({"task_api": 1.0, "throughput": 1.0,
+                                       "low_latency": 1.0})
+        assert ranking[0][0] == "Dask"
+
+    def test_mpi_hpc_prefers_pilot(self):
+        ranking = recommend_framework({"mpi_hpc_tasks": 1.0, "python_native_code": 1.0})
+        assert ranking[0][0] == "RADICAL-Pilot"
+
+    def test_scores_bounded(self):
+        ranking = recommend_framework({"shuffle": 2.0})
+        assert all(0.0 <= score <= 3.0 for _fw, score in ranking)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_framework({})
+        with pytest.raises(ValueError):
+            recommend_framework({"bogus": 1.0})
+        with pytest.raises(ValueError):
+            recommend_framework({"shuffle": -1.0})
+        with pytest.raises(ValueError):
+            recommend_framework({"shuffle": 0.0})

@@ -1,0 +1,190 @@
+"""Unit tests for core partitioning (Algorithm 2) and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioning import (
+    BlockTask,
+    choose_group_size,
+    chunk_ranges,
+    one_dimensional_partition,
+    pair_blocks,
+    tasks_for_group_size,
+    two_dimensional_partition,
+)
+from repro.core.results import DistanceMatrix, LeafletResult, RunReport
+from repro.frameworks.base import RunMetrics
+
+
+class TestChunkRanges:
+    def test_exact_division(self):
+        assert chunk_ranges(10, 5) == [(0, 5), (5, 10)]
+
+    def test_remainder(self):
+        assert chunk_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_empty(self):
+        assert chunk_ranges(0, 4) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_ranges(5, 0)
+
+
+class TestOneDimensionalPartition:
+    def test_covers_everything_without_overlap(self):
+        ranges = one_dimensional_partition(100, 7)
+        covered = []
+        for start, stop in ranges:
+            covered.extend(range(start, stop))
+        assert covered == list(range(100))
+
+    def test_nearly_equal_sizes(self):
+        sizes = [stop - start for start, stop in one_dimensional_partition(10, 3)]
+        assert sizes == [4, 3, 3]
+
+    def test_more_chunks_than_items(self):
+        ranges = one_dimensional_partition(2, 5)
+        assert len(ranges) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_dimensional_partition(10, 0)
+
+
+class TestTwoDimensionalPartition:
+    def test_block_task_properties(self):
+        diag = BlockTask(0, 4, 0, 4)
+        off = BlockTask(0, 4, 4, 8)
+        assert diag.diagonal and not off.diagonal
+        assert diag.n_pairs == 10   # 4*5/2
+        assert off.n_pairs == 16
+        assert diag.row_indices.tolist() == [0, 1, 2, 3]
+        assert off.col_indices.tolist() == [4, 5, 6, 7]
+
+    def test_upper_triangle_blocks(self):
+        blocks = two_dimensional_partition(8, 4)
+        coords = [(b.row_start, b.col_start) for b in blocks]
+        assert coords == [(0, 0), (0, 4), (4, 4)]
+
+    def test_full_matrix_blocks(self):
+        blocks = two_dimensional_partition(8, 4, upper_triangle=False)
+        assert len(blocks) == 4
+
+    def test_blocks_cover_every_pair_once(self):
+        """Union of pairs across all blocks == all unordered pairs (Algorithm 2)."""
+        n, chunk = 13, 4
+        blocks = two_dimensional_partition(n, chunk)
+        seen = set()
+        for b in blocks:
+            for i in range(b.row_start, b.row_stop):
+                for j in range(b.col_start, b.col_stop):
+                    if b.diagonal and j <= i:
+                        continue
+                    assert (i, j) not in seen
+                    seen.add((i, j))
+        expected = {(i, j) for i in range(n) for j in range(i + 1, n)}
+        assert seen == expected
+
+    def test_task_count_formula(self):
+        assert tasks_for_group_size(16, 4) == 4 * 5 // 2
+        assert tasks_for_group_size(10, 10) == 1
+
+    def test_pair_blocks_group_count(self):
+        blocks = pair_blocks(16, 4)
+        assert len(blocks) == 10
+        with pytest.raises(ValueError):
+            pair_blocks(16, 0)
+
+    def test_choose_group_size_hits_target(self):
+        n = 128
+        chunk = choose_group_size(n, 64)
+        n_tasks = tasks_for_group_size(n, chunk)
+        assert 0.4 * 64 <= n_tasks <= 2.5 * 64
+
+    def test_choose_group_size_validation(self):
+        with pytest.raises(ValueError):
+            choose_group_size(0, 4)
+        with pytest.raises(ValueError):
+            choose_group_size(10, 0)
+        assert choose_group_size(4, 1000) == 1
+
+
+class TestDistanceMatrix:
+    def test_basic_properties(self):
+        values = np.array([[0.0, 1.0], [1.0, 0.0]])
+        dm = DistanceMatrix(values, labels=["a", "b"])
+        assert dm.n == 2
+        assert dm.is_symmetric()
+        assert dm[0, 1] == 1.0
+        assert dm.condensed().tolist() == [1.0]
+        assert dm.as_dict()["labels"] == ["a", "b"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistanceMatrix(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            DistanceMatrix(np.zeros((2, 2)), labels=["only_one"])
+
+    def test_nearest_neighbors(self):
+        values = np.array([[0.0, 1.0, 5.0], [1.0, 0.0, 2.0], [5.0, 2.0, 0.0]])
+        assert DistanceMatrix(values).nearest_neighbors() == [1, 0, 1]
+
+    def test_cluster_by_threshold(self):
+        values = np.array([
+            [0.0, 0.5, 9.0, 9.0],
+            [0.5, 0.0, 9.0, 9.0],
+            [9.0, 9.0, 0.0, 0.4],
+            [9.0, 9.0, 0.4, 0.0],
+        ])
+        clusters = DistanceMatrix(values).cluster_by_threshold(1.0)
+        assert sorted(tuple(c) for c in clusters) == [(0, 1), (2, 3)]
+        with pytest.raises(ValueError):
+            DistanceMatrix(values).cluster_by_threshold(-1.0)
+
+
+class TestLeafletResult:
+    def test_leaflet_accessors(self):
+        comps = [np.array([0, 1, 2]), np.array([3, 4]), np.array([5])]
+        result = LeafletResult(comps, n_atoms=6, n_edges=4)
+        assert result.n_components == 3
+        assert result.sizes == [3, 2, 1]
+        assert result.leaflet0.tolist() == [0, 1, 2]
+        assert result.leaflet1.tolist() == [3, 4]
+        assert result.labels().tolist() == [0, 0, 0, 1, 1, 2]
+        assert result.as_dict()["n_edges"] == 4
+
+    def test_empty_result_raises(self):
+        result = LeafletResult([], n_atoms=0)
+        with pytest.raises(ValueError):
+            _ = result.leaflet0
+
+    def test_single_component_no_leaflet1(self):
+        result = LeafletResult([np.array([0, 1])], n_atoms=2)
+        with pytest.raises(ValueError):
+            _ = result.leaflet1
+
+    def test_agreement_handles_label_permutation(self):
+        comps = [np.array([0, 1]), np.array([2, 3])]
+        result = LeafletResult(comps, n_atoms=4)
+        assert result.agreement_with(np.array([0, 0, 1, 1])) == 1.0
+        assert result.agreement_with(np.array([1, 1, 0, 0])) == 1.0
+        assert result.agreement_with(np.array([0, 1, 0, 1])) == 0.5
+
+    def test_agreement_validation(self):
+        result = LeafletResult([np.array([0])], n_atoms=1)
+        with pytest.raises(ValueError):
+            result.agreement_with(np.array([0, 1]))
+
+
+class TestRunReport:
+    def test_as_dict_flattens(self):
+        report = RunReport(algorithm="psa", framework="dask",
+                           parameters={"n": 4}, wall_time_s=1.5, n_tasks=2,
+                           metrics=RunMetrics(tasks_completed=2, bytes_shuffled=10))
+        flat = report.as_dict()
+        assert flat["algorithm"] == "psa"
+        assert flat["param_n"] == 4
+        assert flat["bytes_shuffled"] == 10

@@ -1,0 +1,44 @@
+"""Smoke tests for the example scripts (run with reduced problem sizes)."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    """Run one example script in a subprocess and return its stdout."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {"quickstart.py", "psa_ensemble.py", "leaflet_membrane.py",
+                "framework_comparison.py", "paper_scale_projection.py"} <= names
+
+    def test_psa_ensemble_small(self):
+        out = run_example("psa_ensemble.py", "--trajectories", "6", "--frames", "10",
+                          "--scale", "0.005", "--workers", "2")
+        assert "mpilite" in out and "dasklite" in out
+        assert "path families" in out
+
+    def test_leaflet_membrane_small(self):
+        out = run_example("leaflet_membrane.py", "--atoms", "600", "--tasks", "8",
+                          "--workers", "2")
+        assert "tree-search" in out
+        assert "NO" not in out  # every approach agreed with the serial reference
+
+    def test_framework_comparison(self):
+        out = run_example("framework_comparison.py")
+        assert "recommendations" in out
+        assert "Spark" in out and "Dask" in out and "RADICAL-Pilot" in out

@@ -1,0 +1,172 @@
+"""Unit tests for cluster model, executors, serialization and the base framework."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.frameworks.base import BroadcastHandle, RunMetrics, TaskFramework
+from repro.frameworks.cluster import ClusterSpec, local_cluster
+from repro.frameworks.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_worker_count,
+    make_executor,
+)
+from repro.frameworks.serialization import (
+    estimate_transfer_time,
+    nbytes_of,
+    serialized_size,
+)
+
+
+class TestClusterSpec:
+    def test_totals(self):
+        spec = ClusterSpec(nodes=3, cores_per_node=24, memory_per_node_gb=128,
+                           hyperthreads_per_core=2, name="wrangler")
+        assert spec.total_cores == 72
+        assert spec.total_slots == 144
+        assert spec.total_memory_gb == 384
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(cores_per_node=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(memory_per_node_gb=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(hyperthreads_per_core=0)
+
+    def test_with_nodes(self):
+        spec = ClusterSpec(nodes=1, cores_per_node=8)
+        assert spec.with_nodes(4).total_cores == 32
+
+    def test_for_cores_rounds_up_to_whole_nodes(self):
+        spec = ClusterSpec(nodes=1, cores_per_node=24, hyperthreads_per_core=2)
+        assert spec.for_cores(32).nodes == 1
+        assert spec.for_cores(64).nodes == 2
+        assert spec.for_cores(256).nodes == 6
+        with pytest.raises(ValueError):
+            spec.for_cores(0)
+
+    def test_local_cluster(self):
+        assert local_cluster(cores=8).total_cores == 8
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("kind", ["serial", "threads"])
+    def test_map_tasks_order_preserved(self, kind):
+        ex = make_executor(kind, workers=3)
+        results = ex.map_tasks(lambda x: x * 2, list(range(20)))
+        assert results == [x * 2 for x in range(20)]
+        assert len(ex.timings) == 20
+        assert ex.total_task_time >= 0.0
+
+    def test_serial_executor_single_worker(self):
+        assert SerialExecutor().workers == 1
+
+    def test_thread_executor_propagates_exceptions(self):
+        ex = ThreadExecutor(workers=2)
+
+        def boom(x):
+            if x == 3:
+                raise RuntimeError("task failed")
+            return x
+
+        with pytest.raises(RuntimeError, match="task failed"):
+            ex.map_tasks(boom, list(range(5)))
+
+    def test_thread_executor_empty_items(self):
+        assert ThreadExecutor(2).map_tasks(lambda x: x, []) == []
+
+    def test_thread_executor_parallelism(self):
+        """Sleep-bound tasks should overlap on multiple threads."""
+        ex = ThreadExecutor(workers=4)
+        start = time.perf_counter()
+        ex.map_tasks(lambda _x: time.sleep(0.05), list(range(4)))
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.05 * 4  # strictly less than serial time
+
+    def test_map_with_args(self):
+        ex = SerialExecutor()
+        results = ex.map_with_args(lambda a, b: a + b, [(1, 2), (3, 4)])
+        assert results == [3, 7]
+
+    def test_make_executor_unknown(self):
+        with pytest.raises(ValueError):
+            make_executor("gpu")
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+    def test_process_executor_with_picklable_fn(self):
+        ex = ProcessExecutor(workers=2)
+        results = ex.map_tasks(abs, [-1, -2, 3])
+        assert results == [1, 2, 3]
+        assert len(ex.timings) == 3
+
+
+class TestSerialization:
+    def test_serialized_size_positive(self):
+        assert serialized_size({"a": list(range(100))}) > 100
+
+    def test_nbytes_of_array(self):
+        arr = np.zeros((100, 3))
+        assert nbytes_of(arr) == 2400
+
+    def test_nbytes_of_nested(self):
+        data = [np.zeros(10), np.zeros(20)]
+        assert nbytes_of(data) >= 30 * 8
+
+    def test_nbytes_of_dict_and_bytes(self):
+        assert nbytes_of({"k": b"12345"}) >= 5
+        assert nbytes_of(b"1234") == 4
+
+    def test_transfer_time_monotone_in_size(self):
+        assert estimate_transfer_time(10**9) > estimate_transfer_time(10**6)
+        with pytest.raises(ValueError):
+            estimate_transfer_time(-1)
+        with pytest.raises(ValueError):
+            estimate_transfer_time(10, bandwidth_gbps=0)
+
+
+class TestRunMetrics:
+    def test_merge_adds_fields(self):
+        a = RunMetrics(tasks_submitted=2, wall_time_s=1.0, bytes_broadcast=10)
+        b = RunMetrics(tasks_submitted=3, wall_time_s=2.0, bytes_shuffled=5)
+        merged = a.merge(b)
+        assert merged.tasks_submitted == 5
+        assert merged.wall_time_s == pytest.approx(3.0)
+        assert merged.bytes_broadcast == 10
+        assert merged.bytes_shuffled == 5
+
+    def test_record_event_and_as_dict(self):
+        m = RunMetrics()
+        m.record_event("stage", {"id": 1})
+        assert ("stage", {"id": 1}) in m.events
+        assert "wall_time_s" in m.as_dict()
+
+
+class TestTaskFrameworkBase:
+    def test_map_tasks_and_metrics(self):
+        fw = TaskFramework(executor="serial")
+        results = fw.map_tasks(lambda x: x + 1, [1, 2, 3])
+        assert results == [2, 3, 4]
+        assert fw.metrics.tasks_submitted == 3
+        assert fw.metrics.tasks_completed == 3
+        assert fw.metrics.wall_time_s > 0.0
+
+    def test_broadcast_accounts_bytes(self):
+        fw = TaskFramework(executor="serial")
+        handle = fw.broadcast(np.zeros(1000))
+        assert isinstance(handle, BroadcastHandle)
+        assert handle.nbytes == 8000
+        assert fw.metrics.bytes_broadcast == 8000
+        handle.unpersist()
+        assert handle.value is None
+
+    def test_cluster_defaults_to_executor_workers(self):
+        fw = TaskFramework(executor="threads", workers=3)
+        assert fw.cluster.total_cores == 3

@@ -1,0 +1,143 @@
+"""End-to-end integration tests crossing every layer of the library.
+
+These mirror the workflows of the paper's evaluation: build a dataset with
+the trajectory substrate, run the algorithm through a framework substrate,
+and check the scientific result plus the performance accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LeafletFinder,
+    compare_frameworks,
+    compare_leaflet_approaches,
+    leaflet_serial,
+    psa_serial,
+    run_leaflet_finder,
+    run_psa,
+)
+from repro.frameworks import make_framework
+from repro.frameworks.pilot import PilotFramework
+from repro.perfmodel import calibrate_kernels, model_psa_runtime, LOCAL
+from repro.trajectory import (
+    BilayerSpec,
+    EnsembleSpec,
+    load_ensemble,
+    make_bilayer,
+    make_bilayer_universe,
+    make_clustered_ensemble,
+    write_ensemble,
+)
+
+
+class TestPsaWorkflow:
+    def test_file_based_psa_pipeline(self, tmp_path):
+        """generate -> write to disk -> load -> parallel PSA -> cluster recovery."""
+        spec = EnsembleSpec(n_trajectories=8, n_frames=10, n_atoms=16, n_clusters=2, seed=42)
+        ensemble = make_clustered_ensemble(spec)
+        paths = write_ensemble(ensemble, tmp_path / "trajectories", fmt="npz")
+        reloaded = load_ensemble(paths)
+        assert reloaded.n_trajectories == 8
+
+        fw = make_framework("sparklite", executor="threads", workers=2)
+        matrix, report = run_psa(reloaded, fw, n_tasks=6)
+        fw.close()
+
+        assert matrix.is_symmetric()
+        assert report.metrics.tasks_completed == report.n_tasks
+        # the two path families (members 0-3 and 4-7) must be recoverable
+        within = matrix.values[:4, :4].max()
+        across = matrix.values[:4, 4:].min()
+        assert across > within
+        clusters = matrix.cluster_by_threshold((within + across) / 2)
+        assert sorted(len(c) for c in clusters) == [4, 4]
+
+    def test_all_frameworks_identical_matrices(self, paper_shaped_ensemble):
+        reports = compare_frameworks(paper_shaped_ensemble, workers=2, n_tasks=6)
+        assert set(reports) == {"sparklite", "dasklite", "pilot", "mpilite"}
+        for report in reports.values():
+            assert report.wall_time_s > 0
+            assert report.n_tasks == reports["sparklite"].n_tasks
+
+
+class TestLeafletWorkflow:
+    def test_universe_selection_to_leaflets(self):
+        """bilayer universe -> selection -> every approach on one framework."""
+        universe, labels = make_bilayer_universe(BilayerSpec(n_atoms=500, seed=31))
+        finder = LeafletFinder(universe, "name P", cutoff=15.0)
+        serial = finder.run_serial()
+        assert serial.agreement_with(labels) == 1.0
+
+        fw = make_framework("dasklite", executor="threads", workers=2)
+        for approach in ("broadcast-1d", "task-2d", "parallel-cc", "tree-search"):
+            result = finder.run(fw, approach=approach, n_tasks=8)
+            assert result.sizes[:2] == serial.sizes[:2], approach
+        fw.close()
+
+    def test_approach_comparison_records_shuffle_reduction(self, small_bilayer):
+        """The paper's approach-3 claim must be visible in the live metrics."""
+        positions, _ = small_bilayer
+        reports = compare_leaflet_approaches(positions, framework="sparklite",
+                                             approaches=("task-2d", "parallel-cc"),
+                                             n_tasks=8, workers=2)
+        assert (reports["parallel-cc"].metrics.bytes_shuffled
+                < reports["task-2d"].metrics.bytes_shuffled)
+
+    def test_pilot_latency_visible_end_to_end(self, small_bilayer):
+        positions, _ = small_bilayer
+        fast = PilotFramework(executor="threads", workers=2, database_latency_s=0.0)
+        slow = PilotFramework(executor="threads", workers=2, database_latency_s=0.003)
+        _r1, rep_fast = run_leaflet_finder(positions, 15.0, fast, approach="task-2d", n_tasks=12)
+        _r2, rep_slow = run_leaflet_finder(positions, 15.0, slow, approach="task-2d", n_tasks=12)
+        assert rep_slow.wall_time_s > rep_fast.wall_time_s
+        fast.close()
+        slow.close()
+
+    def test_mpi_spmd_leaflet_manual(self, small_bilayer):
+        """Hand-written SPMD leaflet finder using the raw communicator API."""
+        positions, labels = small_bilayer
+        from repro.analysis.pairwise import edges_from_block
+        from repro.analysis.graph import connected_components
+        from repro.core.partitioning import one_dimensional_partition
+
+        fw = make_framework("mpilite", workers=4)
+
+        def program(comm):
+            pos = comm.bcast(positions if comm.rank == 0 else None, root=0)
+            ranges = one_dimensional_partition(pos.shape[0], comm.size)
+            if comm.rank < len(ranges):
+                start, stop = ranges[comm.rank]
+                edges = edges_from_block(pos[start:stop], pos, 15.0, offset_a=start)
+                edges = edges[edges[:, 0] < edges[:, 1]]
+            else:
+                edges = np.empty((0, 2), dtype=np.int64)
+            gathered = comm.gather(edges, root=0)
+            if comm.rank == 0:
+                all_edges = np.concatenate(gathered, axis=0)
+                return connected_components(all_edges, pos.shape[0])
+            return None
+
+        results = fw.run_spmd(program)
+        components = results[0]
+        serial = leaflet_serial(positions, 15.0)
+        assert sorted(len(c) for c in components)[-2:] == sorted(serial.sizes[:2])
+        fw.close()
+
+
+class TestModelVsMeasurement:
+    def test_calibrated_model_orders_problem_sizes_like_reality(self, small_ensemble):
+        """The modeled runtime ordering matches live measurement ordering."""
+        rates = calibrate_kernels(n_frames=16, n_atoms=48, n_points=300, repeats=1).rates
+        small_model = model_psa_runtime("dask", LOCAL, cores=2, n_trajectories=6,
+                                        n_frames=10, n_atoms=24, rates=rates)
+        large_model = model_psa_runtime("dask", LOCAL, cores=2, n_trajectories=6,
+                                        n_frames=10, n_atoms=96, rates=rates)
+        assert large_model > small_model
+
+    def test_psa_serial_matches_framework_run_on_paper_shapes(self, paper_shaped_ensemble):
+        fw = make_framework("mpilite", workers=2)
+        matrix, _ = run_psa(paper_shaped_ensemble, fw, n_tasks=4)
+        assert np.allclose(matrix.values, psa_serial(paper_shaped_ensemble).values,
+                           atol=1e-9)
+        fw.close()

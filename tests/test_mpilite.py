@@ -1,0 +1,199 @@
+"""Unit tests for the mpilite substrate (collectives, SPMD runtime, facade)."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks.mpilite import (
+    Communicator,
+    MPIFramework,
+    ReduceOp,
+    SPMDError,
+    WorldContext,
+    run_spmd,
+)
+
+
+class TestReduceOp:
+    def test_sum_max_min(self):
+        assert ReduceOp.apply(ReduceOp.SUM, [1, 2, 3]) == 6
+        assert ReduceOp.apply(ReduceOp.MAX, [1, 5, 3]) == 5
+        assert ReduceOp.apply(ReduceOp.MIN, [4, 2, 9]) == 2
+
+    def test_concat(self):
+        assert ReduceOp.apply(ReduceOp.CONCAT, [[1], [2, 3]]) == [1, 2, 3]
+
+    def test_array_reduction(self):
+        out = ReduceOp.apply(ReduceOp.MAX, [np.array([1, 5]), np.array([3, 2])])
+        assert out.tolist() == [3, 5]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ReduceOp.apply("prod", [1, 2])
+        with pytest.raises(ValueError):
+            ReduceOp.apply(ReduceOp.SUM, [])
+
+
+class TestWorldContext:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            WorldContext(size=0)
+
+    def test_rank_validation(self):
+        ctx = WorldContext(size=2)
+        with pytest.raises(ValueError):
+            Communicator(5, ctx)
+
+    def test_traffic_accounting(self):
+        ctx = WorldContext(size=1)
+        ctx.account("bcast", 100)
+        ctx.account("gather", 50)
+        assert ctx.bytes_communicated == 150
+        assert ctx.collective_calls == 2
+        assert ctx.traffic_log == [("bcast", 100), ("gather", 50)]
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def program(comm):
+            data = {"x": 42} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        results = run_spmd(program, 4)
+        assert all(r == {"x": 42} for r in results)
+
+    def test_scatter_gather(self):
+        def program(comm):
+            chunks = [[i, i] for i in range(comm.size)] if comm.rank == 0 else None
+            local = comm.scatter(chunks, root=0)
+            assert local == [comm.rank, comm.rank]
+            gathered = comm.gather(sum(local), root=0)
+            return gathered
+
+        results = run_spmd(program, 3)
+        assert results[0] == [0, 2, 4]
+        assert results[1] is None and results[2] is None
+
+    def test_scatter_requires_chunk_per_rank(self):
+        def program(comm):
+            chunks = [[1]] if comm.rank == 0 else None  # wrong length
+            return comm.scatter(chunks, root=0)
+
+        with pytest.raises(SPMDError):
+            run_spmd(program, 2)
+
+    def test_allgather_and_allreduce(self):
+        def program(comm):
+            return (comm.allgather(comm.rank), comm.allreduce(comm.rank + 1))
+
+        results = run_spmd(program, 4)
+        for gathered, total in results:
+            assert gathered == [0, 1, 2, 3]
+            assert total == 10
+
+    def test_reduce_max(self):
+        def program(comm):
+            return comm.reduce(comm.rank * 2, op=ReduceOp.MAX, root=0)
+
+        results = run_spmd(program, 3)
+        assert results[0] == 4
+        assert results[1] is None
+
+    def test_numpy_bcast(self):
+        def program(comm):
+            data = np.arange(10.0) if comm.rank == 0 else None
+            return comm.bcast(data, root=0).sum()
+
+        assert run_spmd(program, 2) == [45.0, 45.0]
+
+    def test_point_to_point(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("hello", dest=1, tag=7)
+                return None
+            return comm.recv(source=0, tag=7)
+
+        assert run_spmd(program, 2)[1] == "hello"
+
+    def test_send_invalid_rank(self):
+        def program(comm):
+            comm.send("x", dest=5)
+
+        with pytest.raises(SPMDError):
+            run_spmd(program, 2)
+
+    def test_bytes_accounted(self):
+        ctx = WorldContext(size=2)
+
+        def program(comm):
+            comm.bcast(np.zeros(1000) if comm.rank == 0 else None, root=0)
+            comm.allgather(comm.rank)
+            return None
+
+        run_spmd(program, 2, context=ctx)
+        assert ctx.bytes_communicated >= 8000
+        assert ctx.collective_calls >= 2
+
+    def test_mpi4py_style_accessors(self):
+        def program(comm):
+            return (comm.Get_rank(), comm.Get_size())
+
+        assert run_spmd(program, 3) == [(0, 3), (1, 3), (2, 3)]
+
+
+class TestRunSpmd:
+    def test_single_rank_fast_path(self):
+        assert run_spmd(lambda comm: comm.rank, 1) == [0]
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda comm: None, 0)
+
+    def test_context_size_mismatch(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda comm: None, 3, context=WorldContext(size=2))
+
+    def test_rank_exception_aborts_all(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise RuntimeError("rank 1 died")
+            comm.barrier()  # would deadlock without barrier abort
+            return comm.rank
+
+        with pytest.raises(SPMDError) as excinfo:
+            run_spmd(program, 3)
+        assert any(isinstance(exc, RuntimeError) for _rank, exc in excinfo.value.failures)
+
+    def test_extra_args_passed(self):
+        assert run_spmd(lambda comm, a, b=0: comm.rank + a + b, 2, 10, b=5) == [15, 16]
+
+
+class TestMPIFramework:
+    def test_map_tasks_results_ordered(self):
+        fw = MPIFramework(workers=3)
+        assert fw.map_tasks(lambda x: x * x, list(range(11))) == [x * x for x in range(11)]
+        assert fw.metrics.tasks_completed == 11
+        assert fw.metrics.bytes_shuffled > 0  # the gather moved data
+        fw.close()
+
+    def test_map_tasks_fewer_items_than_ranks(self):
+        fw = MPIFramework(ranks=8)
+        assert fw.map_tasks(lambda x: x, [1, 2]) == [1, 2]
+        fw.close()
+
+    def test_map_tasks_empty(self):
+        fw = MPIFramework(ranks=2)
+        assert fw.map_tasks(lambda x: x, []) == []
+        fw.close()
+
+    def test_run_spmd_records_events(self):
+        fw = MPIFramework(ranks=2)
+        results = fw.run_spmd(lambda comm: comm.allreduce(1))
+        assert results == [2, 2]
+        assert any(label == "spmd" for label, _ in fw.metrics.events)
+        fw.close()
+
+    def test_broadcast_counts_per_rank_bytes(self):
+        fw = MPIFramework(ranks=4)
+        handle = fw.broadcast(np.zeros(100))
+        assert handle.nbytes == 800 * 3  # size-1 copies
+        fw.close()

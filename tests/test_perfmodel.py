@@ -1,0 +1,302 @@
+"""Unit tests for the performance model (machines, costs, kernels, throughput, scaling).
+
+Beyond plain unit checks, these tests assert the *shape* properties the
+paper reports — who wins, rough factors, crossovers — because those are
+the claims the modeled figures must reproduce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    COMET,
+    DEFAULT_RATES,
+    LOCAL,
+    WRANGLER,
+    KernelCosts,
+    KernelRates,
+    calibrate_kernels,
+    cpptraj_sweep,
+    get_cost_model,
+    leaflet_sweep,
+    model_broadcast_breakdown,
+    model_leaflet_runtime,
+    model_psa_runtime,
+    model_task_run_time,
+    model_throughput,
+    node_scaling_sweep,
+    psa_sweep,
+    throughput_sweep,
+)
+from repro.perfmodel.machines import MachineSpec
+from repro.perfmodel.scaling import _configuration_feasible
+
+
+class TestMachines:
+    def test_nodes_for_cores(self):
+        assert WRANGLER.nodes_for_cores(32) == 1
+        assert WRANGLER.nodes_for_cores(256) == 8
+        assert COMET.nodes_for_cores(256) == 16
+        with pytest.raises(ValueError):
+            WRANGLER.nodes_for_cores(0)
+
+    def test_effective_cores_hyperthread_penalty(self):
+        """The same 256 'cores' are worth less on Wrangler (hyper-threads)."""
+        assert COMET.effective_cores(256) > WRANGLER.effective_cores(256)
+        with pytest.raises(ValueError):
+            WRANGLER.effective_cores(0)
+
+    def test_effective_cores_monotone(self):
+        values = [WRANGLER.effective_cores(c) for c in (16, 64, 128, 256)]
+        assert values == sorted(values)
+
+    def test_cluster_factory(self):
+        cluster = WRANGLER.cluster(4)
+        assert cluster.nodes == 4
+        assert cluster.cores_per_node == 24
+
+
+class TestCostModels:
+    def test_lookup_aliases(self):
+        assert get_cost_model("spark") is get_cost_model("sparklite")
+        assert get_cost_model("mpi4py") is get_cost_model("mpilite")
+        with pytest.raises(ValueError):
+            get_cost_model("flink")
+
+    def test_scheduler_throughput_ordering(self):
+        """Dask > Spark > RADICAL-Pilot, as in Figure 2."""
+        dask = get_cost_model("dask").scheduler_throughput(1)
+        spark = get_cost_model("spark").scheduler_throughput(1)
+        pilot = get_cost_model("pilot").scheduler_throughput(1)
+        assert dask > 5 * spark           # "order of magnitude" separation
+        assert spark > pilot
+        assert pilot < 100.0              # "plateaus below 100 tasks/sec"
+
+    def test_pilot_task_limit(self):
+        assert not get_cost_model("pilot").supports_task_count(100_000)
+        assert get_cost_model("dask").supports_task_count(131_072)
+
+    def test_broadcast_cost_grows_with_nodes_and_bytes(self):
+        spark = get_cost_model("spark")
+        assert spark.broadcast_time(10**6, 8) > spark.broadcast_time(10**6, 1)
+        assert spark.broadcast_time(10**8, 2) > spark.broadcast_time(10**6, 2)
+        with pytest.raises(ValueError):
+            spark.broadcast_time(-1, 1)
+
+    def test_dask_broadcast_weaker_than_spark(self):
+        """Figure 8: Dask's broadcast is the weak point for large systems."""
+        nbytes = 262_144 * 24
+        assert (get_cost_model("dask").broadcast_time(nbytes, 8)
+                > get_cost_model("spark").broadcast_time(nbytes, 8))
+
+    def test_with_overrides(self):
+        custom = get_cost_model("dask").with_overrides(task_overhead_s=1.0)
+        assert custom.scheduler_throughput(1) == pytest.approx(1.0)
+
+    def test_dispatch_validation(self):
+        with pytest.raises(ValueError):
+            get_cost_model("dask").dispatch_time(-1)
+        with pytest.raises(ValueError):
+            get_cost_model("dask").scheduler_throughput(0)
+
+
+class TestKernels:
+    def test_costs_scale_with_problem_size(self):
+        kern = KernelCosts()
+        assert kern.hausdorff_pair(204, 3341) > kern.hausdorff_pair(102, 3341)
+        assert kern.cdist_block(2000, 2000) > kern.cdist_block(1000, 1000)
+        assert kern.connected_components(100, 1000) > kern.connected_components(100, 10)
+
+    def test_tree_cheaper_than_cdist_for_large_blocks(self):
+        kern = KernelCosts()
+        n = 100_000
+        assert kern.tree_block(n, n) < kern.cdist_block(n, n)
+
+    def test_rate_scaling(self):
+        fast = KernelCosts(DEFAULT_RATES.scaled(2.0))
+        assert fast.hausdorff_pair(100, 1000) == pytest.approx(
+            KernelCosts().hausdorff_pair(100, 1000) / 2.0)
+        with pytest.raises(ValueError):
+            DEFAULT_RATES.scaled(0.0)
+
+    def test_validation(self):
+        kern = KernelCosts()
+        with pytest.raises(ValueError):
+            kern.hausdorff_pair(0, 10)
+        with pytest.raises(ValueError):
+            kern.cdist_block(-1, 5)
+        with pytest.raises(ValueError):
+            kern.connected_components(-1, 0)
+
+
+class TestThroughputModel:
+    def test_figure2_shape(self):
+        """Dask > Spark >> RP at large task counts; RP cannot run 131k tasks."""
+        assert model_throughput("dask", 131_072) > model_throughput("spark", 131_072)
+        assert model_throughput("spark", 16_384) > model_throughput("pilot", 16_384)
+        assert model_task_run_time("pilot", 131_072) == float("inf")
+        assert model_throughput("pilot", 131_072) == 0.0
+
+    def test_throughput_saturates(self):
+        """Throughput rises with task count then flattens (Figure 2)."""
+        small = model_throughput("dask", 16)
+        large = model_throughput("dask", 65_536)
+        huge = model_throughput("dask", 131_072)
+        assert large > small
+        assert abs(huge - large) / large < 0.1
+
+    def test_figure3_node_scaling(self):
+        """Dask grows nearly linearly with nodes, RP plateaus (Figure 3)."""
+        points = {(p.framework, p.nodes): p.throughput
+                  for p in node_scaling_sweep(node_counts=(1, 4))}
+        assert points[("dask", 4)] > 2.5 * points[("dask", 1)]
+        assert points[("pilot", 4)] < 1.5 * points[("pilot", 1)]
+        assert points[("pilot", 4)] < 100.0
+
+    def test_sweep_row_format(self):
+        rows = [p.as_dict() for p in throughput_sweep(task_counts=(16, 1024))]
+        assert {"framework", "n_tasks", "throughput_tasks_per_s"} <= set(rows[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            model_task_run_time("dask", 0)
+        with pytest.raises(ValueError):
+            model_task_run_time("dask", 10, nodes=0)
+
+
+class TestPsaModel:
+    def test_runtime_decreases_with_cores(self):
+        runtimes = [model_psa_runtime("dask", WRANGLER, cores=c) for c in (16, 64, 256)]
+        assert runtimes[0] > runtimes[1] > runtimes[2]
+
+    def test_mpi_fastest_framework(self):
+        for cores in (16, 256):
+            mpi = model_psa_runtime("mpi", WRANGLER, cores=cores)
+            for fw in ("spark", "dask", "pilot"):
+                assert mpi <= model_psa_runtime(fw, WRANGLER, cores=cores)
+
+    def test_speedup_saturates_like_paper(self):
+        """Fig 4: going 16 -> 256 cores buys roughly 5-10x, not 16x."""
+        points = psa_sweep(frameworks=("dask",), core_counts=(16, 256))
+        speedup = points[-1].speedup
+        assert 4.0 <= speedup <= 12.0
+
+    def test_comet_faster_than_wrangler(self):
+        """Fig 5: same core count is worth more on Comet (no hyper-threads)."""
+        wr = model_psa_runtime("mpi", WRANGLER, cores=256, n_atoms=13364)
+        co = model_psa_runtime("mpi", COMET, cores=256, n_atoms=13364)
+        assert co < wr
+
+    def test_larger_systems_take_longer(self):
+        small = model_psa_runtime("dask", WRANGLER, cores=64, n_atoms=3341)
+        large = model_psa_runtime("dask", WRANGLER, cores=64, n_atoms=13364)
+        assert large > 2.0 * small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            model_psa_runtime("dask", WRANGLER, cores=0)
+
+
+class TestCpptrajModel:
+    def test_intel_faster_than_gnu(self):
+        rows = cpptraj_sweep(core_counts=(20, 240))
+        by_key = {(r.framework, r.cores): r.runtime_s for r in rows}
+        assert by_key[("cpptraj-intel-O3", 240)] < by_key[("cpptraj-gnu", 240)]
+
+    def test_compiled_faster_than_python_frameworks(self):
+        """Fig 6 vs Fig 4: the compiled comparator wins in absolute runtime."""
+        compiled = [r for r in cpptraj_sweep(core_counts=(240,))
+                    if r.framework == "cpptraj-gnu"][0].runtime_s
+        python_fw = model_psa_runtime("dask", WRANGLER, cores=256)
+        assert compiled < python_fw
+
+    def test_validation(self):
+        from repro.perfmodel.scaling import model_cpptraj_runtime
+        with pytest.raises(ValueError):
+            model_cpptraj_runtime(0)
+        with pytest.raises(ValueError):
+            model_cpptraj_runtime(8, compiler_speedup=0.0)
+
+
+class TestLeafletModel:
+    def test_broadcast_approach_slowest(self):
+        for fw in ("spark", "dask"):
+            bc = model_leaflet_runtime(fw, "broadcast-1d", cores=128, n_atoms=262_144)
+            t2 = model_leaflet_runtime(fw, "task-2d", cores=128, n_atoms=262_144)
+            assert bc > t2
+
+    def test_parallel_cc_faster_than_task_2d(self):
+        """Fig 7: the partial-components refinement buys roughly 10-30%."""
+        t2 = model_leaflet_runtime("spark", "task-2d", cores=256, n_atoms=524_288)
+        t3 = model_leaflet_runtime("spark", "parallel-cc", cores=256, n_atoms=524_288)
+        assert t3 < t2
+        assert t3 > 0.5 * t2
+
+    def test_tree_search_crossover(self):
+        """Tree search loses on the smallest system but wins on the biggest."""
+        small_cc = model_leaflet_runtime("dask", "parallel-cc", cores=64, n_atoms=131_072)
+        small_tree = model_leaflet_runtime("dask", "tree-search", cores=64, n_atoms=131_072)
+        big_cc = model_leaflet_runtime("dask", "parallel-cc", cores=64, n_atoms=4_194_304)
+        big_tree = model_leaflet_runtime("dask", "tree-search", cores=64, n_atoms=4_194_304)
+        assert small_tree > small_cc
+        assert big_tree < big_cc
+
+    def test_mpi_fastest(self):
+        for approach in ("task-2d", "parallel-cc"):
+            mpi = model_leaflet_runtime("mpi", approach, cores=128, n_atoms=262_144)
+            spark = model_leaflet_runtime("spark", approach, cores=128, n_atoms=262_144)
+            assert mpi < spark
+
+    def test_pilot_overhead_dominated(self):
+        """Fig 9: RP runtimes are overhead-dominated and insensitive to size."""
+        small = model_leaflet_runtime("pilot", "task-2d", cores=256, n_atoms=131_072)
+        large = model_leaflet_runtime("pilot", "task-2d", cores=256, n_atoms=524_288)
+        assert large / small < 2.0
+        assert small > model_leaflet_runtime("dask", "task-2d", cores=256, n_atoms=131_072) * 3
+
+    def test_feasibility_flags(self):
+        assert not _configuration_feasible("dask", "broadcast-1d", 524_288)
+        assert _configuration_feasible("spark", "broadcast-1d", 524_288)
+        assert not _configuration_feasible("spark", "task-2d", 4_194_304)
+        assert _configuration_feasible("spark", "parallel-cc", 4_194_304)
+        assert not _configuration_feasible("dask", "parallel-cc", 4_194_304)
+        assert _configuration_feasible("dask", "tree-search", 4_194_304)
+
+    def test_sweep_and_breakdown_rows(self):
+        rows = leaflet_sweep(frameworks=("spark",), atom_counts=(131_072,),
+                             core_counts=(32, 256))
+        assert len(rows) == 4 * 2
+        breakdown = model_broadcast_breakdown(frameworks=("mpi",), atom_counts=(131_072,),
+                                              core_counts=(32, 256))
+        assert all("broadcast_s" in p.extra for p in breakdown)
+
+    def test_mpi_broadcast_fraction_smaller_than_dask(self):
+        """Fig 8: broadcast is a much larger fraction of runtime for Dask."""
+        rows = model_broadcast_breakdown(frameworks=("dask", "mpi"),
+                                         atom_counts=(262_144,), core_counts=(256,))
+        frac = {r.framework: r.extra["broadcast_fraction"] for r in rows}
+        assert frac["dask"] > frac["mpi"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            model_leaflet_runtime("spark", "bogus", cores=32, n_atoms=1000)
+        with pytest.raises(ValueError):
+            model_leaflet_runtime("spark", "task-2d", cores=0, n_atoms=1000)
+
+
+class TestCalibration:
+    def test_calibrate_returns_positive_rates(self):
+        result = calibrate_kernels(n_frames=16, n_atoms=64, n_points=300, repeats=1)
+        rates = result.rates
+        assert rates.gemm_flops > 0
+        assert rates.cdist_evals > 0
+        assert rates.tree_build_points > 0
+        assert rates.union_find_ops > 0
+        assert "rmsd_matrix" in result.timings
+        assert isinstance(result.summary(), str)
+
+    def test_calibrated_rates_usable_in_model(self):
+        result = calibrate_kernels(n_frames=16, n_atoms=64, n_points=300, repeats=1)
+        runtime = model_psa_runtime("dask", LOCAL, cores=4, n_trajectories=8,
+                                    n_frames=20, n_atoms=50, rates=result.rates)
+        assert runtime > 0.0

@@ -1,0 +1,172 @@
+"""Unit tests for the synthetic trajectory and bilayer generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import hausdorff
+from repro.trajectory import (
+    PAPER_LEAFLET_SIZES,
+    PAPER_PSA_SIZES,
+    BilayerSpec,
+    EnsembleSpec,
+    make_bilayer,
+    make_bilayer_universe,
+    make_clustered_ensemble,
+    make_ensemble,
+    paper_leaflet_system,
+    paper_psa_ensemble,
+    random_walk_trajectory,
+    transition_trajectory,
+)
+
+
+class TestRandomWalk:
+    def test_shape(self):
+        traj = random_walk_trajectory(10, 5, seed=1)
+        assert traj.n_frames == 10
+        assert traj.n_atoms == 5
+
+    def test_deterministic(self):
+        a = random_walk_trajectory(5, 3, seed=42)
+        b = random_walk_trajectory(5, 3, seed=42)
+        assert np.allclose(a.positions, b.positions)
+
+    def test_different_seeds_differ(self):
+        a = random_walk_trajectory(5, 3, seed=1)
+        b = random_walk_trajectory(5, 3, seed=2)
+        assert not np.allclose(a.positions, b.positions)
+
+    def test_single_frame(self):
+        assert random_walk_trajectory(1, 3).n_frames == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            random_walk_trajectory(0, 3)
+
+
+class TestTransitionTrajectory:
+    def test_endpoints(self):
+        start = np.zeros((4, 3))
+        end = np.full((4, 3), 5.0)
+        traj = transition_trajectory(20, 4, start=start, end=end, noise=0.0)
+        assert np.allclose(traj.positions[0], start)
+        assert np.allclose(traj.positions[-1], end)
+
+    def test_waypoint_detour(self):
+        start = np.zeros((2, 3))
+        end = np.full((2, 3), 10.0)
+        way = np.full((2, 3), 50.0)
+        straight = transition_trajectory(11, 2, start=start, end=end, noise=0.0)
+        detour = transition_trajectory(11, 2, start=start, end=end, waypoint=way, noise=0.0)
+        # the detour passes far from the straight path at the midpoint
+        assert np.linalg.norm(detour.positions[5] - straight.positions[5]) > 5.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            transition_trajectory(1, 3)
+        with pytest.raises(ValueError):
+            transition_trajectory(5, 3, start=np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            transition_trajectory(5, 3, waypoint=np.zeros((2, 3)))
+
+
+class TestEnsembles:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            EnsembleSpec(n_trajectories=0).validate()
+        with pytest.raises(ValueError):
+            EnsembleSpec(n_frames=1).validate()
+        with pytest.raises(ValueError):
+            EnsembleSpec(n_clusters=10, n_trajectories=4).validate()
+
+    def test_make_ensemble(self):
+        ens = make_ensemble(EnsembleSpec(n_trajectories=5, n_frames=6, n_atoms=7))
+        assert ens.n_trajectories == 5
+        assert ens[0].n_atoms == 7
+
+    def test_clustered_ensemble_structure(self):
+        """Same-family trajectories must be closer (Hausdorff) than cross-family."""
+        spec = EnsembleSpec(n_trajectories=6, n_frames=12, n_atoms=12,
+                            n_clusters=2, seed=21)
+        ens = make_clustered_ensemble(spec)
+        arrays = ens.as_arrays()
+        # members 0-2 are family 0, members 3-5 family 1 (even split)
+        within = hausdorff(arrays[0], arrays[1])
+        across = hausdorff(arrays[0], arrays[4])
+        assert across > 2.0 * within
+
+    def test_clustered_ensemble_deterministic(self):
+        spec = EnsembleSpec(n_trajectories=4, n_frames=6, n_atoms=5, seed=3)
+        a = make_clustered_ensemble(spec)
+        b = make_clustered_ensemble(spec)
+        assert np.allclose(a[2].positions, b[2].positions)
+
+    def test_paper_psa_ensemble_sizes(self):
+        ens = paper_psa_ensemble("small", 4, n_frames=5, scale=1.0)
+        assert ens[0].n_atoms == PAPER_PSA_SIZES["small"]
+        ens_scaled = paper_psa_ensemble("medium", 4, n_frames=5, scale=0.01)
+        assert ens_scaled[0].n_atoms == round(PAPER_PSA_SIZES["medium"] * 0.01)
+
+    def test_paper_psa_ensemble_invalid_size(self):
+        with pytest.raises(ValueError):
+            paper_psa_ensemble("huge", 4)
+
+
+class TestBilayer:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            BilayerSpec(n_atoms=1).validate()
+        with pytest.raises(ValueError):
+            BilayerSpec(spacing=-1.0).validate()
+        with pytest.raises(ValueError):
+            BilayerSpec(separation=0.0).validate()
+        with pytest.raises(ValueError):
+            BilayerSpec(jitter=-0.1).validate()
+
+    def test_shapes_and_labels(self):
+        positions, labels = make_bilayer(BilayerSpec(n_atoms=101, seed=2))
+        assert positions.shape == (101, 3)
+        assert labels.shape == (101,)
+        assert set(np.unique(labels)) == {0, 1}
+        # odd count: upper leaflet gets the extra atom
+        assert int((labels == 1).sum()) == 51
+
+    def test_leaflets_separated_in_z(self):
+        spec = BilayerSpec(n_atoms=200, separation=40.0, jitter=0.1, seed=4)
+        positions, labels = make_bilayer(spec)
+        z_lower = positions[labels == 0, 2].mean()
+        z_upper = positions[labels == 1, 2].mean()
+        assert z_upper - z_lower == pytest.approx(40.0, abs=2.0)
+
+    def test_min_gap_exceeds_default_cutoff(self):
+        """The two leaflets must not connect at the default 15 A cutoff."""
+        positions, labels = make_bilayer(BilayerSpec(n_atoms=300, seed=6))
+        lower = positions[labels == 0]
+        upper = positions[labels == 1]
+        from scipy.spatial.distance import cdist
+        assert cdist(lower, upper).min() > 15.0
+
+    def test_deterministic(self):
+        a, la = make_bilayer(BilayerSpec(n_atoms=64, seed=9))
+        b, lb = make_bilayer(BilayerSpec(n_atoms=64, seed=9))
+        assert np.allclose(a, b)
+        assert np.array_equal(la, lb)
+
+    def test_curvature_keeps_leaflets_distinct(self):
+        spec = BilayerSpec(n_atoms=256, curvature_amplitude=5.0,
+                           curvature_periods=2.0, seed=1)
+        positions, labels = make_bilayer(spec)
+        z = positions[:, 2]
+        assert z[labels == 1].min() > z[labels == 0].max()
+
+    def test_universe_wrapper(self):
+        universe, labels = make_bilayer_universe(BilayerSpec(n_atoms=50, seed=3))
+        assert universe.n_atoms == 50
+        assert universe.select_atoms("name P").n_atoms == 50
+        assert labels.shape == (50,)
+
+    def test_paper_leaflet_system(self):
+        positions, labels = paper_leaflet_system("131k", scale=0.001)
+        assert positions.shape[0] == round(PAPER_LEAFLET_SIZES["131k"] * 0.001)
+        with pytest.raises(ValueError):
+            paper_leaflet_system("10M")

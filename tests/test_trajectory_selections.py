@@ -1,0 +1,127 @@
+"""Unit tests for the atom-selection mini-language."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.selections import SelectionError, parse_selection, select
+from repro.trajectory.topology import Topology
+
+
+@pytest.fixture()
+def membrane_topology():
+    """A tiny mixed system: lipids (P, C) and protein (CA) atoms."""
+    names = ["P", "C1", "C2", "P", "C1", "CA", "CA", "OW"]
+    elements = ["P", "C", "C", "P", "C", "C", "C", "O"]
+    resids = [1, 1, 1, 2, 2, 3, 4, 5]
+    resnames = ["POPC", "POPC", "POPC", "POPE", "POPE", "ALA", "GLY", "SOL"]
+    segids = ["MEMB", "MEMB", "MEMB", "MEMB", "MEMB", "PROT", "PROT", "SOLV"]
+    masses = [30.97, 12.0, 12.0, 30.97, 12.0, 12.0, 12.0, 16.0]
+    return Topology(
+        names=np.array(names, dtype=object),
+        elements=np.array(elements, dtype=object),
+        resids=np.array(resids),
+        resnames=np.array(resnames, dtype=object),
+        segids=np.array(segids, dtype=object),
+        masses=np.array(masses),
+    )
+
+
+@pytest.fixture()
+def positions():
+    pos = np.zeros((8, 3))
+    pos[:, 2] = np.arange(8, dtype=float)  # z = 0..7
+    return pos
+
+
+class TestBasicSelections:
+    def test_all_and_none(self, membrane_topology):
+        assert select("all", membrane_topology).tolist() == list(range(8))
+        assert select("none", membrane_topology).tolist() == []
+
+    def test_name(self, membrane_topology):
+        assert select("name P", membrane_topology).tolist() == [0, 3]
+
+    def test_name_multiple_patterns(self, membrane_topology):
+        assert select("name P CA", membrane_topology).tolist() == [0, 3, 5, 6]
+
+    def test_name_wildcard(self, membrane_topology):
+        assert select("name C*", membrane_topology).tolist() == [1, 2, 4, 5, 6]
+
+    def test_resname(self, membrane_topology):
+        assert select("resname POPC", membrane_topology).tolist() == [0, 1, 2]
+
+    def test_segid(self, membrane_topology):
+        assert select("segid PROT", membrane_topology).tolist() == [5, 6]
+
+    def test_element(self, membrane_topology):
+        assert select("element O", membrane_topology).tolist() == [7]
+
+    def test_resid_single_and_range(self, membrane_topology):
+        assert select("resid 2", membrane_topology).tolist() == [3, 4]
+        assert select("resid 1:2", membrane_topology).tolist() == [0, 1, 2, 3, 4]
+
+    def test_index(self, membrane_topology):
+        assert select("index 0 7", membrane_topology).tolist() == [0, 7]
+        assert select("index 2:4", membrane_topology).tolist() == [2, 3, 4]
+
+
+class TestBooleanLogic:
+    def test_and(self, membrane_topology):
+        assert select("resname POPC and name P", membrane_topology).tolist() == [0]
+
+    def test_or(self, membrane_topology):
+        result = select("resname ALA or resname GLY", membrane_topology)
+        assert result.tolist() == [5, 6]
+
+    def test_not(self, membrane_topology):
+        result = select("not segid MEMB", membrane_topology)
+        assert result.tolist() == [5, 6, 7]
+
+    def test_parentheses(self, membrane_topology):
+        result = select("( name P or name CA ) and not segid PROT", membrane_topology)
+        assert result.tolist() == [0, 3]
+
+    def test_precedence_and_binds_tighter_than_or(self, membrane_topology):
+        # "A or B and C" == "A or (B and C)"
+        res = select("name OW or name C1 and resname POPC", membrane_topology)
+        assert res.tolist() == [1, 7]
+
+
+class TestPropSelections:
+    def test_prop_mass(self, membrane_topology):
+        assert select("prop mass > 20", membrane_topology).tolist() == [0, 3]
+
+    def test_prop_z_requires_positions(self, membrane_topology):
+        with pytest.raises(SelectionError):
+            select("prop z > 3", membrane_topology)
+
+    def test_prop_z(self, membrane_topology, positions):
+        result = select("prop z >= 6", membrane_topology, positions)
+        assert result.tolist() == [6, 7]
+
+    def test_prop_combined(self, membrane_topology, positions):
+        result = select("name P and prop z < 3", membrane_topology, positions)
+        assert result.tolist() == [0]
+
+    @pytest.mark.parametrize("op,expected", [
+        ("<", [0]), ("<=", [0, 1]), (">", [2, 3, 4, 5, 6, 7]),
+        (">=", [1, 2, 3, 4, 5, 6, 7]), ("==", [1]), ("!=", [0, 2, 3, 4, 5, 6, 7]),
+    ])
+    def test_prop_operators(self, membrane_topology, positions, op, expected):
+        assert select(f"prop z {op} 1", membrane_topology, positions).tolist() == expected
+
+
+class TestSelectionErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "name", "bogus P", "resid x", "resid 1:y", "prop mass >",
+        "prop charge ~ 1", "prop volume > 1", "( name P", "name P )",
+        "prop mass > notanumber",
+    ])
+    def test_invalid_selections_raise(self, membrane_topology, bad):
+        with pytest.raises(SelectionError):
+            select(bad, membrane_topology)
+
+    def test_parse_selection_returns_mask(self, membrane_topology):
+        mask = parse_selection("name P", membrane_topology)
+        assert mask.dtype == bool
+        assert mask.sum() == 2

@@ -1,0 +1,103 @@
+"""Unit tests for repro.trajectory.topology."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.topology import ELEMENT_MASSES, Topology, guess_masses
+
+
+class TestGuessMasses:
+    def test_known_elements(self):
+        masses = guess_masses(["C", "N", "O", "P"])
+        assert masses.tolist() == [12.011, 14.007, 15.999, 30.974]
+
+    def test_case_insensitive(self):
+        assert guess_masses(["c"])[0] == pytest.approx(ELEMENT_MASSES["C"])
+
+    def test_unknown_element_is_zero(self):
+        assert guess_masses(["Xx"])[0] == 0.0
+
+    def test_empty(self):
+        assert guess_masses([]).shape == (0,)
+
+
+class TestTopologyConstruction:
+    def test_uniform(self):
+        top = Topology.uniform(10, name="P", element="P", resname="LIP")
+        assert top.n_atoms == 10
+        assert set(top.names) == {"P"}
+        assert set(top.resnames) == {"LIP"}
+        assert top.n_residues == 10
+
+    def test_uniform_atoms_per_residue(self):
+        top = Topology.uniform(10, atoms_per_residue=5)
+        assert top.n_residues == 2
+        assert top.resids[0] == 1
+        assert top.resids[-1] == 2
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            Topology.uniform(-1)
+        with pytest.raises(ValueError):
+            Topology.uniform(5, atoms_per_residue=0)
+
+    def test_from_names_defaults(self):
+        top = Topology.from_names(["CA", "CB", "N"])
+        assert top.n_atoms == 3
+        assert list(top.elements) == ["C", "C", "N"]
+        assert top.masses[2] == pytest.approx(14.007)
+
+    def test_from_names_two_letter_elements(self):
+        top = Topology.from_names(["CL1", "NA"])
+        assert list(top.elements) == ["CL", "NA"]
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Topology(
+                names=np.array(["A", "B"], dtype=object),
+                elements=np.array(["C"], dtype=object),
+                resids=np.array([1, 1]),
+                resnames=np.array(["X", "X"], dtype=object),
+                segids=np.array(["S", "S"], dtype=object),
+            )
+
+    def test_masses_guessed_when_missing(self):
+        top = Topology.from_names(["CA", "O"])
+        assert top.masses[1] == pytest.approx(15.999)
+
+    def test_charges_default_zero(self):
+        top = Topology.uniform(4)
+        assert np.all(top.charges == 0.0)
+
+
+class TestTopologyOperations:
+    def test_len(self):
+        assert len(Topology.uniform(7)) == 7
+
+    def test_equality(self):
+        a = Topology.uniform(5, name="P")
+        b = Topology.uniform(5, name="P")
+        c = Topology.uniform(5, name="CA")
+        assert a == b
+        assert a != c
+
+    def test_equality_with_non_topology(self):
+        assert Topology.uniform(2).__eq__(42) is NotImplemented
+
+    def test_subset_preserves_order(self):
+        top = Topology.from_names(["A", "B", "C", "D"])
+        sub = top.subset([3, 1])
+        assert list(sub.names) == ["D", "B"]
+        assert sub.n_atoms == 2
+
+    def test_concat(self):
+        a = Topology.uniform(3, name="P")
+        b = Topology.uniform(2, name="CA")
+        merged = a.concat(b)
+        assert merged.n_atoms == 5
+        assert list(merged.names) == ["P", "P", "P", "CA", "CA"]
+
+    def test_roundtrip_dict(self):
+        top = Topology.from_names(["CA", "P", "O"], charges=[0.1, -0.2, 0.0])
+        again = Topology.from_dict(top.to_dict())
+        assert again == top

@@ -1,0 +1,124 @@
+"""Unit tests for Universe and AtomGroup."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory import Topology, Trajectory, Universe
+
+
+@pytest.fixture()
+def universe():
+    """A 6-atom, 3-frame universe with two atom names."""
+    top = Topology.from_names(["P", "P", "CA", "CA", "OW", "OW"],
+                              resids=[1, 2, 3, 4, 5, 6],
+                              resnames=["LIP", "LIP", "PRO", "PRO", "SOL", "SOL"],
+                              segids=["M", "M", "P", "P", "W", "W"])
+    rng = np.random.default_rng(0)
+    positions = rng.normal(size=(3, 6, 3))
+    return Universe(top, Trajectory(positions, topology=top))
+
+
+class TestUniverse:
+    def test_shape(self, universe):
+        assert universe.n_atoms == 6
+        assert universe.n_frames == 3
+
+    def test_topology_trajectory_mismatch(self):
+        with pytest.raises(ValueError):
+            Universe(Topology.uniform(3), Trajectory(np.zeros((1, 4, 3))))
+
+    def test_from_positions_single_frame(self):
+        u = Universe.from_positions(np.zeros((5, 3)))
+        assert u.n_atoms == 5
+        assert u.n_frames == 1
+
+    def test_from_positions_multi_frame(self):
+        u = Universe.from_positions(np.zeros((2, 5, 3)))
+        assert u.n_frames == 2
+
+    def test_goto_frame_updates_current(self, universe):
+        universe.goto_frame(2)
+        assert universe.frame_index == 2
+        assert np.allclose(universe.current_frame.positions,
+                           universe.trajectory.positions[2])
+
+    def test_iter_frames(self, universe):
+        indices = [f.index for f in universe.iter_frames()]
+        assert indices == [0, 1, 2]
+        assert universe.frame_index == 2
+
+    def test_select_atoms(self, universe):
+        group = universe.select_atoms("name P")
+        assert group.n_atoms == 2
+        assert group.indices.tolist() == [0, 1]
+
+    def test_atoms_selects_everything(self, universe):
+        assert universe.atoms().n_atoms == 6
+
+
+class TestAtomGroup:
+    def test_positions_follow_current_frame(self, universe):
+        group = universe.select_atoms("name CA")
+        pos0 = group.positions.copy()
+        universe.goto_frame(1)
+        assert not np.allclose(group.positions, pos0)
+
+    def test_attributes(self, universe):
+        group = universe.select_atoms("name P")
+        assert list(group.names) == ["P", "P"]
+        assert list(group.resnames) == ["LIP", "LIP"]
+        assert group.masses.shape == (2,)
+        assert len(group) == 2
+
+    def test_out_of_range_indices(self, universe):
+        from repro.trajectory.universe import AtomGroup
+        with pytest.raises(IndexError):
+            AtomGroup(universe, [99])
+
+    def test_center_of_geometry_and_mass(self, universe):
+        group = universe.atoms()
+        cog = group.center_of_geometry()
+        com = group.center_of_mass()
+        assert cog.shape == (3,)
+        assert com.shape == (3,)
+
+    def test_center_of_empty_group_raises(self, universe):
+        group = universe.select_atoms("none")
+        with pytest.raises(ValueError):
+            group.center_of_geometry()
+        with pytest.raises(ValueError):
+            group.center_of_mass()
+
+    def test_nested_selection(self, universe):
+        group = universe.select_atoms("segid M or segid P")
+        sub = group.select_atoms("name CA")
+        assert sub.indices.tolist() == [2, 3]
+
+    def test_getitem(self, universe):
+        group = universe.atoms()
+        assert group[0].n_atoms == 1
+        assert group[1:4].n_atoms == 3
+
+    def test_union(self, universe):
+        a = universe.select_atoms("name P")
+        b = universe.select_atoms("name CA")
+        combined = a.union(b)
+        assert combined.indices.tolist() == [0, 1, 2, 3]
+        # duplicates removed
+        assert a.union(a).n_atoms == 2
+
+    def test_union_different_universe_raises(self, universe):
+        other = Universe.from_positions(np.zeros((6, 3)))
+        with pytest.raises(ValueError):
+            universe.atoms().union(other.atoms())
+
+    def test_trajectory_slice(self, universe):
+        group = universe.select_atoms("name OW")
+        sliced = group.trajectory_slice()
+        assert sliced.n_atoms == 2
+        assert sliced.n_frames == 3
+        assert np.allclose(sliced.positions, universe.trajectory.positions[:, [4, 5], :])
+
+    def test_topology_property(self, universe):
+        group = universe.select_atoms("name P")
+        assert group.topology.n_atoms == 2
