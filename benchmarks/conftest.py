@@ -10,6 +10,8 @@ the published figure.  Run with::
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.frameworks import make_framework
@@ -17,6 +19,21 @@ from repro.trajectory import BilayerSpec, EnsembleSpec, make_bilayer, make_clust
 
 #: worker threads used by all live benchmark runs
 BENCH_WORKERS = 4
+
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench`` so CI can (de)select
+    the benchmark harness deterministically (``-m bench`` / ``-m "not bench"``).
+
+    The hook receives the whole session's items, so filter to this
+    directory before marking.
+    """
+    for item in items:
+        if _BENCH_DIR in Path(item.path).resolve().parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

@@ -120,7 +120,6 @@ def hausdorff_earlybreak(traj_a: np.ndarray, traj_b: np.ndarray,
             rng.shuffle(order_a)
             rng.shuffle(order_b)
         cmax = 0.0
-        sq_b = (points_b * points_b).sum(axis=1)
         for ia in order_a:
             a_vec = points_a[ia]
             cmin = np.inf
@@ -133,11 +132,8 @@ def hausdorff_earlybreak(traj_a: np.ndarray, traj_b: np.ndarray,
                     cmin = d2
                     if cmin <= cmax:
                         break
-            else:
-                pass
             if cmin > cmax and np.isfinite(cmin):
                 cmax = cmin
-        _ = sq_b  # kept for clarity; squared norms not needed in loop form
         return cmax
 
     forward = directed(flat_a, flat_b)

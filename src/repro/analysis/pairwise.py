@@ -10,7 +10,7 @@ because each task only sees its 2-D block of the full system).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 from scipy.spatial.distance import cdist
@@ -25,14 +25,29 @@ __all__ = [
 ]
 
 
+def _as_positions(block) -> np.ndarray:
+    """Coerce a position block to a float64 array.
+
+    Accepts anything with a ``resolve()`` method (duck-typed so this
+    module stays independent of the frameworks layer), which lets the
+    kernels consume :class:`~repro.frameworks.shm.BlockRef` handles from
+    the shared-memory data plane without an extra copy.
+    """
+    resolver = getattr(block, "resolve", None)
+    if resolver is not None and not isinstance(block, np.ndarray):
+        block = resolver()
+    return np.asarray(block, dtype=np.float64)
+
+
 def pairwise_distances(block_a: np.ndarray, block_b: np.ndarray) -> np.ndarray:
     """Euclidean distance matrix between two position blocks.
 
     Thin wrapper over :func:`scipy.spatial.distance.cdist` (the paper uses
-    exactly this call); both blocks must be ``(n, 3)`` arrays.
+    exactly this call); both blocks must be ``(n, 3)`` arrays or
+    shared-memory refs to them.
     """
-    a = np.asarray(block_a, dtype=np.float64)
-    b = np.asarray(block_b, dtype=np.float64)
+    a = _as_positions(block_a)
+    b = _as_positions(block_b)
     if a.ndim != 2 or a.shape[1] != 3 or b.ndim != 2 or b.shape[1] != 3:
         raise ValueError("position blocks must have shape (n, 3)")
     return cdist(a, b)

@@ -7,7 +7,7 @@ and compare frameworks/approaches on the same workload.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +30,8 @@ def _resolve_framework(framework: str | TaskFramework, **kwargs) -> TaskFramewor
 def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite",
         *, metric: str = "hausdorff", n_tasks: int | None = None,
         group_size: int | None = None, workers: int | None = None,
-        executor: str = "threads") -> Tuple[DistanceMatrix, RunReport]:
+        executor: str = "threads",
+        data_plane: str | None = None) -> Tuple[DistanceMatrix, RunReport]:
     """Run Path Similarity Analysis on an ensemble.
 
     Parameters
@@ -44,22 +45,36 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
     metric:
         ``"hausdorff"`` (default), ``"hausdorff_earlybreak"``, ``"frechet"``
         or ``"hausdorff_naive"``.
+    data_plane:
+        ``None`` (default) uses the framework's configured plane
+        (``"pickle"`` when constructing by name).  ``"pickle"`` ships
+        each task's trajectory blocks whole; ``"shm"`` registers every
+        trajectory in shared memory once and tasks carry zero-copy refs
+        (see :mod:`repro.frameworks.shm`).  An explicit value overrides
+        an already constructed framework's plane for this run.
     """
-    fw = _resolve_framework(framework, executor=executor, workers=workers) \
+    fw = _resolve_framework(framework, executor=executor, workers=workers,
+                            data_plane=data_plane or "pickle") \
         if isinstance(framework, str) else framework
-    return run_psa(ensemble, fw, metric=metric, n_tasks=n_tasks, group_size=group_size)
+    return run_psa(ensemble, fw, metric=metric, n_tasks=n_tasks,
+                   group_size=group_size, data_plane=data_plane)
 
 
 def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
                    selection: str = "name P", cutoff: float = 15.0,
                    approach: str = "tree-search", n_tasks: int = 16,
                    workers: int | None = None,
-                   executor: str = "threads") -> Tuple[LeafletResult, RunReport]:
+                   executor: str = "threads",
+                   data_plane: str | None = None) -> Tuple[LeafletResult, RunReport]:
     """Run the Leaflet Finder on a membrane system.
 
     ``system`` may be a :class:`~repro.trajectory.universe.Universe` (the
     ``selection`` is applied to pick the head-group atoms) or a raw
-    ``(n_atoms, 3)`` position array.
+    ``(n_atoms, 3)`` position array.  ``data_plane="shm"`` puts the
+    system in shared memory once and hands tasks zero-copy chunk refs;
+    ``None`` (default) uses the framework's configured plane, and an
+    explicit value overrides an already constructed framework's plane
+    for this run.
     """
     if isinstance(system, Universe):
         group = system.select_atoms(selection)
@@ -68,15 +83,18 @@ def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
         positions = group.positions
     else:
         positions = np.asarray(system, dtype=np.float64)
-    fw = _resolve_framework(framework, executor=executor, workers=workers) \
+    fw = _resolve_framework(framework, executor=executor, workers=workers,
+                            data_plane=data_plane or "pickle") \
         if isinstance(framework, str) else framework
-    return run_leaflet_finder(positions, cutoff, fw, approach=approach, n_tasks=n_tasks)
+    return run_leaflet_finder(positions, cutoff, fw, approach=approach,
+                              n_tasks=n_tasks, data_plane=data_plane)
 
 
 def compare_frameworks(ensemble: TrajectoryEnsemble,
                        frameworks: Sequence[str] = ("sparklite", "dasklite", "pilot", "mpilite"),
                        *, metric: str = "hausdorff", n_tasks: int | None = None,
-                       workers: int | None = None) -> Dict[str, RunReport]:
+                       workers: int | None = None,
+                       data_plane: str = "pickle") -> Dict[str, RunReport]:
     """Run the same PSA workload on several frameworks and collect reports.
 
     The returned reports are the raw material of the paper's Figure 4/5
@@ -87,15 +105,19 @@ def compare_frameworks(ensemble: TrajectoryEnsemble,
     reports: Dict[str, RunReport] = {}
     reference = None
     for name in frameworks:
-        fw = make_framework(name, executor="threads", workers=workers)
-        matrix, report = run_psa(ensemble, fw, metric=metric, n_tasks=n_tasks)
-        if reference is None:
-            reference = matrix.values
-        elif not np.allclose(reference, matrix.values, atol=1e-9):
-            raise AssertionError(
-                f"framework {name} produced a different distance matrix"
-            )
-        reports[name] = report
+        fw = make_framework(name, executor="threads", workers=workers,
+                            data_plane=data_plane)
+        try:
+            matrix, report = run_psa(ensemble, fw, metric=metric, n_tasks=n_tasks)
+            if reference is None:
+                reference = matrix.values
+            elif not np.allclose(reference, matrix.values, atol=1e-9):
+                raise AssertionError(
+                    f"framework {name} produced a different distance matrix"
+                )
+            reports[name] = report
+        finally:
+            fw.close()
     return reports
 
 

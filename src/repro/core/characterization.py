@@ -14,7 +14,7 @@ logic of :func:`recommend_framework`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence
 
 __all__ = [

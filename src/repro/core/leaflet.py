@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -35,6 +35,7 @@ from ..analysis.neighbors import BallTree, GridNeighborSearch
 from ..analysis.pairwise import edges_from_block
 from ..frameworks.base import TaskFramework
 from ..frameworks.serialization import nbytes_of
+from ..frameworks.shm import DATA_PLANES, BlockRef, SharedMemoryStore, maybe_resolve
 from .partitioning import BlockTask, choose_group_size, one_dimensional_partition, two_dimensional_partition
 from .results import LeafletResult, RunReport
 
@@ -102,6 +103,8 @@ class _ChunkVsAllTask:
     cutoff: float
 
     def run(self) -> np.ndarray:
+        # chunk/all_positions may be shared-memory refs; the pairwise
+        # kernel resolves them to zero-copy views
         edges = edges_from_block(self.chunk, self.all_positions, self.cutoff,
                                  offset_a=self.start, offset_b=0)
         # keep i < j so each undirected edge is reported exactly once
@@ -147,13 +150,15 @@ class _TreeBlockTask:
         # build the tree over the column block, query with the row block;
         # complexity drops from O(|rows| * |cols|) to O(|cols| log |cols| +
         # |rows| log |cols|), the speedup the paper reports for large systems
+        rows = maybe_resolve(self.rows)
+        cols = maybe_resolve(self.cols)
         if self.method == "balltree":
-            searcher = BallTree(self.cols)
+            searcher = BallTree(cols)
         elif self.method == "grid":
-            searcher = GridNeighborSearch(self.cols, self.cutoff)
+            searcher = GridNeighborSearch(cols, self.cutoff)
         else:
             raise ValueError(f"unknown tree method {self.method!r}")
-        neighbor_lists = searcher.query_radius(self.rows, self.cutoff)
+        neighbor_lists = searcher.query_radius(rows, self.cutoff)
         chunks = []
         for local_i, neighbors in enumerate(neighbor_lists):
             if neighbors.size == 0:
@@ -210,6 +215,7 @@ def _make_report(approach: str, framework: TaskFramework, positions: np.ndarray,
             "cutoff": cutoff,
             "n_tasks": n_tasks,
             "n_edges": n_edges,
+            "data_plane": getattr(framework, "data_plane", "pickle"),
             **{f"phase_{k}": v for k, v in phases.items()},
         },
         wall_time_s=wall,
@@ -238,8 +244,16 @@ def leaflet_broadcast_1d(positions: np.ndarray, cutoff: float,
     bytes_broadcast = handle.nbytes
 
     ranges = one_dimensional_partition(n, n_tasks)
-    tasks = [_ChunkVsAllTask(start, stop, positions[start:stop], handle.value, cutoff)
-             for start, stop in ranges]
+    payload = handle.value
+    if isinstance(payload, BlockRef):
+        # shm plane: chunks are offset sub-refs of the broadcast segment,
+        # so neither the chunk nor the full system is copied per task
+        tasks = [_ChunkVsAllTask(start, stop, payload.slice_rows(start, stop),
+                                 payload, cutoff)
+                 for start, stop in ranges]
+    else:
+        tasks = [_ChunkVsAllTask(start, stop, positions[start:stop], payload, cutoff)
+                 for start, stop in ranges]
     map_start = time.perf_counter()
     edge_lists = framework.map_tasks(_run_task, tasks)
     map_time = time.perf_counter() - map_start
@@ -260,15 +274,33 @@ def leaflet_broadcast_1d(positions: np.ndarray, cutoff: float,
     return result, report
 
 
+def _position_slicer(positions: np.ndarray, framework: TaskFramework):
+    """Row-chunk accessor for the framework's data plane.
+
+    On the pickle plane chunks are array slices that pickle into every
+    task payload; on the shm plane the whole system enters the store once
+    and chunks are offset sub-refs (zero bytes copied or pickled).
+    """
+    if getattr(framework, "data_plane", "pickle") == "shm":
+        store: SharedMemoryStore | None = getattr(framework, "store", None)
+        if store is not None:
+            ref = store.put(positions)
+            return ref.slice_rows
+    return lambda start, stop: positions[start:stop]
+
+
 def _make_block_tasks(positions: np.ndarray, cutoff: float, n_tasks: int,
-                      partial_components: bool) -> List[_BlockPairTask]:
+                      partial_components: bool,
+                      framework: TaskFramework | None = None) -> List[_BlockPairTask]:
     n = positions.shape[0]
     chunk = choose_group_size(n, n_tasks)
     blocks = two_dimensional_partition(n, chunk)
+    slice_rows = (_position_slicer(positions, framework) if framework is not None
+                  else lambda start, stop: positions[start:stop])
     return [
         _BlockPairTask(block=b,
-                       rows=positions[b.row_start:b.row_stop],
-                       cols=positions[b.col_start:b.col_stop],
+                       rows=slice_rows(b.row_start, b.row_stop),
+                       cols=slice_rows(b.col_start, b.col_stop),
                        cutoff=cutoff,
                        partial_components=partial_components)
         for b in blocks
@@ -287,7 +319,8 @@ def leaflet_task_2d(positions: np.ndarray, cutoff: float,
     positions = _validate_inputs(positions, cutoff)
     n = positions.shape[0]
     start_all = time.perf_counter()
-    tasks = _make_block_tasks(positions, cutoff, n_tasks, partial_components=False)
+    tasks = _make_block_tasks(positions, cutoff, n_tasks, partial_components=False,
+                              framework=framework)
     map_start = time.perf_counter()
     edge_lists = framework.map_tasks(_run_task, tasks)
     map_time = time.perf_counter() - map_start
@@ -319,7 +352,8 @@ def leaflet_parallel_cc(positions: np.ndarray, cutoff: float,
     positions = _validate_inputs(positions, cutoff)
     n = positions.shape[0]
     start_all = time.perf_counter()
-    tasks = _make_block_tasks(positions, cutoff, n_tasks, partial_components=True)
+    tasks = _make_block_tasks(positions, cutoff, n_tasks, partial_components=True,
+                              framework=framework)
     map_start = time.perf_counter()
     partials = framework.map_tasks(_run_task, tasks)
     map_time = time.perf_counter() - map_start
@@ -354,10 +388,11 @@ def leaflet_tree_search(positions: np.ndarray, cutoff: float,
     start_all = time.perf_counter()
     chunk = choose_group_size(n, n_tasks)
     blocks = two_dimensional_partition(n, chunk)
+    slice_rows = _position_slicer(positions, framework)
     tasks = [
         _TreeBlockTask(block=b,
-                       rows=positions[b.row_start:b.row_stop],
-                       cols=positions[b.col_start:b.col_stop],
+                       rows=slice_rows(b.row_start, b.row_stop),
+                       cols=slice_rows(b.col_start, b.col_stop),
                        cutoff=cutoff, method=method)
         for b in blocks
     ]
@@ -399,14 +434,39 @@ def run_leaflet_finder(positions: np.ndarray, cutoff: float,
                        framework: TaskFramework, *,
                        approach: str = "tree-search",
                        n_tasks: int = 16,
+                       data_plane: str | None = None,
                        **kwargs) -> Tuple[LeafletResult, RunReport]:
-    """Run the Leaflet Finder with the named architectural approach."""
+    """Run the Leaflet Finder with the named architectural approach.
+
+    ``data_plane`` defaults to the framework's configured plane; passing
+    ``"pickle"`` or ``"shm"`` temporarily overrides it for this run (an
+    shm override on a pickle-configured framework attaches an ephemeral
+    store for the duration).
+    """
     if approach not in LEAFLET_APPROACHES:
         raise ValueError(
             f"unknown approach {approach!r}; choose from {sorted(LEAFLET_APPROACHES)}"
         )
+    if data_plane is not None and data_plane not in DATA_PLANES:
+        raise ValueError(f"unknown data_plane {data_plane!r}; choose from {DATA_PLANES}")
     impl = LEAFLET_APPROACHES[approach]
-    return impl(positions, cutoff, framework, n_tasks=n_tasks, **kwargs)
+    configured_plane = getattr(framework, "data_plane", None)
+    override = (data_plane is not None and configured_plane is not None
+                and configured_plane != data_plane)
+    ephemeral_store = None
+    try:
+        if override:
+            framework.data_plane = data_plane
+            if data_plane == "shm" and getattr(framework, "store", None) is None:
+                ephemeral_store = SharedMemoryStore()
+                framework.store = ephemeral_store
+        return impl(positions, cutoff, framework, n_tasks=n_tasks, **kwargs)
+    finally:
+        if override:
+            framework.data_plane = configured_plane
+            if ephemeral_store is not None:
+                framework.store = None
+                ephemeral_store.cleanup()
 
 
 class LeafletFinder:

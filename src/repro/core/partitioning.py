@@ -20,7 +20,7 @@ The Leaflet Finder uses two layouts over the atoms of a single frame:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -29,6 +29,7 @@ from ..analysis.hausdorff import (
 )
 from ..frameworks.base import TaskFramework
 from ..frameworks.serialization import nbytes_of
+from ..frameworks.shm import DATA_PLANES, SharedMemoryStore, maybe_resolve, refs_nbytes
 from ..trajectory.readers import read_trajectory
 from ..trajectory.trajectory import TrajectoryEnsemble
 from .partitioning import BlockTask, choose_group_size, two_dimensional_partition
@@ -71,6 +72,8 @@ class PSABlockTask:
 def _load(item, from_files: bool) -> np.ndarray:
     if from_files:
         return read_trajectory(item).as_array()
+    # shm data plane: the item is a BlockRef; rehydrate as a zero-copy view
+    item = maybe_resolve(item)
     return np.asarray(item, dtype=np.float64)
 
 
@@ -98,7 +101,8 @@ def execute_psa_block(task: PSABlockTask) -> List[Tuple[int, int, float]]:
 
 def make_psa_tasks(ensemble: TrajectoryEnsemble, *, group_size: int | None = None,
                    n_tasks: int | None = None, metric: str = "hausdorff",
-                   paths: Sequence[str] | None = None) -> List[PSABlockTask]:
+                   paths: Sequence[str] | None = None,
+                   store: SharedMemoryStore | None = None) -> List[PSABlockTask]:
     """Build the PSA task list for an ensemble (Algorithm 2 decomposition).
 
     Parameters
@@ -115,6 +119,12 @@ def make_psa_tasks(ensemble: TrajectoryEnsemble, *, group_size: int | None = Non
         Optional per-trajectory file paths; when given, tasks carry paths
         and read the trajectories inside the worker (the paper's I/O
         pattern).
+    store:
+        Shared-memory store for the shm data plane.  Each trajectory is
+        registered exactly once and the tasks carry
+        :class:`~repro.frameworks.shm.BlockRef` handles, so the 2-D block
+        decomposition — which replicates every trajectory into ~2·N/n1
+        task payloads — ships refs instead of array copies.
     """
     if metric not in PSA_METRICS:
         raise ValueError(f"unknown PSA metric {metric!r}; choose from {sorted(PSA_METRICS)}")
@@ -132,7 +142,12 @@ def make_psa_tasks(ensemble: TrajectoryEnsemble, *, group_size: int | None = Non
     from_files = paths is not None
     if from_files and len(paths) != n:
         raise ValueError("paths must have one entry per trajectory")
-    source: Sequence = paths if from_files else ensemble.as_arrays()
+    if from_files:
+        source: Sequence = paths
+    else:
+        source = ensemble.as_arrays()
+        if store is not None:
+            source = [store.put(array) for array in source]
     tasks = []
     for block in blocks:
         row_data = [source[i] for i in range(block.row_start, block.row_stop)]
@@ -162,23 +177,56 @@ def psa_serial(ensemble: TrajectoryEnsemble, metric: str = "hausdorff") -> Dista
 def run_psa(ensemble: TrajectoryEnsemble, framework: TaskFramework,
             *, group_size: int | None = None, n_tasks: int | None = None,
             metric: str = "hausdorff",
-            paths: Sequence[str] | None = None) -> Tuple[DistanceMatrix, RunReport]:
+            paths: Sequence[str] | None = None,
+            data_plane: str | None = None) -> Tuple[DistanceMatrix, RunReport]:
     """Task-parallel PSA on any framework substrate.
 
     Returns the symmetric distance matrix and a :class:`RunReport` with the
     framework's metrics (task counts, wall time, overhead).
+
+    ``data_plane`` defaults to the framework's own plane; pass ``"shm"``
+    to force zero-copy task payloads (each trajectory enters shared
+    memory once, tasks carry refs) or ``"pickle"`` to force whole-array
+    payloads.  Forcing a plane temporarily overrides the framework's
+    configured plane for this run, so the payload conversion and the
+    reported label agree; a :class:`SharedMemoryExecutor`'s transport
+    itself is part of the executor and is not affected.
     """
-    tasks = make_psa_tasks(ensemble, group_size=group_size, n_tasks=n_tasks,
-                           metric=metric, paths=paths)
-    n = ensemble.n_trajectories
-    start = time.perf_counter()
-    results = framework.map_tasks(execute_psa_block, tasks)
-    wall = time.perf_counter() - start
+    plane = data_plane if data_plane is not None else getattr(framework, "data_plane", "pickle")
+    if plane not in DATA_PLANES:
+        raise ValueError(f"unknown data_plane {plane!r}; choose from {DATA_PLANES}")
+    configured_plane = getattr(framework, "data_plane", None)
+    override = configured_plane is not None and configured_plane != plane
+    store = None
+    owns_store = False
+    if plane == "shm" and paths is None:
+        store = getattr(framework, "store", None)
+        if store is None:
+            store = SharedMemoryStore()
+            owns_store = True
+    try:
+        if override:
+            framework.data_plane = plane
+        tasks = make_psa_tasks(ensemble, group_size=group_size, n_tasks=n_tasks,
+                               metric=metric, paths=paths, store=store)
+        n = ensemble.n_trajectories
+        start = time.perf_counter()
+        results = framework.map_tasks(execute_psa_block, tasks)
+        wall = time.perf_counter() - start
+    finally:
+        if override:
+            framework.data_plane = configured_plane
+        if owns_store:
+            store.cleanup()
     values = np.zeros((n, n), dtype=np.float64)
     for triples in results:
         for i, j, d in triples:
             values[i, j] = values[j, i] = d
     matrix = DistanceMatrix(values, labels=ensemble.labels)
+    metrics = framework.metrics
+    if store is not None:
+        metrics.bytes_shared = max(metrics.bytes_shared,
+                                   sum(refs_nbytes(task) for task in tasks))
     report = RunReport(
         algorithm=f"psa[{metric}]",
         framework=framework.name,
@@ -188,9 +236,10 @@ def run_psa(ensemble: TrajectoryEnsemble, framework: TaskFramework,
             "n_atoms": ensemble[0].n_atoms,
             "n_tasks": len(tasks),
             "metric": metric,
+            "data_plane": plane,
         },
         wall_time_s=wall,
         n_tasks=len(tasks),
-        metrics=framework.metrics,
+        metrics=metrics,
     )
     return matrix, report

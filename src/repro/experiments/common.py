@@ -15,7 +15,7 @@ Every ``figN_*`` module exposes:
 from __future__ import annotations
 
 import argparse
-from typing import Iterable, List, Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 __all__ = ["format_rows", "print_rows", "standard_argparser", "geometric_factor"]
 

@@ -20,7 +20,7 @@ scaled-down bilayer and verifies they agree on the leaflet assignment.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from ..core.leaflet import LEAFLET_APPROACHES, run_leaflet_finder
 from ..frameworks import make_framework

@@ -9,7 +9,17 @@ count while Spark's and Dask's stay roughly constant; Dask could not
 broadcast the 524k system at all.
 
 ``measured_rows`` times the broadcast and the map phase live on the real
-substrates and reports the same breakdown.
+substrates and reports the same breakdown.  ``data_plane_rows`` runs the
+identical workload on the pickle and shm data planes and reports the
+moved-vs-shared byte split: on the shm plane the broadcast volume
+collapses from the full system to a per-node ref; ``bytes_shared``
+(from :class:`~repro.frameworks.base.RunMetrics`) counts the array
+bytes the tasks *accessed* through shared memory (summed per task, the
+analogue of what the pickle plane would have moved), while
+``bytes_resident`` counts the segment bytes actually held in the store
+— the system appears there exactly once.  This is the serialization
+saving the paper identifies as the frameworks' main deficit against
+MPI.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ from ..perfmodel.scaling import model_broadcast_breakdown
 from ..trajectory.bilayer import BilayerSpec, make_bilayer
 from .common import print_rows, standard_argparser
 
-__all__ = ["modeled_rows", "measured_rows", "main"]
+__all__ = ["modeled_rows", "measured_rows", "data_plane_rows", "main"]
 
 
 def modeled_rows(atom_counts: Sequence[int] = (131_072, 262_144)) -> List[dict]:
@@ -32,27 +42,68 @@ def modeled_rows(atom_counts: Sequence[int] = (131_072, 262_144)) -> List[dict]:
 
 def measured_rows(n_atoms: int = 3000, cutoff: float = 15.0, n_tasks: int = 16,
                   workers: int = 4,
-                  frameworks: Sequence[str] = ("sparklite", "dasklite", "mpilite")) -> List[dict]:
+                  frameworks: Sequence[str] = ("sparklite", "dasklite", "mpilite"),
+                  data_plane: str = "pickle") -> List[dict]:
     """Laptop-scale live broadcast/map breakdown for approach 1."""
     positions, _labels = make_bilayer(BilayerSpec(n_atoms=n_atoms, seed=11))
     rows: List[dict] = []
     for name in frameworks:
-        fw = make_framework(name, executor="threads", workers=workers)
+        fw = make_framework(name, executor="threads", workers=workers,
+                            data_plane=data_plane)
         _result, report = leaflet_broadcast_1d(positions, cutoff, fw, n_tasks=n_tasks)
-        phases = {k: v for k, v in report.metrics.events if isinstance(v, float)}
         broadcast_s = report.parameters.get("phase_broadcast_s", 0.0)
         map_s = report.parameters.get("phase_map_s", 0.0)
+        store = getattr(fw, "store", None)
         rows.append({
             "framework": name,
+            "data_plane": data_plane,
             "n_atoms": n_atoms,
             "wall_time_s": report.wall_time_s,
             "broadcast_s": broadcast_s,
             "map_s": map_s,
             "broadcast_fraction_of_map": (broadcast_s / map_s) if map_s > 0 else float("nan"),
             "bytes_broadcast": report.metrics.bytes_broadcast,
+            # array bytes tasks accessed through the plane (per-task sum)
+            "bytes_shared": report.metrics.bytes_shared,
+            # unique segment bytes resident in the store (system counted once)
+            "bytes_resident": store.bytes_shared if store is not None else 0,
         })
         fw.close()
-        _ = phases
+    return rows
+
+
+def data_plane_rows(n_atoms: int = 3000, cutoff: float = 15.0, n_tasks: int = 16,
+                    workers: int = 4,
+                    frameworks: Sequence[str] = ("sparklite", "dasklite", "mpilite")) -> List[dict]:
+    """Moved-vs-shared byte split: pickle plane against the shm plane.
+
+    One row per framework: the bytes a distributed deployment would move
+    for the approach-1 broadcast on each plane, the array bytes the
+    tasks accessed through shared memory instead
+    (``bytes_accessed_shm``, a per-task sum), and the unique segment
+    bytes resident in the store (``bytes_resident_shm`` — the system
+    counted once).  ``moved_reduction`` is the factor by which the shm
+    plane shrinks the moved volume.
+    """
+    rows: List[dict] = []
+    pickle_rows = measured_rows(n_atoms, cutoff, n_tasks, workers, frameworks,
+                                data_plane="pickle")
+    shm_rows = measured_rows(n_atoms, cutoff, n_tasks, workers, frameworks,
+                             data_plane="shm")
+    for pickled, shared in zip(pickle_rows, shm_rows):
+        moved_pickle = pickled["bytes_broadcast"]
+        moved_shm = shared["bytes_broadcast"]
+        rows.append({
+            "framework": pickled["framework"],
+            "n_atoms": n_atoms,
+            "bytes_moved_pickle": moved_pickle,
+            "bytes_moved_shm": moved_shm,
+            "bytes_accessed_shm": shared["bytes_shared"],
+            "bytes_resident_shm": shared["bytes_resident"],
+            "moved_reduction": (moved_pickle / moved_shm) if moved_shm else float("inf"),
+            "wall_time_pickle_s": pickled["wall_time_s"],
+            "wall_time_shm_s": shared["wall_time_s"],
+        })
     return rows
 
 
@@ -65,6 +116,8 @@ def main(argv=None) -> None:
                         "broadcast_s", "broadcast_fraction"])
     if args.live:
         print_rows("Figure 8 (measured, laptop scale)", measured_rows(workers=args.workers))
+        print_rows("Figure 8 extension: pickle vs shm data plane",
+                   data_plane_rows(workers=args.workers))
 
 
 if __name__ == "__main__":  # pragma: no cover

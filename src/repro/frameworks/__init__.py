@@ -21,11 +21,13 @@ from .executors import (
     ExecutorBase,
     ProcessExecutor,
     SerialExecutor,
+    SharedMemoryExecutor,
     ThreadExecutor,
     default_worker_count,
     make_executor,
 )
 from .serialization import estimate_transfer_time, nbytes_of, serialized_size
+from .shm import DATA_PLANES, BlockRef, SharedMemoryStore
 from .sparklite import SparkLiteContext
 from .dasklite import DaskLiteClient
 from .pilot import PilotFramework
@@ -41,11 +43,15 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "SharedMemoryExecutor",
     "make_executor",
     "default_worker_count",
     "serialized_size",
     "nbytes_of",
     "estimate_transfer_time",
+    "DATA_PLANES",
+    "BlockRef",
+    "SharedMemoryStore",
     "SparkLiteContext",
     "DaskLiteClient",
     "PilotFramework",

@@ -23,11 +23,25 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Sequence
+from typing import Any, Callable, List, Sequence, Tuple
+
+import numpy as np
 
 from .cluster import ClusterSpec, local_cluster
-from .executors import ExecutorBase, SerialExecutor, make_executor
-from .serialization import nbytes_of
+from .executors import (
+    ExecutorBase,
+    ProcessExecutor,
+    SharedMemoryExecutor,
+    make_executor,
+)
+from .serialization import nbytes_of, serialized_size
+from .shm import (
+    DATA_PLANES,
+    ResolvingTask,
+    SharedMemoryStore,
+    refs_nbytes,
+    share_payload,
+)
 
 __all__ = ["RunMetrics", "BroadcastHandle", "TaskFramework"]
 
@@ -52,6 +66,14 @@ class RunMetrics:
         Communication volumes, measured with
         :func:`repro.frameworks.serialization.nbytes_of` /
         ``serialized_size`` depending on the substrate.
+    bytes_pickled / bytes_shared:
+        Data-plane split: task-payload bytes that cross (or, for
+        in-process executors, *would* cross) a process boundary
+        serialized, vs array bytes accessed zero-copy through the
+        shared-memory plane (:mod:`repro.frameworks.shm`).  Process
+        pools measure real pickled sizes; in-process executors estimate
+        with :func:`~repro.frameworks.serialization.nbytes_of`, the same
+        would-move convention used for broadcast/shuffle volumes.
     events:
         Free-form ``(label, value)`` pairs recorded by substrates
         (e.g. per-stage timings, database round-trips).
@@ -65,6 +87,8 @@ class RunMetrics:
     bytes_broadcast: int = 0
     bytes_shuffled: int = 0
     bytes_staged: int = 0
+    bytes_pickled: int = 0
+    bytes_shared: int = 0
     events: List[tuple] = field(default_factory=list)
 
     def record_event(self, label: str, value: Any) -> None:
@@ -82,6 +106,8 @@ class RunMetrics:
             bytes_broadcast=self.bytes_broadcast + other.bytes_broadcast,
             bytes_shuffled=self.bytes_shuffled + other.bytes_shuffled,
             bytes_staged=self.bytes_staged + other.bytes_staged,
+            bytes_pickled=self.bytes_pickled + other.bytes_pickled,
+            bytes_shared=self.bytes_shared + other.bytes_shared,
             events=self.events + other.events,
         )
         return merged
@@ -97,6 +123,8 @@ class RunMetrics:
             "bytes_broadcast": self.bytes_broadcast,
             "bytes_shuffled": self.bytes_shuffled,
             "bytes_staged": self.bytes_staged,
+            "bytes_pickled": self.bytes_pickled,
+            "bytes_shared": self.bytes_shared,
         }
 
 
@@ -107,12 +135,16 @@ class BroadcastHandle:
     ``value`` is accessible from every task (all substrates here share an
     address space or re-ship the value to worker processes); ``nbytes``
     records how much data a distributed deployment would have had to move
-    to every node.
+    to every node.  On the shm data plane ``value`` is a
+    :class:`~repro.frameworks.shm.BlockRef`, ``nbytes`` shrinks to the
+    ref's pickled size and ``bytes_shared`` carries the array bytes that
+    are shared instead of moved.
     """
 
     value: Any
     nbytes: int
     framework: str = ""
+    bytes_shared: int = 0
 
     def unpersist(self) -> None:
         """Drop the reference to the underlying value."""
@@ -128,21 +160,45 @@ class TaskFramework:
         The resources the framework is "deployed" on; defaults to a
         single-node local cluster sized to the executor's worker count.
     executor:
-        Physical task executor ("serial", "threads", "processes" or an
-        :class:`ExecutorBase` instance).
+        Physical task executor ("serial", "threads", "processes", "shm"
+        or an :class:`ExecutorBase` instance).
+    data_plane:
+        ``"pickle"`` (default) ships task payloads whole; ``"shm"``
+        registers NumPy payloads in a :class:`SharedMemoryStore` once and
+        ships :class:`~repro.frameworks.shm.BlockRef` handles instead,
+        the zero-copy plane described in :mod:`repro.frameworks.shm`.
     """
 
     name = "base"
 
+    #: Whether ``map_tasks`` physically runs its tasks on ``self.executor``.
+    #: dasklite (graph scheduler) and mpilite (SPMD rank threads) execute
+    #: tasks elsewhere, so executor-based payload conversion/measurement
+    #: does not apply to them.
+    _executor_runs_tasks = True
+
     def __init__(self, cluster: ClusterSpec | None = None,
                  executor: str | ExecutorBase = "serial",
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 data_plane: str = "pickle") -> None:
+        if data_plane not in DATA_PLANES:
+            raise ValueError(
+                f"unknown data_plane {data_plane!r}; choose from {DATA_PLANES}"
+            )
         if isinstance(executor, ExecutorBase):
             self.executor = executor
         else:
             self.executor = make_executor(executor, workers)
         self.cluster = cluster or local_cluster(cores=self.executor.workers)
         self.metrics = RunMetrics()
+        self.data_plane = data_plane
+        # a SharedMemoryExecutor brings its own store; otherwise the
+        # framework owns one for the lifetime of the substrate
+        self.store: SharedMemoryStore | None = getattr(self.executor, "store", None)
+        self._owns_store = False
+        if self.data_plane == "shm" and self.store is None:
+            self.store = SharedMemoryStore()
+            self._owns_store = True
 
     # ------------------------------------------------------------------ #
     # the uniform surface used by repro.core
@@ -151,6 +207,7 @@ class TaskFramework:
         """Run independent tasks and return their results in input order."""
         items = list(items)
         self.metrics = RunMetrics(tasks_submitted=len(items))
+        fn, items = self._apply_data_plane(fn, items)
         start = time.perf_counter()
         results = self._run_tasks(fn, items)
         wall = time.perf_counter() - start
@@ -160,23 +217,92 @@ class TaskFramework:
         self.metrics.task_time_s = task_time
         workers = max(1, self.executor.workers)
         self.metrics.overhead_s = max(0.0, wall - task_time / workers)
+        self._collect_executor_bytes()
         return results
 
     def broadcast(self, value: Any) -> BroadcastHandle:
-        """Make ``value`` available to all tasks; record its size."""
+        """Make ``value`` available to all tasks; record its size.
+
+        On the shm plane an array value is placed in the store once; the
+        handle then carries a ref whose pickled size is what actually
+        moves, while the array bytes are accounted as shared.
+        """
+        ref = self._share_value(value)
+        if ref is not None:
+            handle = BroadcastHandle(value=ref, nbytes=serialized_size(ref),
+                                     framework=self.name, bytes_shared=ref.nbytes)
+            self.metrics.bytes_broadcast += handle.nbytes
+            self.metrics.bytes_shared += handle.bytes_shared
+            return handle
         handle = BroadcastHandle(value=value, nbytes=nbytes_of(value),
                                  framework=self.name)
         self.metrics.bytes_broadcast += handle.nbytes
         return handle
 
     # ------------------------------------------------------------------ #
+    # data-plane helpers shared by the substrates
+    # ------------------------------------------------------------------ #
+    def _share_value(self, value: Any):
+        """Store ``value`` on the shm plane if eligible; the ref or None."""
+        if (self.data_plane == "shm" and self.store is not None
+                and isinstance(value, np.ndarray) and value.nbytes > 0):
+            return self.store.put(value)
+        return None
+
+    def _apply_data_plane(self, fn: Callable[[Any], Any],
+                          items: Sequence[Any]) -> Tuple[Callable[[Any], Any], List[Any]]:
+        """Convert task payloads for the active data plane.
+
+        On the pickle plane payloads pass through unchanged; when no
+        process pool will measure real pickled sizes, the would-cross
+        payload volume is estimated with ``nbytes_of`` so both planes
+        report comparable ``bytes_pickled`` numbers.  On the shm plane
+        every array inside every payload is swapped for a ref
+        (deduplicated store-wide), ``fn`` is wrapped to resolve refs
+        back to views task-side, and the metrics record the
+        pickled-vs-shared byte split that a process-crossing deployment
+        would see.  A :class:`SharedMemoryExecutor` that actually runs
+        the tasks converts and accounts payloads itself, so the
+        conversion is skipped to avoid double work.
+        """
+        items = list(items)
+        executor_measures = (self._executor_runs_tasks
+                             and isinstance(self.executor,
+                                            (ProcessExecutor, SharedMemoryExecutor)))
+        if self.data_plane != "shm" or self.store is None:
+            if not executor_measures:
+                self.metrics.bytes_pickled += sum(nbytes_of(item) for item in items)
+            return fn, items
+        if executor_measures and isinstance(self.executor, SharedMemoryExecutor):
+            return fn, items
+        shared_items = [share_payload(item, self.store)[0] for item in items]
+        self.metrics.bytes_shared += sum(refs_nbytes(item) for item in shared_items)
+        self.metrics.bytes_pickled += sum(serialized_size(item) for item in shared_items)
+        return ResolvingTask(fn), shared_items
+
+    # ------------------------------------------------------------------ #
+    def _collect_executor_bytes(self) -> None:
+        """Fold the executor's per-task byte accounting into the metrics.
+
+        ``_apply_data_plane`` estimates payload bytes driver-side and a
+        process-based executor measures the same payloads as they cross;
+        both describe one crossing, so take the larger rather than
+        summing them.
+        """
+        self.metrics.bytes_pickled = max(self.metrics.bytes_pickled,
+                                         self.executor.total_bytes_pickled)
+        self.metrics.bytes_shared = max(self.metrics.bytes_shared,
+                                        self.executor.total_bytes_shared)
+
     def _run_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Substrate-specific execution; default delegates to the executor."""
         return self.executor.map_tasks(fn, items)
 
     def close(self) -> None:
-        """Release executor resources."""
+        """Release executor resources and any owned shared-memory store."""
         self.executor.shutdown()
+        if self._owns_store and self.store is not None:
+            self.store.cleanup()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<{type(self).__name__} on {self.cluster.name}: "

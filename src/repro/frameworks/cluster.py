@@ -10,7 +10,7 @@ constants (see :mod:`repro.perfmodel.machines`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ClusterSpec", "local_cluster"]
 

@@ -11,10 +11,10 @@ scheduler.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Iterable, List, Sequence
+from typing import Any, Callable, List, Sequence
 
 from .graph import KeyRef, TaskGraph, TaskSpec
-from .scheduler import SchedulerBase, SynchronousScheduler, get_scheduler
+from .scheduler import SchedulerBase, get_scheduler
 
 __all__ = ["Delayed", "delayed", "compute"]
 

@@ -23,10 +23,11 @@ from typing import Any, Callable, Iterable, List, Sequence
 from ..base import BroadcastHandle, RunMetrics, TaskFramework
 from ..cluster import ClusterSpec
 from ..executors import ExecutorBase
-from ..serialization import nbytes_of
+from ..serialization import nbytes_of, serialized_size
+from ..shm import BlockRef
+from ..sparklite.partitioner import split_array_into_partitions
 from .bag import Bag, from_sequence
 from .delayed import Delayed, compute, delayed
-from .graph import TaskGraph
 from .scheduler import SchedulerBase, SynchronousScheduler, ThreadedScheduler
 
 __all__ = ["Future", "ScatteredData", "DaskLiteClient"]
@@ -93,10 +94,15 @@ class DaskLiteClient(TaskFramework):
 
     name = "dasklite"
 
+    # tasks run on the graph scheduler, not on self.executor
+    _executor_runs_tasks = False
+
     def __init__(self, cluster: ClusterSpec | None = None,
                  executor: str | ExecutorBase = "threads",
-                 workers: int | None = None) -> None:
-        super().__init__(cluster=cluster, executor=executor, workers=workers)
+                 workers: int | None = None,
+                 data_plane: str = "pickle") -> None:
+        super().__init__(cluster=cluster, executor=executor, workers=workers,
+                         data_plane=data_plane)
         if isinstance(executor, str) and executor == "serial":
             self.scheduler: SchedulerBase = SynchronousScheduler()
         else:
@@ -133,6 +139,24 @@ class DaskLiteClient(TaskFramework):
         behaviour the paper describes for Dask's scatter of the physical
         system.
         """
+        ref = self._share_value(data)
+        if ref is not None:
+            # shm plane: the workers attach to one resident copy; only the
+            # refs would cross the wire.  broadcast=True replicates the
+            # whole-object ref; broadcast=False reproduces Dask's
+            # piecewise scatter as zero-copy per-worker row chunks.
+            # nbytes follows the pickle branch's single-copy convention.
+            if broadcast:
+                pieces = [ref]
+                nbytes = serialized_size(ref)
+            else:
+                pieces = split_array_into_partitions(ref, max(1, self.executor.workers))
+                nbytes = sum(serialized_size(piece) for piece in pieces)
+            scattered = ScatteredData(pieces, nbytes, broadcast=broadcast)
+            self._scattered.append(scattered)
+            self.metrics.bytes_broadcast += scattered.nbytes
+            self.metrics.bytes_shared += ref.nbytes
+            return scattered
         if broadcast:
             nbytes = nbytes_of(data) * max(1, self.cluster.nodes)
             scattered = ScatteredData([data], nbytes_of(data), broadcast=True)
@@ -170,6 +194,7 @@ class DaskLiteClient(TaskFramework):
         """Run independent tasks as one delayed graph (one node per task)."""
         items = list(items)
         self.metrics = RunMetrics(tasks_submitted=len(items))
+        fn, items = self._apply_data_plane(fn, items)
         start = time.perf_counter()
         if not items:
             return []
@@ -182,9 +207,18 @@ class DaskLiteClient(TaskFramework):
         self.metrics.task_time_s = self.scheduler.total_task_time
         workers = max(1, getattr(self.scheduler, "workers", 1))
         self.metrics.overhead_s = max(0.0, wall - self.metrics.task_time_s / workers)
+        self._collect_executor_bytes()
         return results
 
     def broadcast(self, value: Any) -> BroadcastHandle:
-        """Broadcast via scatter(..., broadcast=True)."""
+        """Broadcast via scatter(..., broadcast=True).
+
+        On the shm plane the handle carries the shared-memory ref and the
+        array bytes appear as ``bytes_shared`` instead of moved bytes.
+        """
         scattered = self.scatter(value, broadcast=True)
+        piece = scattered.pieces[0]
+        if isinstance(piece, BlockRef):
+            return BroadcastHandle(value=piece, nbytes=scattered.nbytes,
+                                   framework=self.name, bytes_shared=piece.nbytes)
         return BroadcastHandle(value=value, nbytes=scattered.nbytes, framework=self.name)

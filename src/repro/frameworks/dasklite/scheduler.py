@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
-from typing import Any, Dict, Hashable, Iterable, List
+from typing import Any, Dict, Hashable, Iterable
 
 from .graph import GraphError, TaskGraph
 

@@ -2,7 +2,7 @@
 
 Each framework (sparklite, dasklite, pilot, mpilite) needs to actually run
 Python callables over collections of inputs.  To keep that concern in one
-place the frameworks delegate to one of three executors:
+place the frameworks delegate to one of four executors:
 
 * :class:`SerialExecutor` — runs tasks in the calling thread; fully
   deterministic, used by default in tests.
@@ -13,18 +13,29 @@ place the frameworks delegate to one of three executors:
   default start method is used); incurs pickling of inputs and outputs,
   which is exactly the serialization cost the paper discusses for
   Python frameworks.
+* :class:`SharedMemoryExecutor` — a process pool with the zero-copy data
+  plane of :mod:`repro.frameworks.shm`: array payloads are registered in
+  a :class:`~repro.frameworks.shm.SharedMemoryStore` once and workers
+  receive tiny :class:`~repro.frameworks.shm.BlockRef` handles that
+  rehydrate as views, removing the per-task array pickling entirely.
 
 All executors record per-task wall-clock durations so the frameworks can
-report scheduling overhead separately from useful work.
+report scheduling overhead separately from useful work; the process-based
+executors additionally record per-task ``bytes_pickled`` (input payload
+bytes that crossed the process boundary) and ``bytes_shared`` (array
+bytes the task accessed through shared memory instead).
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Sequence
+from typing import Any, Callable, List, Sequence
+
+from .shm import SharedMemoryStore, refs_nbytes, resolve_payload, share_payload
 
 __all__ = [
     "TaskTiming",
@@ -32,23 +43,39 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "SharedMemoryExecutor",
     "make_executor",
     "default_worker_count",
 ]
 
 
 def default_worker_count() -> int:
-    """A sensible default worker count for the local machine."""
-    return max(1, (os.cpu_count() or 2) - 0)
+    """A sensible default worker count for the local machine.
+
+    One core is reserved for the driver (scheduler loops, result
+    gathering, the interactive session), matching the deployment the
+    paper's single-node runs use; the floor of 1 keeps single-core
+    machines working.
+    """
+    return max(1, (os.cpu_count() or 2) - 1)
 
 
 @dataclass
 class TaskTiming:
-    """Wall-clock timing of one executed task."""
+    """Wall-clock timing and data-plane accounting of one executed task.
+
+    ``bytes_pickled`` counts the task's *input payload* bytes that were
+    serialized across a process boundary; ``bytes_shared`` counts the
+    array bytes the task accessed through the shared-memory plane instead
+    of receiving them in the payload.  Both stay 0 for in-process
+    executors, where no boundary is crossed.
+    """
 
     index: int
     start: float
     stop: float
+    bytes_pickled: int = 0
+    bytes_shared: int = 0
 
     @property
     def duration(self) -> float:
@@ -80,6 +107,16 @@ class ExecutorBase:
     def total_task_time(self) -> float:
         """Sum of task durations from the last ``map_tasks`` call."""
         return sum(t.duration for t in self.timings)
+
+    @property
+    def total_bytes_pickled(self) -> int:
+        """Input payload bytes pickled across process boundaries (last call)."""
+        return sum(t.bytes_pickled for t in self.timings)
+
+    @property
+    def total_bytes_shared(self) -> int:
+        """Array bytes accessed through shared memory (last call)."""
+        return sum(t.bytes_shared for t in self.timings)
 
     def shutdown(self) -> None:
         """Release any pooled resources (no-op for stateless executors)."""
@@ -129,10 +166,15 @@ class ThreadExecutor(ExecutorBase):
 
 
 def _timed_call(payload: tuple) -> tuple:
-    """Module-level helper so ProcessExecutor payloads are picklable."""
-    index, fn, item = payload
+    """Module-level helper so ProcessExecutor payloads are picklable.
+
+    The item arrives pre-pickled (serialized exactly once, driver-side,
+    which is also how its byte count is measured); deserialization runs
+    inside the timed region, where a real deployment pays it.
+    """
+    index, fn, blob = payload
     start = time.perf_counter()
-    result = fn(item)
+    result = fn(pickle.loads(blob))
     return index, result, start, time.perf_counter()
 
 
@@ -147,24 +189,97 @@ class ProcessExecutor(ExecutorBase):
         items = list(items)
         if not items:
             return []
+        # serialize each payload exactly once: the blob is both the bytes
+        # shipped to the worker and the measurement of what crossed
+        blobs = [pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+                 for item in items]
         results: List[Any] = [None] * len(items)
         timings: List[TaskTiming] = []
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            payloads = [(i, fn, item) for i, item in enumerate(items)]
+            payloads = [(i, fn, blob) for i, blob in enumerate(blobs)]
             for index, result, start, stop in pool.map(_timed_call, payloads):
                 results[index] = result
-                timings.append(TaskTiming(index, start, stop))
+                timings.append(TaskTiming(index, start, stop,
+                                          bytes_pickled=len(blobs[index])))
         timings.sort(key=lambda t: t.index)
         self.timings = timings
         return results
 
 
+def _shm_timed_call(payload: tuple) -> tuple:
+    """Worker-side trampoline: unpickle the ref payload and resolve it.
+
+    Both steps happen inside the timed region on purpose — unpickling
+    the (tiny) ref payload plus attaching to the segment *is* this data
+    plane's deserialization cost, and it must show up where pickling
+    showed up for :class:`ProcessExecutor`.
+    """
+    index, fn, blob = payload
+    start = time.perf_counter()
+    result = fn(resolve_payload(pickle.loads(blob)))
+    return index, result, start, time.perf_counter()
+
+
+class SharedMemoryExecutor(ExecutorBase):
+    """Process-pool executor with a zero-copy shared-memory data plane.
+
+    Before submission every task payload is walked and its NumPy arrays
+    are registered in the executor's :class:`SharedMemoryStore` (each
+    distinct array exactly once); the workers receive payloads whose
+    arrays are replaced by :class:`~repro.frameworks.shm.BlockRef`
+    handles and rehydrate them as views of the shared segments.  Results
+    still return through the regular pickle channel.
+
+    Parameters
+    ----------
+    store:
+        An existing store to register payloads in (shared with a
+        framework, for example).  When omitted the executor owns a
+        private store and unlinks its segments on :meth:`shutdown`.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 store: SharedMemoryStore | None = None) -> None:
+        super().__init__(workers=workers or default_worker_count())
+        self.store = store if store is not None else SharedMemoryStore()
+        self._owns_store = store is None
+
+    def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        self.timings = []
+        items = list(items)
+        if not items:
+            return []
+        shared_items = [share_payload(item, self.store)[0] for item in items]
+        blobs = [pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+                 for item in shared_items]
+        shared_sizes = [refs_nbytes(item) for item in shared_items]
+        results: List[Any] = [None] * len(items)
+        timings: List[TaskTiming] = []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            payloads = [(i, fn, blob) for i, blob in enumerate(blobs)]
+            for index, result, start, stop in pool.map(_shm_timed_call, payloads):
+                results[index] = result
+                timings.append(TaskTiming(index, start, stop,
+                                          bytes_pickled=len(blobs[index]),
+                                          bytes_shared=shared_sizes[index]))
+        timings.sort(key=lambda t: t.index)
+        self.timings = timings
+        return results
+
+    def shutdown(self) -> None:
+        """Unlink the owned store's segments (shared stores are left alone)."""
+        if self._owns_store:
+            self.store.cleanup()
+
+
 def make_executor(kind: str = "serial", workers: int | None = None) -> ExecutorBase:
-    """Factory: ``"serial"``, ``"threads"`` or ``"processes"``."""
+    """Factory: ``"serial"``, ``"threads"``, ``"processes"`` or ``"shm"``."""
     if kind == "serial":
         return SerialExecutor()
     if kind in ("threads", "thread"):
         return ThreadExecutor(workers)
     if kind in ("processes", "process"):
         return ProcessExecutor(workers)
+    if kind in ("shm", "sharedmem", "shared-memory"):
+        return SharedMemoryExecutor(workers)
     raise ValueError(f"unknown executor kind {kind!r}")

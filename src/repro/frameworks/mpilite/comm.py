@@ -21,7 +21,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..serialization import nbytes_of
+from ..serialization import nbytes_of, serialized_size
+from ..shm import BlockRef, SharedMemoryStore, maybe_resolve
 
 __all__ = ["WorldContext", "Communicator", "ReduceOp"]
 
@@ -66,7 +67,21 @@ class ReduceOp:
 
 @dataclass
 class WorldContext:
-    """State shared by all ranks of one SPMD world."""
+    """State shared by all ranks of one SPMD world.
+
+    When ``store`` is set (the shm data plane) the collectives fall back
+    to a shared-memory transport for array payloads, the in-process
+    analogue of an ``MPI_Win_allocate_shared`` on-node window: the root
+    publishes the array to the store once, the wire carries only the ref,
+    and the array bytes accumulate in ``bytes_shared`` instead of
+    ``bytes_communicated``.
+
+    Contract change vs the pickle transport: arrays received from a
+    shm-transport ``bcast``/``scatter`` are *read-only views* of the one
+    shared segment (every rank, including the root, sees the same
+    memory).  SPMD code that mutates its received buffer in place must
+    ``.copy()`` first — exactly as it would with an MPI shared window.
+    """
 
     size: int
     barrier: threading.Barrier = field(init=False)
@@ -79,6 +94,9 @@ class WorldContext:
     traffic_log: List[tuple] = field(default_factory=list)
     _mailboxes: Dict[tuple, list] = field(default_factory=dict)
     _mail_cv: threading.Condition = field(default_factory=threading.Condition)
+    #: shared-memory store enabling the zero-copy transport (None = off)
+    store: Optional[SharedMemoryStore] = None
+    bytes_shared: int = 0
 
     def __post_init__(self) -> None:
         if self.size < 1:
@@ -92,6 +110,18 @@ class WorldContext:
             self.bytes_communicated += int(nbytes)
             self.collective_calls += 1
             self.traffic_log.append((operation, int(nbytes)))
+
+    def account_shared(self, nbytes: int) -> None:
+        """Record array bytes served through the shared-memory transport."""
+        with self.lock:
+            self.bytes_shared += int(nbytes)
+
+    def share(self, obj: Any) -> Any:
+        """Publish ``obj`` via the store if the transport applies; else obj."""
+        if (self.store is not None and isinstance(obj, np.ndarray)
+                and obj.nbytes > 0):
+            return self.store.put(obj)
+        return obj
 
 
 class Communicator:
@@ -125,29 +155,51 @@ class Communicator:
     # collectives
     # ------------------------------------------------------------------ #
     def bcast(self, obj: Any, root: int = 0) -> Any:
-        """Broadcast ``obj`` from ``root`` to every rank."""
+        """Broadcast ``obj`` from ``root`` to every rank.
+
+        With the shared-memory transport active, an array payload is
+        published once and only the ref is accounted as moved per rank;
+        every rank then receives a *read-only* view of the shared
+        segment (copy before mutating in place).
+        """
         ctx = self.context
         if self.rank == root:
-            ctx.root_slot = obj
-            # root sends size-1 copies across the network
-            ctx.account("bcast", nbytes_of(obj) * max(0, self.size - 1))
+            payload = ctx.share(obj)
+            ctx.root_slot = payload
+            if isinstance(payload, BlockRef):
+                ctx.account("bcast", serialized_size(payload) * max(0, self.size - 1))
+                ctx.account_shared(payload.nbytes)
+            else:
+                # root sends size-1 copies across the network
+                ctx.account("bcast", nbytes_of(obj) * max(0, self.size - 1))
         ctx.barrier.wait()
-        value = ctx.root_slot
+        value = maybe_resolve(ctx.root_slot)
         ctx.barrier.wait()
         return value
 
     def scatter(self, chunks: Optional[Sequence[Any]], root: int = 0) -> Any:
-        """Scatter one chunk per rank from ``root``."""
+        """Scatter one chunk per rank from ``root``.
+
+        Array chunks travel through the shared-memory transport when it
+        is active: each rank receives a *read-only* view of its chunk's
+        segment (copy before mutating in place) and only the refs are
+        accounted as moved.
+        """
         ctx = self.context
         if self.rank == root:
             if chunks is None or len(chunks) != self.size:
                 raise ValueError("scatter requires exactly one chunk per rank at the root")
             for i, chunk in enumerate(chunks):
-                ctx.slots[i] = chunk
+                payload = ctx.share(chunk)
+                ctx.slots[i] = payload
                 if i != root:
-                    ctx.account("scatter", nbytes_of(chunk))
+                    if isinstance(payload, BlockRef):
+                        ctx.account("scatter", serialized_size(payload))
+                        ctx.account_shared(payload.nbytes)
+                    else:
+                        ctx.account("scatter", nbytes_of(chunk))
         ctx.barrier.wait()
-        value = ctx.slots[self.rank]
+        value = maybe_resolve(ctx.slots[self.rank])
         ctx.barrier.wait()
         return value
 

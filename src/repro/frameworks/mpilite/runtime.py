@@ -16,8 +16,8 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from ..base import BroadcastHandle, RunMetrics, TaskFramework
 from ..cluster import ClusterSpec
-from ..executors import ExecutorBase, ThreadExecutor
-from ..serialization import nbytes_of
+from ..executors import ExecutorBase
+from ..serialization import nbytes_of, serialized_size
 from ..sparklite.partitioner import split_into_partitions
 from .comm import Communicator, WorldContext
 
@@ -92,30 +92,42 @@ class MPIFramework(TaskFramework):
 
     name = "mpilite"
 
+    # tasks run inside SPMD rank threads, not on self.executor
+    _executor_runs_tasks = False
+
     def __init__(self, cluster: ClusterSpec | None = None,
                  executor: str | ExecutorBase = "threads",
                  workers: int | None = None,
-                 ranks: int | None = None) -> None:
-        super().__init__(cluster=cluster, executor=executor, workers=workers)
+                 ranks: int | None = None,
+                 data_plane: str = "pickle") -> None:
+        super().__init__(cluster=cluster, executor=executor, workers=workers,
+                         data_plane=data_plane)
         self.ranks = ranks or max(1, self.executor.workers)
         self.last_context: Optional[WorldContext] = None
+
+    def _make_context(self, size: int) -> WorldContext:
+        """A world context wired to the active data plane's transport."""
+        store = self.store if self.data_plane == "shm" else None
+        return WorldContext(size=size, store=store)
 
     # ------------------------------------------------------------------ #
     def run_spmd(self, fn: Callable[..., Any], *args: Any, ranks: int | None = None,
                  **kwargs: Any) -> List[Any]:
         """Run an SPMD function on this framework's ranks."""
         size = ranks or self.ranks
-        context = WorldContext(size=size)
+        context = self._make_context(size)
         self.last_context = context
         start = time.perf_counter()
         results = run_spmd(fn, size, *args, context=context, **kwargs)
         wall = time.perf_counter() - start
         self.metrics.wall_time_s += wall
         self.metrics.bytes_shuffled += context.bytes_communicated
+        self.metrics.bytes_shared += context.bytes_shared
         self.metrics.record_event("spmd", {
             "ranks": size,
             "wall_time_s": wall,
             "bytes_communicated": context.bytes_communicated,
+            "bytes_shared": context.bytes_shared,
             "collective_calls": context.collective_calls,
         })
         return results
@@ -127,6 +139,7 @@ class MPIFramework(TaskFramework):
         """Statically partition tasks over ranks and gather the results."""
         items = list(items)
         self.metrics = RunMetrics(tasks_submitted=len(items))
+        fn, items = self._apply_data_plane(fn, items)
         start = time.perf_counter()
         if not items:
             return []
@@ -141,7 +154,7 @@ class MPIFramework(TaskFramework):
                 return [x for chunk in gathered for x in chunk]
             return []
 
-        context = WorldContext(size=size)
+        context = self._make_context(size)
         self.last_context = context
         per_rank = run_spmd(rank_main, size, context=context)
         results = per_rank[0]
@@ -151,10 +164,24 @@ class MPIFramework(TaskFramework):
         self.metrics.task_time_s = wall * size  # ranks run for the whole job
         self.metrics.overhead_s = 0.0
         self.metrics.bytes_shuffled += context.bytes_communicated
+        self.metrics.bytes_shared += context.bytes_shared
+        self._collect_executor_bytes()
         return results
 
     def broadcast(self, value: Any) -> BroadcastHandle:
-        """Account for an ``MPI_Bcast`` of ``value`` to all ranks."""
+        """Account for an ``MPI_Bcast`` of ``value`` to all ranks.
+
+        With the shm transport the bcast degenerates to publishing the
+        array once and shipping size-1 refs, mirroring an on-node
+        ``MPI_Win_allocate_shared`` window.
+        """
+        ref = self._share_value(value)
+        if ref is not None:
+            nbytes = serialized_size(ref) * max(0, self.ranks - 1)
+            self.metrics.bytes_broadcast += nbytes
+            self.metrics.bytes_shared += ref.nbytes
+            return BroadcastHandle(value=ref, nbytes=nbytes, framework=self.name,
+                                   bytes_shared=ref.nbytes)
         nbytes = nbytes_of(value) * max(0, self.ranks - 1)
         self.metrics.bytes_broadcast += nbytes
         return BroadcastHandle(value=value, nbytes=nbytes, framework=self.name)

@@ -11,8 +11,8 @@ every batch pulled and every state pushed is a database round trip.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict
 
 from ..executors import ExecutorBase, SerialExecutor
 from .database import StateDatabase

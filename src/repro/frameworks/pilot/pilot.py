@@ -21,13 +21,14 @@ import os
 import pickle
 import tempfile
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence
 
 from ..base import BroadcastHandle, RunMetrics, TaskFramework
 from ..cluster import ClusterSpec
 from ..executors import ExecutorBase
-from ..serialization import nbytes_of
+from ..serialization import nbytes_of, serialized_size
+from ..shm import BlockRef
 from .agent import PilotAgent
 from .database import StateDatabase
 from .units import ComputeUnit, ComputeUnitDescription, UnitState
@@ -183,6 +184,11 @@ class PilotFramework(TaskFramework):
         Latency charged per database round trip (0 for unit tests; the
         perfmodel's calibrated value reproduces the paper's throughput
         ceiling).
+    data_plane:
+        ``"pickle"`` stages data as pickle files on the shared filesystem
+        (RP's pattern); ``"shm"`` stages arrays into shared memory and
+        hands units ``shm://`` refs — the on-node staging shortcut that
+        removes both the file write and the payload pickling.
     """
 
     name = "pilot"
@@ -191,8 +197,11 @@ class PilotFramework(TaskFramework):
                  executor: str | ExecutorBase = "threads",
                  workers: int | None = None,
                  database_latency_s: float = 0.0,
-                 staging_dir: str | None = None) -> None:
-        super().__init__(cluster=cluster, executor=executor, workers=workers)
+                 staging_dir: str | None = None,
+                 data_plane: str = "pickle") -> None:
+        super().__init__(cluster=cluster, executor=executor, workers=workers,
+                         data_plane=data_plane)
+        self._staged_refs: Dict[str, BlockRef] = {}
         self.session = Session(StateDatabase(latency_s=database_latency_s))
         self.pilot_manager = PilotManager(self.session, executor=self.executor)
         pilot_desc = PilotDescription(cores=max(1, self.executor.workers),
@@ -209,6 +218,7 @@ class PilotFramework(TaskFramework):
         """Run independent tasks, one Compute Unit each."""
         items = list(items)
         self.metrics = RunMetrics(tasks_submitted=len(items))
+        fn, items = self._apply_data_plane(fn, items)
         start = time.perf_counter()
         if not items:
             return []
@@ -230,6 +240,7 @@ class PilotFramework(TaskFramework):
         self.metrics.overhead_s = max(0.0, wall - self.metrics.task_time_s / workers)
         self.metrics.record_event("database", self.session.database.stats.as_dict())
         self.metrics.record_event("agent", self.pilot.agent.stats.as_dict())
+        self._collect_executor_bytes()
         return results
 
     def broadcast(self, value: Any) -> BroadcastHandle:
@@ -238,8 +249,21 @@ class PilotFramework(TaskFramework):
         The returned handle carries the staged file's path in ``value`` is
         left untouched (tasks still receive the in-memory object since all
         substrates here share an address space), but the bytes are counted
-        as *staged*, not broadcast.
+        as *staged*, not broadcast.  On the shm plane the staging target
+        is a shared-memory segment instead of a file: the handle carries
+        the ref, only the ref's pickled bytes count as staged, and the
+        array bytes are reported as shared.
         """
+        ref = self._share_value(value)
+        if ref is not None:
+            path = f"shm://{ref.segment}"
+            self._staged_refs[path] = ref
+            handle = BroadcastHandle(value=ref, nbytes=serialized_size(ref),
+                                     framework=self.name, bytes_shared=ref.nbytes)
+            self.metrics.bytes_staged += handle.nbytes
+            self.metrics.bytes_shared += ref.nbytes
+            self.metrics.record_event("staged_file", path)
+            return handle
         path = self.stage_data(value, label="broadcast")
         handle = BroadcastHandle(value=value, nbytes=nbytes_of(value), framework=self.name)
         self.metrics.bytes_staged += handle.nbytes
@@ -248,7 +272,22 @@ class PilotFramework(TaskFramework):
 
     # ------------------------------------------------------------------ #
     def stage_data(self, obj: Any, label: str = "data") -> str:
-        """Write ``obj`` to the shared scratch space and return its path."""
+        """Stage ``obj`` for the units and return a locator for it.
+
+        On the pickle plane this writes a pickle file to the shared
+        scratch directory and returns its path (RP's file-staging
+        pattern).  On the shm plane an array is registered in the shared
+        store instead and an ``shm://<segment>`` locator is returned:
+        only the ref's pickled size counts as staged data, the array
+        bytes count as shared.
+        """
+        ref = self._share_value(obj)
+        if ref is not None:
+            path = f"shm://{ref.segment}"
+            self._staged_refs[path] = ref
+            self.metrics.bytes_staged += serialized_size(ref)
+            self.metrics.bytes_shared += ref.nbytes
+            return path
         os.makedirs(self._staging_dir, exist_ok=True)
         path = os.path.join(self._staging_dir, f"{label}_{time.monotonic_ns()}.pkl")
         with open(path, "wb") as fh:
@@ -257,7 +296,12 @@ class PilotFramework(TaskFramework):
         return path
 
     def load_staged(self, path: str) -> Any:
-        """Read an object previously written by :meth:`stage_data`."""
+        """Read an object previously staged by :meth:`stage_data`."""
+        if path.startswith("shm://"):
+            ref = self._staged_refs.get(path)
+            if ref is None:
+                raise KeyError(f"unknown shared-memory staging locator {path!r}")
+            return ref.resolve()
         with open(path, "rb") as fh:
             return pickle.load(fh)
 

@@ -10,6 +10,7 @@ the same "shuffle data reduced by >50% (100 MB -> 12 MB)" style numbers.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 import sys
 from typing import Any
@@ -32,10 +33,11 @@ def serialized_size(obj: Any, protocol: int = pickle.HIGHEST_PROTOCOL) -> int:
 def nbytes_of(obj: Any) -> int:
     """Cheap in-memory size estimate.
 
-    Uses ``.nbytes`` for NumPy arrays, recurses one level into lists,
-    tuples and dicts, and falls back to :func:`sys.getsizeof` otherwise.
-    Used where computing a full pickle would itself be expensive (for
-    example the 4M-atom broadcast ablation).
+    Uses ``.nbytes`` for NumPy arrays, recurses into lists, tuples,
+    dicts and dataclass instances (the shape of every task payload), and
+    falls back to :func:`sys.getsizeof` otherwise.  Used where computing
+    a full pickle would itself be expensive (for example the 4M-atom
+    broadcast ablation).
     """
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
@@ -47,6 +49,11 @@ def nbytes_of(obj: Any) -> int:
         )
     if isinstance(obj, (bytes, bytearray)):
         return len(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return int(sys.getsizeof(obj)) + sum(
+            nbytes_of(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        )
     return int(sys.getsizeof(obj))
 
 

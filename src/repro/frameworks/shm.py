@@ -1,0 +1,326 @@
+"""Zero-copy shared-memory data plane.
+
+The paper attributes most of the gap between the Python task-parallel
+frameworks and MPI to serialization: every trajectory block and every
+position chunk is pickled into the task payload, shipped, and unpickled,
+even when producer and consumer share a node.  This module removes that
+cost for NumPy payloads:
+
+* :class:`SharedMemoryStore` places an array in a named
+  ``multiprocessing.shared_memory`` segment exactly once and returns a
+  :class:`BlockRef` — a tiny picklable handle (segment name, shape, dtype,
+  offset).
+* :class:`BlockRef.resolve` rehydrates the handle as a NumPy *view* of the
+  segment, in the owning process or in any worker process that attaches by
+  name.  No bytes are copied or pickled for the array payload itself.
+* :func:`share_payload` / :func:`resolve_payload` walk arbitrary task
+  payloads (dataclasses, lists, tuples, dicts) swapping arrays for refs
+  and back, so existing task types move onto the data plane unchanged.
+
+Every framework substrate accepts ``data_plane="pickle"|"shm"``; with
+``"shm"`` the task payload that crosses the (real or accounted) process
+boundary shrinks from the array bytes to the ref bytes, and the array
+bytes are reported separately as *shared* — the split the fig8 broadcast
+experiment quantifies.
+"""
+
+from __future__ import annotations
+
+import atexit
+import copy
+import dataclasses
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from multiprocessing import resource_tracker, shared_memory
+
+__all__ = [
+    "DATA_PLANES",
+    "BlockRef",
+    "SharedMemoryStore",
+    "share_payload",
+    "resolve_payload",
+    "refs_nbytes",
+    "maybe_resolve",
+    "ResolvingTask",
+]
+
+#: Valid values for the ``data_plane`` option on frameworks and the public API.
+DATA_PLANES = ("pickle", "shm")
+
+# Process-local segment registries.  ``_OWNED`` holds segments created by
+# stores in this process (resolving a ref to an owned segment is a pure
+# dictionary lookup); ``_ATTACHED`` caches segments this process attached
+# to by name, so repeated resolves of worker-side refs reuse one mapping.
+_OWNED: Dict[str, shared_memory.SharedMemory] = {}
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def _unregister_from_tracker(segment: shared_memory.SharedMemory) -> None:
+    """Undo the resource tracker's registration of an *attached* segment.
+
+    Attaching to an existing segment registers it with the resource
+    tracker as if this process owned it, which makes the tracker unlink
+    (or warn about) the segment when any attaching process exits.  The
+    creator's :class:`SharedMemoryStore` owns the lifetime, so attachers
+    must not be tracked.
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
+    except Exception:
+        pass
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Segment by name: owned registry, attach cache, or a fresh attach."""
+    with _REGISTRY_LOCK:
+        segment = _OWNED.get(name) or _ATTACHED.get(name)
+        if segment is None:
+            segment = shared_memory.SharedMemory(name=name)
+            _unregister_from_tracker(segment)
+            _ATTACHED[name] = segment
+        return segment
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """Lightweight handle to an array stored in a shared-memory segment.
+
+    A ref pickles to a few hundred bytes regardless of the array size;
+    :meth:`resolve` returns a read-only NumPy view of the segment (zero
+    copies).  Refs are immutable and hashable, so they can be deduplicated
+    and reused across many tasks.
+    """
+
+    segment: str
+    shape: Tuple[int, ...]
+    dtype: str
+    offset: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of array data the ref points at (not bytes it pickles to)."""
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+    def resolve(self) -> np.ndarray:
+        """Rehydrate as a read-only NumPy view of the shared segment."""
+        segment = _attach(self.segment)
+        view = np.ndarray(self.shape, dtype=self.dtype, buffer=segment.buf,
+                          offset=self.offset)
+        view.flags.writeable = False
+        return view
+
+    def slice_rows(self, start: int, stop: int) -> "BlockRef":
+        """A sub-ref covering rows ``start:stop`` along the first axis.
+
+        This is how partitioners hand out per-task chunks without copying:
+        the sub-ref shares the parent segment and only adjusts offset and
+        shape.  Requires the stored array to be C-contiguous, which
+        :meth:`SharedMemoryStore.put` guarantees.
+        """
+        if not self.shape:
+            raise ValueError("cannot row-slice a 0-d BlockRef")
+        start, stop, _ = slice(start, stop).indices(self.shape[0])
+        row_items = 1
+        for dim in self.shape[1:]:
+            row_items *= int(dim)
+        itemsize = np.dtype(self.dtype).itemsize
+        return BlockRef(
+            segment=self.segment,
+            shape=(max(0, stop - start),) + tuple(self.shape[1:]),
+            dtype=self.dtype,
+            offset=self.offset + start * row_items * itemsize,
+        )
+
+
+class SharedMemoryStore:
+    """Registry of arrays placed in shared memory, keyed by segment name.
+
+    ``put`` copies an array into a fresh segment once and returns a
+    :class:`BlockRef`; putting the same array object again returns the
+    existing ref (so a 2-D block decomposition that reuses every
+    trajectory in ~2·N/n1 tasks still shares each one exactly once).
+    ``cleanup`` closes and unlinks every owned segment; it also runs at
+    interpreter exit as a backstop against leaked ``/dev/shm`` entries.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        # id(array) -> (array, ref); the array reference keeps the id stable
+        self._registered: Dict[int, Tuple[np.ndarray, BlockRef]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self.bytes_shared = 0
+        atexit.register(self.cleanup)
+
+    # ------------------------------------------------------------------ #
+    def put(self, array: np.ndarray) -> BlockRef:
+        """Place ``array`` in shared memory (once) and return its ref."""
+        if self._closed:
+            raise RuntimeError("SharedMemoryStore is closed")
+        if not isinstance(array, np.ndarray):
+            raise TypeError(f"SharedMemoryStore.put needs an ndarray, got {type(array)!r}")
+        key = id(array)
+        with self._lock:
+            hit = self._registered.get(key)
+            if hit is not None:
+                return hit[1]
+            data = np.ascontiguousarray(array)
+            if data.nbytes == 0:
+                raise ValueError("cannot share a zero-byte array")
+            segment = shared_memory.SharedMemory(create=True, size=data.nbytes)
+            view = np.ndarray(data.shape, dtype=data.dtype, buffer=segment.buf)
+            np.copyto(view, data)
+            ref = BlockRef(segment=segment.name, shape=tuple(data.shape),
+                           dtype=data.dtype.str)
+            self._segments[segment.name] = segment
+            _OWNED[segment.name] = segment
+            self._registered[key] = (array, ref)
+            self.bytes_shared += data.nbytes
+            return ref
+
+    def get(self, ref: BlockRef) -> np.ndarray:
+        """Resolve a ref (works for refs from any store in any process)."""
+        return ref.resolve()
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __contains__(self, ref: BlockRef) -> bool:
+        return isinstance(ref, BlockRef) and ref.segment in self._segments
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`cleanup` ran."""
+        return self._closed
+
+    def cleanup(self) -> None:
+        """Close and unlink every owned segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for name, segment in self._segments.items():
+            _OWNED.pop(name, None)
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:
+                pass
+        self._segments.clear()
+        self._registered.clear()
+        try:
+            atexit.unregister(self.cleanup)
+        except Exception:
+            pass
+
+    close = cleanup
+
+
+# --------------------------------------------------------------------------- #
+# payload conversion
+# --------------------------------------------------------------------------- #
+def _walk(obj: Any, leaf) -> Any:
+    """Rebuild ``obj`` applying ``leaf`` to every array/ref, sharing structure.
+
+    Containers are only copied when something inside them changed, so the
+    pickle-plane path through these helpers is a no-op returning ``obj``.
+    """
+    mapped = leaf(obj)
+    if mapped is not obj:
+        return mapped
+    if isinstance(obj, list):
+        new = [_walk(item, leaf) for item in obj]
+        return new if any(a is not b for a, b in zip(new, obj)) else obj
+    if isinstance(obj, tuple):
+        new = tuple(_walk(item, leaf) for item in obj)
+        return new if any(a is not b for a, b in zip(new, obj)) else obj
+    if isinstance(obj, dict):
+        new = {key: _walk(value, leaf) for key, value in obj.items()}
+        return new if any(new[k] is not obj[k] for k in obj) else obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        changed = {}
+        for field in dataclasses.fields(obj):
+            old = getattr(obj, field.name)
+            new = _walk(old, leaf)
+            if new is not old:
+                changed[field.name] = new
+        if not changed:
+            return obj
+        clone = copy.copy(obj)
+        for name, value in changed.items():
+            object.__setattr__(clone, name, value)
+        return clone
+    return obj
+
+
+def share_payload(obj: Any, store: SharedMemoryStore) -> Tuple[Any, int]:
+    """Swap every non-empty ndarray in ``obj`` for a :class:`BlockRef`.
+
+    Returns ``(converted, bytes_newly_shared)`` where the byte count is
+    the segment bytes this call added to the store (deduplicated arrays
+    contribute zero).  Use :func:`refs_nbytes` on the converted payload
+    for the per-task "bytes accessed through the plane" number.
+    """
+    before = store.bytes_shared
+
+    def leaf(x: Any) -> Any:
+        if isinstance(x, np.ndarray) and x.nbytes > 0:
+            return store.put(x)
+        return x
+
+    converted = _walk(obj, leaf)
+    return converted, store.bytes_shared - before
+
+
+def resolve_payload(obj: Any) -> Any:
+    """Swap every :class:`BlockRef` in ``obj`` back to a NumPy view."""
+
+    def leaf(x: Any) -> Any:
+        if isinstance(x, BlockRef):
+            return x.resolve()
+        return x
+
+    return _walk(obj, leaf)
+
+
+def refs_nbytes(obj: Any) -> int:
+    """Total array bytes referenced (not moved) by the refs inside ``obj``."""
+    total = 0
+
+    def leaf(x: Any) -> Any:
+        nonlocal total
+        if isinstance(x, BlockRef):
+            total += x.nbytes
+        return x
+
+    _walk(obj, leaf)
+    return total
+
+
+def maybe_resolve(value: Any) -> Any:
+    """``value.resolve()`` for a :class:`BlockRef`, ``value`` otherwise."""
+    if isinstance(value, BlockRef):
+        return value.resolve()
+    return value
+
+
+class ResolvingTask:
+    """Picklable wrapper: resolve the payload's refs, then call ``fn``.
+
+    Substrates wrap the user's task function with this when running on the
+    shm data plane, so the function still receives plain arrays while only
+    refs cross the task boundary.
+    """
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+
+    def __call__(self, item: Any) -> Any:
+        return self.fn(resolve_payload(item))

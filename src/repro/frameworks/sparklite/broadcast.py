@@ -12,22 +12,43 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from ..serialization import nbytes_of, serialized_size
+from ..shm import SharedMemoryStore
 
 __all__ = ["Broadcast"]
 
 
 class Broadcast:
-    """A read-only variable shared with all tasks of a Spark-like job."""
+    """A read-only variable shared with all tasks of a Spark-like job.
+
+    When constructed with a :class:`~repro.frameworks.shm.SharedMemoryStore`
+    (the shm data plane) an array value is registered in the store once
+    and ``value`` yields the :class:`~repro.frameworks.shm.BlockRef`; the
+    bytes that must move per node collapse to the ref's pickled size and
+    the array bytes are reported via ``bytes_shared`` instead — the
+    zero-copy equivalent of Spark's executor-side broadcast block cache.
+    """
 
     _counter = 0
 
-    def __init__(self, value: Any, *, measure_pickle: bool = False) -> None:
+    def __init__(self, value: Any, *, measure_pickle: bool = False,
+                 store: SharedMemoryStore | None = None) -> None:
         Broadcast._counter += 1
         self.id = Broadcast._counter
-        self._value = value
-        #: bytes that must reach every worker node
-        self.nbytes = serialized_size(value) if measure_pickle else nbytes_of(value)
+        #: array bytes resident in shared memory (shm plane only)
+        self.bytes_shared = 0
+        if (store is not None and isinstance(value, np.ndarray)
+                and value.nbytes > 0):
+            ref = store.put(value)
+            self._value = ref
+            self.nbytes = serialized_size(ref)
+            self.bytes_shared = ref.nbytes
+        else:
+            self._value = value
+            #: bytes that must reach every worker node
+            self.nbytes = serialized_size(value) if measure_pickle else nbytes_of(value)
         self._destroyed = False
 
     @property

@@ -5,7 +5,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, List, Sequence
 
-from ..base import BroadcastHandle, RunMetrics, TaskFramework
+from ..base import RunMetrics, TaskFramework
 from ..cluster import ClusterSpec
 from ..executors import ExecutorBase
 from .broadcast import Broadcast
@@ -35,6 +35,10 @@ class SparkLiteContext(TaskFramework):
     default_parallelism:
         Default number of partitions for ``parallelize`` when the caller
         does not specify one.
+    data_plane:
+        ``"pickle"`` or ``"shm"``; with ``"shm"`` broadcast variables and
+        ``map_tasks`` payloads carry shared-memory refs instead of array
+        bytes (see :mod:`repro.frameworks.shm`).
     """
 
     name = "sparklite"
@@ -42,8 +46,10 @@ class SparkLiteContext(TaskFramework):
     def __init__(self, cluster: ClusterSpec | None = None,
                  executor: str | ExecutorBase = "threads",
                  workers: int | None = None,
-                 default_parallelism: int | None = None) -> None:
-        super().__init__(cluster=cluster, executor=executor, workers=workers)
+                 default_parallelism: int | None = None,
+                 data_plane: str = "pickle") -> None:
+        super().__init__(cluster=cluster, executor=executor, workers=workers,
+                         data_plane=data_plane)
         self.default_parallelism = default_parallelism or max(2, self.executor.workers)
         self._scheduler = DAGScheduler(self, self.executor)
         self._rdd_counter = 0
@@ -62,10 +68,17 @@ class SparkLiteContext(TaskFramework):
         return ParallelCollectionRDD(self, data, parts)
 
     def broadcast(self, value: Any) -> Broadcast:  # type: ignore[override]
-        """Create a broadcast variable (size recorded in the metrics)."""
-        bc = Broadcast(value)
+        """Create a broadcast variable (size recorded in the metrics).
+
+        On the shm data plane the variable holds a shared-memory ref: the
+        broadcast volume recorded is the ref's pickled size, with the
+        array bytes accounted as shared.
+        """
+        store = self.store if self.data_plane == "shm" else None
+        bc = Broadcast(value, store=store)
         self._broadcasts.append(bc)
         self.metrics.bytes_broadcast += bc.nbytes
+        self.metrics.bytes_shared += bc.bytes_shared
         return bc
 
     @property
@@ -84,6 +97,7 @@ class SparkLiteContext(TaskFramework):
         """
         items = list(items)
         self.metrics = RunMetrics()
+        fn, items = self._apply_data_plane(fn, items)
         start = time.perf_counter()
         if not items:
             return []
@@ -94,6 +108,7 @@ class SparkLiteContext(TaskFramework):
         self.metrics.task_time_s = self.executor.total_task_time
         workers = max(1, self.executor.workers)
         self.metrics.overhead_s = max(0.0, wall - self.metrics.task_time_s / workers)
+        self._collect_executor_bytes()
         return results
 
     def run_map_reduce(self, items: Sequence[Any],

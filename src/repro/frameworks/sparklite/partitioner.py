@@ -1,10 +1,27 @@
-"""Partitioners: how keyed records map to reduce-side partitions."""
+"""Partitioners: how keyed records map to reduce-side partitions.
+
+Besides the keyed partitioners this module provides
+:func:`split_array_into_partitions`, the data-plane-aware variant of
+:func:`split_into_partitions` used to chunk large position/trajectory
+arrays: on the shm plane it slices a
+:class:`~repro.frameworks.shm.BlockRef` into sub-refs (offset arithmetic,
+zero bytes copied) instead of materializing per-partition array copies.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Hashable
+from typing import Any, Hashable, List
 
-__all__ = ["HashPartitioner", "RangePartitioner", "split_into_partitions"]
+import numpy as np
+
+from ..shm import BlockRef
+
+__all__ = [
+    "HashPartitioner",
+    "RangePartitioner",
+    "split_into_partitions",
+    "split_array_into_partitions",
+]
 
 
 class HashPartitioner:
@@ -61,5 +78,35 @@ def split_into_partitions(data: list, num_partitions: int) -> list:
     for i in range(num_partitions):
         size = base + (1 if i < extra else 0)
         partitions.append(data[start:start + size])
+        start += size
+    return partitions
+
+
+def split_array_into_partitions(data: "np.ndarray | BlockRef",
+                                num_partitions: int) -> List:
+    """Split an array (or shared-memory ref) into contiguous row chunks.
+
+    Chunk sizes follow the :func:`split_into_partitions` rule.  NumPy
+    inputs yield views; :class:`~repro.frameworks.shm.BlockRef` inputs
+    yield sub-refs via :meth:`~repro.frameworks.shm.BlockRef.slice_rows`,
+    so a broadcast-once array can be partitioned across tasks without a
+    single byte being copied or pickled.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    if isinstance(data, BlockRef):
+        n = data.shape[0] if data.shape else 0
+        slicer = data.slice_rows
+    else:
+        data = np.asarray(data)
+        n = data.shape[0] if data.ndim else 0
+        def slicer(start: int, stop: int):
+            return data[start:stop]
+    base, extra = divmod(n, num_partitions)
+    partitions = []
+    start = 0
+    for i in range(num_partitions):
+        size = base + (1 if i < extra else 0)
+        partitions.append(slicer(start, start + size))
         start += size
     return partitions

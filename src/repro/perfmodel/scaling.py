@@ -18,7 +18,7 @@ scaling saturates.  EXPERIMENTS.md records modeled-vs-paper values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

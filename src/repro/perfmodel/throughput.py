@@ -20,7 +20,7 @@ Frameworks refuse task counts above their ``max_tasks`` (RP could not run
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from .costs import FrameworkCostModel, get_cost_model
 from .machines import MachineSpec, WRANGLER

@@ -15,11 +15,9 @@ tests and benchmarks are reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
 
 import numpy as np
 
-from .topology import Topology
 from .trajectory import Trajectory, TrajectoryEnsemble
 
 __all__ = [

@@ -83,6 +83,31 @@ class TestImplementationAgreement:
             hausdorff(a, b), rel=1e-10
         )
 
+    @pytest.mark.parametrize("seed", range(10))
+    def test_earlybreak_equals_vectorized_random_shapes(self, seed):
+        """Regression for the dead-code cleanup: the early-break loop must
+        stay an exact reimplementation of the vectorized Hausdorff on
+        random inputs of random shapes, for any scan order."""
+        rng = np.random.default_rng(1000 + seed)
+        n_a = int(rng.integers(1, 12))
+        n_b = int(rng.integers(1, 12))
+        n_atoms = int(rng.integers(1, 8))
+        a = rng.normal(scale=rng.uniform(0.1, 10.0), size=(n_a, n_atoms, 3))
+        b = rng.normal(scale=rng.uniform(0.1, 10.0), size=(n_b, n_atoms, 3))
+        expected = hausdorff(a, b)
+        assert hausdorff_earlybreak(a, b, shuffle_seed=seed) == pytest.approx(
+            expected, rel=1e-10
+        )
+        assert hausdorff_earlybreak(a, b, shuffle_seed=None) == pytest.approx(
+            expected, rel=1e-10
+        )
+
+    def test_earlybreak_structured_paths(self):
+        """Structured (non-random) inputs exercise the break-heavy path."""
+        a = straight_path(30, 4)
+        b = straight_path(25, 4, offset=0.5)
+        assert hausdorff_earlybreak(a, b) == pytest.approx(hausdorff(a, b), rel=1e-10)
+
 
 class TestDirectedHausdorff:
     def test_symmetric_is_max_of_directed(self, rng):

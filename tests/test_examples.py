@@ -1,11 +1,9 @@
 """Smoke tests for the example scripts (run with reduced problem sizes)."""
 
-import runpy
 import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

@@ -1,0 +1,158 @@
+"""Executor-layer contract tests.
+
+Every executor (Serial/Thread/Process/SharedMemory) must satisfy the same
+contract: results in input order, exceptions propagated to the caller,
+empty input handled, and per-task timings recorded with sane invariants.
+The process-based executors additionally account payload bytes
+(``bytes_pickled`` / ``bytes_shared``), which the shared-memory data
+plane's acceptance criteria are built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frameworks.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    SharedMemoryExecutor,
+    ThreadExecutor,
+    default_worker_count,
+    make_executor,
+)
+
+EXECUTOR_KINDS = ("serial", "threads", "processes", "shm")
+
+
+def make(kind):
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "threads":
+        return ThreadExecutor(workers=2)
+    if kind == "processes":
+        return ProcessExecutor(workers=2)
+    return SharedMemoryExecutor(workers=2)
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    if x == 3:
+        raise ValueError("task 3 exploded")
+    return x
+
+
+def array_total(arrays):
+    return float(sum(np.asarray(a).sum() for a in arrays))
+
+
+@pytest.fixture(params=EXECUTOR_KINDS)
+def executor(request):
+    ex = make(request.param)
+    yield ex
+    ex.shutdown()
+
+
+class TestExecutorContract:
+    def test_results_in_input_order(self, executor):
+        items = list(range(10))
+        assert executor.map_tasks(square, items) == [x * x for x in items]
+
+    def test_empty_input(self, executor):
+        assert executor.map_tasks(square, []) == []
+        assert executor.timings == []
+        assert executor.total_task_time == 0.0
+
+    def test_exception_propagates(self, executor):
+        with pytest.raises(ValueError, match="task 3 exploded"):
+            executor.map_tasks(boom, [1, 2, 3, 4])
+
+    def test_timing_invariants(self, executor):
+        items = list(range(6))
+        executor.map_tasks(square, items)
+        timings = executor.timings
+        assert [t.index for t in timings] == items
+        for t in timings:
+            assert t.stop >= t.start
+            assert t.duration >= 0.0
+            assert t.bytes_pickled >= 0
+            assert t.bytes_shared >= 0
+        assert executor.total_task_time == pytest.approx(
+            sum(t.duration for t in timings)
+        )
+
+    def test_array_payload_round_trip(self, executor):
+        items = [[np.full((20, 3), i, dtype=np.float64)] for i in range(5)]
+        expected = [float(i * 60) for i in range(5)]
+        assert executor.map_tasks(array_total, items) == expected
+
+    def test_map_with_args(self, executor):
+        if isinstance(executor, (ProcessExecutor, SharedMemoryExecutor)):
+            pytest.skip("map_with_args uses a closure; in-process executors only")
+        assert executor.map_with_args(lambda a, b: a + b, [(1, 2), (3, 4)]) == [3, 7]
+
+
+class TestByteAccounting:
+    def test_in_process_executors_move_nothing(self):
+        for kind in ("serial", "threads"):
+            ex = make(kind)
+            ex.map_tasks(square, [1, 2, 3])
+            assert ex.total_bytes_pickled == 0
+            assert ex.total_bytes_shared == 0
+
+    def test_process_executor_counts_pickled_payloads(self):
+        ex = ProcessExecutor(workers=2)
+        items = [[np.zeros((50, 3))] for _ in range(4)]
+        ex.map_tasks(array_total, items)
+        # each payload carries its 1200-byte array plus pickle framing
+        assert ex.total_bytes_pickled > 4 * 50 * 3 * 8
+        assert ex.total_bytes_shared == 0
+
+    def test_shm_executor_shares_instead_of_pickling(self):
+        ex = SharedMemoryExecutor(workers=2)
+        pex = ProcessExecutor(workers=2)
+        items = [[np.zeros((50, 3))] for _ in range(4)]
+        try:
+            assert ex.map_tasks(array_total, items) == pex.map_tasks(array_total, items)
+            assert ex.total_bytes_shared == 4 * 50 * 3 * 8
+            assert 0 < ex.total_bytes_pickled < pex.total_bytes_pickled
+        finally:
+            ex.shutdown()
+
+    def test_shm_executor_deduplicates_shared_arrays(self):
+        ex = SharedMemoryExecutor(workers=2)
+        shared = np.ones((100, 3))
+        try:
+            ex.map_tasks(array_total, [[shared] for _ in range(8)])
+            # every task references the array, but only one segment exists
+            assert ex.total_bytes_shared == 8 * shared.nbytes
+            assert len(ex.store) == 1
+        finally:
+            ex.shutdown()
+
+    def test_shm_executor_shutdown_unlinks_store(self):
+        ex = SharedMemoryExecutor(workers=2)
+        ex.map_tasks(array_total, [[np.ones((10, 3))]])
+        assert len(ex.store) == 1
+        ex.shutdown()
+        assert ex.store.closed
+
+
+class TestFactoryAndDefaults:
+    def test_make_executor_shm(self):
+        ex = make_executor("shm", workers=2)
+        assert isinstance(ex, SharedMemoryExecutor)
+        assert ex.workers == 2
+        ex.shutdown()
+
+    def test_default_worker_count_reserves_driver_core(self):
+        import os
+
+        count = default_worker_count()
+        assert count >= 1
+        cpus = os.cpu_count()
+        if cpus and cpus > 1:
+            assert count == cpus - 1

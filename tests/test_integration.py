@@ -6,7 +6,6 @@ and check the scientific result plus the performance accounting.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     LeafletFinder,
@@ -24,7 +23,6 @@ from repro.trajectory import (
     BilayerSpec,
     EnsembleSpec,
     load_ensemble,
-    make_bilayer,
     make_bilayer_universe,
     make_clustered_ensemble,
     write_ensemble,

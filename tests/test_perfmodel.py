@@ -5,7 +5,6 @@ paper reports — who wins, rough factors, crossovers — because those are
 the claims the modeled figures must reproduce.
 """
 
-import numpy as np
 import pytest
 
 from repro.perfmodel import (
@@ -14,7 +13,6 @@ from repro.perfmodel import (
     LOCAL,
     WRANGLER,
     KernelCosts,
-    KernelRates,
     calibrate_kernels,
     cpptraj_sweep,
     get_cost_model,
@@ -28,7 +26,6 @@ from repro.perfmodel import (
     psa_sweep,
     throughput_sweep,
 )
-from repro.perfmodel.machines import MachineSpec
 from repro.perfmodel.scaling import _configuration_feasible
 
 

@@ -1,0 +1,294 @@
+"""Tests for the zero-copy shared-memory data plane.
+
+Covers the store/ref primitives, payload conversion, the ``data_plane``
+option on every framework substrate, and the acceptance criteria of the
+data-plane work: identical PSA/leaflet results on both planes, and
+strictly fewer pickled/moved bytes on the shm plane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.leaflet import LEAFLET_APPROACHES, leaflet_serial, run_leaflet_finder
+from repro.core.psa import psa_serial, run_psa
+from repro.experiments.fig8_broadcast import data_plane_rows
+from repro.frameworks import make_framework
+from repro.frameworks.base import TaskFramework
+from repro.frameworks.shm import (
+    BlockRef,
+    SharedMemoryStore,
+    maybe_resolve,
+    refs_nbytes,
+    resolve_payload,
+    share_payload,
+)
+from repro.frameworks.sparklite.partitioner import split_array_into_partitions
+from repro.trajectory import (
+    BilayerSpec,
+    EnsembleSpec,
+    make_bilayer,
+    make_clustered_ensemble,
+)
+
+FRAMEWORK_NAMES = ("sparklite", "dasklite", "pilot", "mpilite")
+
+
+@pytest.fixture()
+def store():
+    s = SharedMemoryStore()
+    yield s
+    s.cleanup()
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    return make_clustered_ensemble(
+        EnsembleSpec(n_trajectories=6, n_frames=8, n_atoms=16, n_clusters=2, seed=7)
+    )
+
+
+@pytest.fixture(scope="module")
+def bilayer():
+    positions, _labels = make_bilayer(BilayerSpec(n_atoms=360, seed=11))
+    return positions
+
+
+class TestStoreAndRefs:
+    def test_put_resolve_round_trip(self, store):
+        array = np.arange(24, dtype=np.float64).reshape(8, 3)
+        ref = store.put(array)
+        view = ref.resolve()
+        assert np.array_equal(view, array)
+        assert not view.flags.writeable  # shared views are read-only
+        assert ref.nbytes == array.nbytes
+
+    def test_put_deduplicates_same_array(self, store):
+        array = np.ones((10, 3))
+        assert store.put(array) == store.put(array)
+        assert len(store) == 1
+        assert store.bytes_shared == array.nbytes
+
+    def test_put_copies_non_contiguous(self, store):
+        array = np.arange(60, dtype=np.float64).reshape(10, 6)[:, ::2]
+        assert not array.flags.c_contiguous
+        assert np.array_equal(store.put(array).resolve(), array)
+
+    def test_put_rejects_empty_and_non_arrays(self, store):
+        with pytest.raises(ValueError):
+            store.put(np.empty((0, 3)))
+        with pytest.raises(TypeError):
+            store.put([1, 2, 3])
+
+    def test_cleanup_is_idempotent_and_closes(self, store):
+        store.put(np.ones(4))
+        store.cleanup()
+        store.cleanup()
+        assert store.closed
+        with pytest.raises(RuntimeError):
+            store.put(np.ones(4))
+
+    def test_slice_rows_zero_copy(self, store):
+        array = np.arange(36, dtype=np.float64).reshape(12, 3)
+        ref = store.put(array)
+        sub = ref.slice_rows(3, 9)
+        assert sub.segment == ref.segment  # same segment, new offset
+        assert np.array_equal(sub.resolve(), array[3:9])
+        assert np.array_equal(ref.slice_rows(10, 99).resolve(), array[10:])
+        assert ref.slice_rows(5, 5).resolve().shape == (0, 3)
+
+    def test_slice_rows_3d(self, store):
+        array = np.arange(48, dtype=np.float64).reshape(4, 4, 3)
+        ref = store.put(array)
+        assert np.array_equal(ref.slice_rows(1, 3).resolve(), array[1:3])
+
+
+class TestPayloadConversion:
+    def test_share_and_resolve_nested_payload(self, store):
+        a = np.ones((5, 3))
+        b = np.full((2, 3), 7.0)
+        payload = {"rows": [a, b], "meta": ("x", 3), "single": a}
+        converted, newly = share_payload(payload, store)
+        assert newly == a.nbytes + b.nbytes  # a stored once despite two uses
+        assert isinstance(converted["rows"][0], BlockRef)
+        assert converted["meta"] == ("x", 3)
+        assert refs_nbytes(converted) == 2 * a.nbytes + b.nbytes
+        back = resolve_payload(converted)
+        assert np.array_equal(back["rows"][0], a)
+        assert np.array_equal(back["single"], a)
+
+    def test_non_array_payload_untouched(self, store):
+        payload = {"n": 3, "s": "x"}
+        converted, newly = share_payload(payload, store)
+        assert converted is payload
+        assert newly == 0
+
+    def test_maybe_resolve(self, store):
+        array = np.ones((4, 3))
+        ref = store.put(array)
+        assert np.array_equal(maybe_resolve(ref), array)
+        assert maybe_resolve("plain") == "plain"
+
+    def test_split_array_into_partitions_refs(self, store):
+        array = np.arange(30, dtype=np.float64).reshape(10, 3)
+        ref = store.put(array)
+        parts = split_array_into_partitions(ref, 3)
+        assert [p.shape[0] for p in parts] == [4, 3, 3]
+        assert np.array_equal(np.concatenate([p.resolve() for p in parts]), array)
+        views = split_array_into_partitions(array, 3)
+        assert all(isinstance(v, np.ndarray) for v in views)
+
+
+class TestFrameworkDataPlane:
+    def test_rejects_unknown_plane(self):
+        with pytest.raises(ValueError, match="data_plane"):
+            TaskFramework(data_plane="carrier-pigeon")
+
+    @pytest.mark.parametrize("name", FRAMEWORK_NAMES)
+    def test_psa_identical_across_planes(self, name, ensemble):
+        reference = psa_serial(ensemble).values
+        for plane in ("pickle", "shm"):
+            fw = make_framework(name, executor="threads", workers=2, data_plane=plane)
+            matrix, report = run_psa(ensemble, fw, n_tasks=4)
+            assert np.allclose(matrix.values, reference)
+            assert report.parameters["data_plane"] == plane
+            if plane == "shm":
+                assert report.metrics.bytes_shared > 0
+            fw.close()
+
+    @pytest.mark.parametrize("name", FRAMEWORK_NAMES)
+    @pytest.mark.parametrize("approach", sorted(LEAFLET_APPROACHES))
+    def test_leaflet_identical_across_planes(self, name, approach, bilayer):
+        expected = sorted(len(c) for c in leaflet_serial(bilayer, 15.0).components)
+        for plane in ("pickle", "shm"):
+            fw = make_framework(name, executor="threads", workers=2, data_plane=plane)
+            result, report = run_leaflet_finder(bilayer, 15.0, fw,
+                                                approach=approach, n_tasks=6)
+            assert sorted(len(c) for c in result.components) == expected
+            assert report.parameters["data_plane"] == plane
+            fw.close()
+
+    @pytest.mark.parametrize("name", FRAMEWORK_NAMES)
+    def test_shm_broadcast_moves_only_refs(self, name, bilayer):
+        fw_pickle = make_framework(name, executor="threads", workers=2)
+        fw_shm = make_framework(name, executor="threads", workers=2, data_plane="shm")
+        handle_pickle = fw_pickle.broadcast(bilayer)
+        handle_shm = fw_shm.broadcast(bilayer)
+        try:
+            assert handle_shm.nbytes < handle_pickle.nbytes
+            assert handle_shm.bytes_shared == bilayer.nbytes
+            assert fw_shm.metrics.bytes_shared >= bilayer.nbytes
+        finally:
+            fw_pickle.close()
+            fw_shm.close()
+
+    def test_mpilite_shm_collectives(self, bilayer):
+        fw = make_framework("mpilite", executor="threads", workers=2,
+                            ranks=3, data_plane="shm")
+
+        def rank_main(comm):
+            received = comm.bcast(bilayer if comm.rank == 0 else None, root=0)
+            chunks = None
+            if comm.rank == 0:
+                chunks = [bilayer[i::comm.size] for i in range(comm.size)]
+            mine = comm.scatter(chunks, root=0)
+            return float(received.sum()) + float(mine.sum())
+
+        results = fw.run_spmd(rank_main)
+        expected = [float(bilayer.sum()) + float(bilayer[i::3].sum()) for i in range(3)]
+        assert results == pytest.approx(expected)
+        ctx = fw.last_context
+        assert ctx.bytes_shared >= bilayer.nbytes  # arrays served via shm
+        assert ctx.bytes_communicated < bilayer.nbytes  # only refs moved
+        fw.close()
+
+    def test_dasklite_piecewise_scatter_splits_refs(self, bilayer):
+        fw = make_framework("dasklite", executor="threads", workers=2,
+                            data_plane="shm")
+        scattered = fw.scatter(bilayer, broadcast=False)
+        assert len(scattered.pieces) == 2  # one zero-copy chunk per worker
+        assert all(isinstance(p, BlockRef) for p in scattered.pieces)
+        reassembled = np.concatenate([p.resolve() for p in scattered.pieces])
+        assert np.array_equal(reassembled, bilayer)
+        assert scattered.nbytes < bilayer.nbytes  # only refs would move
+        fw.close()
+
+    def test_pilot_shm_staging(self, bilayer):
+        fw = make_framework("pilot", executor="threads", workers=2, data_plane="shm")
+        path = fw.stage_data(bilayer)
+        assert path.startswith("shm://")
+        assert np.array_equal(fw.load_staged(path), bilayer)
+        assert fw.metrics.bytes_shared >= bilayer.nbytes
+        assert fw.metrics.bytes_staged < bilayer.nbytes  # only the ref staged
+        fw.close()
+
+    @pytest.mark.parametrize("name", FRAMEWORK_NAMES)
+    def test_planes_report_comparable_payload_bytes(self, name, bilayer):
+        """Both planes report would-cross payload bytes on in-process
+        executors, with the shm plane strictly smaller (refs vs arrays)."""
+        fw_pickle = make_framework(name, executor="threads", workers=2)
+        fw_shm = make_framework(name, executor="threads", workers=2, data_plane="shm")
+        try:
+            _, report_pickle = run_leaflet_finder(bilayer, 15.0, fw_pickle,
+                                                  approach="task-2d", n_tasks=6)
+            _, report_shm = run_leaflet_finder(bilayer, 15.0, fw_shm,
+                                               approach="task-2d", n_tasks=6)
+            assert (report_pickle.metrics.bytes_pickled
+                    > report_shm.metrics.bytes_pickled > 0)
+        finally:
+            fw_pickle.close()
+            fw_shm.close()
+
+    def test_forced_plane_overrides_and_restores(self, bilayer):
+        """An explicit data_plane overrides the framework's configured
+        plane for the run, labels the report correctly, and restores."""
+        fw = make_framework("dasklite", executor="threads", workers=2,
+                            data_plane="shm")
+        try:
+            _, report = run_leaflet_finder(bilayer, 15.0, fw, approach="task-2d",
+                                           data_plane="pickle")
+            assert report.parameters["data_plane"] == "pickle"
+            assert report.metrics.bytes_shared == 0
+            assert fw.data_plane == "shm"
+        finally:
+            fw.close()
+
+    def test_close_releases_owned_store(self):
+        fw = make_framework("dasklite", executor="threads", workers=2,
+                            data_plane="shm")
+        fw.broadcast(np.ones((50, 3)))
+        store = fw.store
+        fw.close()
+        assert store.closed
+
+
+class TestAcceptance:
+    """The PR's acceptance criteria, executable."""
+
+    def test_shm_executor_matches_process_executor_on_psa(self, ensemble):
+        fw_process = TaskFramework(executor="processes", workers=2)
+        fw_shm = TaskFramework(executor="shm", workers=2, data_plane="shm")
+        try:
+            matrix_p, report_p = run_psa(ensemble, fw_process, n_tasks=4)
+            matrix_s, report_s = run_psa(ensemble, fw_shm, n_tasks=4)
+            assert np.allclose(matrix_p.values, matrix_s.values)
+            assert np.allclose(matrix_p.values, psa_serial(ensemble).values)
+            # strictly fewer pickled bytes on the shm plane
+            assert 0 < report_s.metrics.bytes_pickled < report_p.metrics.bytes_pickled
+            assert report_s.metrics.bytes_shared > 0
+        finally:
+            fw_process.close()
+            fw_shm.close()
+
+    def test_fig8_reports_strictly_fewer_moved_bytes(self):
+        rows = data_plane_rows(n_atoms=400, workers=2, n_tasks=4)
+        assert rows
+        system_bytes = 400 * 3 * 8
+        for row in rows:
+            assert row["bytes_moved_shm"] < row["bytes_moved_pickle"]
+            # tasks access the system many times over...
+            assert row["bytes_accessed_shm"] >= system_bytes
+            # ...but it is resident in shared memory exactly once
+            assert row["bytes_resident_shm"] == system_bytes
+            assert row["moved_reduction"] > 1.0
