@@ -3,6 +3,12 @@
 These are the functions a downstream user calls first: build a framework
 by name, run PSA on an ensemble, run the Leaflet Finder on a membrane,
 and compare frameworks/approaches on the same workload.
+
+Every entry point accepts a ``data_plane`` option (``"pickle"`` or
+``"shm"``); on the shm plane task payloads *and results* travel as
+zero-copy shared-memory refs, and ``store_capacity_bytes`` bounds the
+resident shared memory by spilling least-recently-used blocks to disk
+(see :mod:`repro.frameworks.shm`).
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ __all__ = ["psa", "leaflet_finder", "compare_frameworks", "compare_leaflet_appro
 
 
 def _resolve_framework(framework: str | TaskFramework, **kwargs) -> TaskFramework:
+    """Return ``framework`` itself, or build one by name with ``kwargs``."""
     if isinstance(framework, TaskFramework):
         return framework
     return make_framework(framework, **kwargs)
@@ -31,33 +38,70 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
         *, metric: str = "hausdorff", n_tasks: int | None = None,
         group_size: int | None = None, workers: int | None = None,
         executor: str = "threads",
-        data_plane: str | None = None) -> Tuple[DistanceMatrix, RunReport]:
+        data_plane: str | None = None,
+        store_capacity_bytes: int | None = None,
+        spill_dir: str | None = None) -> Tuple[DistanceMatrix, RunReport]:
     """Run Path Similarity Analysis on an ensemble.
 
     Parameters
     ----------
-    ensemble:
+    ensemble : TrajectoryEnsemble
         The trajectories to compare all-to-all.
-    framework:
+    framework : str or TaskFramework, optional
         Framework name (``"spark"``, ``"dask"``, ``"pilot"``, ``"mpi"`` or
         their canonical sparklite/dasklite/pilot/mpilite spellings) or an
         already constructed :class:`TaskFramework`.
-    metric:
-        ``"hausdorff"`` (default), ``"hausdorff_earlybreak"``, ``"frechet"``
-        or ``"hausdorff_naive"``.
-    data_plane:
+    metric : str, optional
+        ``"hausdorff"`` (default), ``"hausdorff_earlybreak"``,
+        ``"frechet"`` or ``"hausdorff_naive"``.
+    n_tasks : int, optional
+        Target task count; the 2-D block size is derived from it.
+    group_size : int, optional
+        Explicit block size (``n1`` of the paper's Algorithm 2);
+        mutually exclusive with ``n_tasks``.
+    workers : int, optional
+        Worker count for the executor.
+    executor : str, optional
+        Physical executor kind (``"serial"``, ``"threads"``,
+        ``"processes"``, ``"shm"``).
+    data_plane : str, optional
         ``None`` (default) uses the framework's configured plane
         (``"pickle"`` when constructing by name).  ``"pickle"`` ships
         each task's trajectory blocks whole; ``"shm"`` registers every
-        trajectory in shared memory once and tasks carry zero-copy refs
-        (see :mod:`repro.frameworks.shm`).  An explicit value overrides
-        an already constructed framework's plane for this run.
+        trajectory in shared memory once, tasks carry zero-copy refs,
+        and distance blocks return through the same plane (see
+        :mod:`repro.frameworks.shm`).  An explicit value overrides an
+        already constructed framework's plane for this run.
+    store_capacity_bytes : int, optional
+        Watermark for the shm store when constructing a framework by
+        name: resident segment bytes past it spill to memory-mapped
+        files, so ensembles larger than ``/dev/shm`` still complete.
+    spill_dir : str, optional
+        Directory for the spill tier (private temporary directory when
+        omitted).
+
+    Returns
+    -------
+    matrix : DistanceMatrix
+        The symmetric trajectory-to-trajectory distance matrix.
+    report : RunReport
+        Timings, task counts and data-plane byte accounting.
     """
+    created = isinstance(framework, str)
     fw = _resolve_framework(framework, executor=executor, workers=workers,
-                            data_plane=data_plane or "pickle") \
-        if isinstance(framework, str) else framework
-    return run_psa(ensemble, fw, metric=metric, n_tasks=n_tasks,
-                   group_size=group_size, data_plane=data_plane)
+                            data_plane=data_plane or "pickle",
+                            store_capacity_bytes=store_capacity_bytes,
+                            spill_dir=spill_dir) \
+        if created else framework
+    try:
+        return run_psa(ensemble, fw, metric=metric, n_tasks=n_tasks,
+                       group_size=group_size, data_plane=data_plane)
+    finally:
+        # a framework constructed here is closed here: the matrix and
+        # report are plain copies, and closing releases the store's
+        # shared-memory segments immediately instead of at exit
+        if created:
+            fw.close()
 
 
 def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
@@ -65,16 +109,48 @@ def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
                    approach: str = "tree-search", n_tasks: int = 16,
                    workers: int | None = None,
                    executor: str = "threads",
-                   data_plane: str | None = None) -> Tuple[LeafletResult, RunReport]:
+                   data_plane: str | None = None,
+                   store_capacity_bytes: int | None = None,
+                   spill_dir: str | None = None) -> Tuple[LeafletResult, RunReport]:
     """Run the Leaflet Finder on a membrane system.
 
-    ``system`` may be a :class:`~repro.trajectory.universe.Universe` (the
-    ``selection`` is applied to pick the head-group atoms) or a raw
-    ``(n_atoms, 3)`` position array.  ``data_plane="shm"`` puts the
-    system in shared memory once and hands tasks zero-copy chunk refs;
-    ``None`` (default) uses the framework's configured plane, and an
-    explicit value overrides an already constructed framework's plane
-    for this run.
+    Parameters
+    ----------
+    system : Universe or numpy.ndarray
+        A :class:`~repro.trajectory.universe.Universe` (the
+        ``selection`` is applied to pick the head-group atoms) or a raw
+        ``(n_atoms, 3)`` position array.
+    framework : str or TaskFramework, optional
+        Framework name or an already constructed framework.
+    selection : str, optional
+        Atom selection applied when a universe is given.
+    cutoff : float, optional
+        Neighbor cutoff in Angstrom (the paper uses 15).
+    approach : str, optional
+        One of :data:`~repro.core.leaflet.LEAFLET_APPROACHES`.
+    n_tasks : int, optional
+        Number of map tasks.
+    workers : int, optional
+        Worker count for the executor.
+    executor : str, optional
+        Physical executor kind.
+    data_plane : str, optional
+        ``data_plane="shm"`` puts the system in shared memory once,
+        hands tasks zero-copy chunk refs and returns edge lists /
+        partial components through the same plane; ``None`` (default)
+        uses the framework's configured plane, and an explicit value
+        overrides an already constructed framework's plane for this run.
+    store_capacity_bytes : int, optional
+        Spill watermark for the shm store when constructing by name.
+    spill_dir : str, optional
+        Directory for the spill tier.
+
+    Returns
+    -------
+    result : LeafletResult
+        The connected components (leaflets) of the neighbor graph.
+    report : RunReport
+        Timings, per-phase breakdown and data-plane byte accounting.
     """
     if isinstance(system, Universe):
         group = system.select_atoms(selection)
@@ -83,11 +159,19 @@ def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
         positions = group.positions
     else:
         positions = np.asarray(system, dtype=np.float64)
+    created = isinstance(framework, str)
     fw = _resolve_framework(framework, executor=executor, workers=workers,
-                            data_plane=data_plane or "pickle") \
-        if isinstance(framework, str) else framework
-    return run_leaflet_finder(positions, cutoff, fw, approach=approach,
-                              n_tasks=n_tasks, data_plane=data_plane)
+                            data_plane=data_plane or "pickle",
+                            store_capacity_bytes=store_capacity_bytes,
+                            spill_dir=spill_dir) \
+        if created else framework
+    try:
+        return run_leaflet_finder(positions, cutoff, fw, approach=approach,
+                                  n_tasks=n_tasks, data_plane=data_plane)
+    finally:
+        # see psa(): frameworks constructed by name are closed here
+        if created:
+            fw.close()
 
 
 def compare_frameworks(ensemble: TrajectoryEnsemble,
@@ -101,6 +185,26 @@ def compare_frameworks(ensemble: TrajectoryEnsemble,
     style comparisons; distance matrices are checked for agreement across
     frameworks (they must be identical up to floating-point noise) and the
     first framework's matrix is discarded after the check.
+
+    Parameters
+    ----------
+    ensemble : TrajectoryEnsemble
+        The workload.
+    frameworks : sequence of str, optional
+        Framework names to compare.
+    metric : str, optional
+        PSA metric.
+    n_tasks : int, optional
+        Target task count.
+    workers : int, optional
+        Worker count per framework.
+    data_plane : str, optional
+        Data plane every framework runs on.
+
+    Returns
+    -------
+    dict of str to RunReport
+        One report per framework name.
     """
     reports: Dict[str, RunReport] = {}
     reference = None
@@ -131,22 +235,47 @@ def compare_leaflet_approaches(positions: np.ndarray, cutoff: float = 15.0,
     All approaches must agree on the two leaflet components; disagreement
     raises, since that would indicate an implementation bug rather than a
     performance difference.
+
+    Parameters
+    ----------
+    positions : numpy.ndarray
+        ``(n_atoms, 3)`` head-group positions.
+    cutoff : float, optional
+        Neighbor cutoff in Angstrom.
+    framework : str or TaskFramework, optional
+        Substrate to run every approach on.
+    approaches : sequence of str, optional
+        Approach names; defaults to all four.
+    n_tasks : int, optional
+        Number of map tasks per approach.
+    workers : int, optional
+        Worker count when constructing the framework by name.
+
+    Returns
+    -------
+    dict of str to RunReport
+        One report per approach name.
     """
     approaches = list(approaches or LEAFLET_APPROACHES)
+    created = isinstance(framework, str)
     fw = _resolve_framework(framework, executor="threads", workers=workers) \
-        if isinstance(framework, str) else framework
+        if created else framework
     reports: Dict[str, RunReport] = {}
     reference_sizes = None
-    for approach in approaches:
-        result, report = run_leaflet_finder(positions, cutoff, fw,
-                                            approach=approach, n_tasks=n_tasks)
-        top_sizes = result.sizes[:2]
-        if reference_sizes is None:
-            reference_sizes = top_sizes
-        elif top_sizes != reference_sizes:
-            raise AssertionError(
-                f"approach {approach} found leaflet sizes {top_sizes}, "
-                f"expected {reference_sizes}"
-            )
-        reports[approach] = report
+    try:
+        for approach in approaches:
+            result, report = run_leaflet_finder(positions, cutoff, fw,
+                                                approach=approach, n_tasks=n_tasks)
+            top_sizes = result.sizes[:2]
+            if reference_sizes is None:
+                reference_sizes = top_sizes
+            elif top_sizes != reference_sizes:
+                raise AssertionError(
+                    f"approach {approach} found leaflet sizes {top_sizes}, "
+                    f"expected {reference_sizes}"
+                )
+            reports[approach] = report
+    finally:
+        if created:
+            fw.close()
     return reports

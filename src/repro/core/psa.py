@@ -77,11 +77,19 @@ def _load(item, from_files: bool) -> np.ndarray:
     return np.asarray(item, dtype=np.float64)
 
 
-def execute_psa_block(task: PSABlockTask) -> List[Tuple[int, int, float]]:
-    """Run one PSA block task and return ``(i, j, distance)`` triples.
+def execute_psa_block(task: PSABlockTask) -> np.ndarray:
+    """Run one PSA block task and return its distance block.
 
     Diagonal blocks only compute the upper triangle (the distance is
     symmetric and ``d(i, i) = 0``).
+
+    The block is returned as a ``(n_pairs, 3)`` float64 array of
+    ``(i, j, distance)`` triples rather than a list of tuples: a single
+    contiguous array is what the result-direction data plane ships as
+    one :class:`~repro.frameworks.shm.BlockRef`, so on the shm plane a
+    worker's distance block returns to the driver zero-copy instead of
+    through pickle.  Iterating the rows still yields unpackable
+    ``i, j, d`` triples, so consumers that loop are unaffected.
     """
     metric_fn = PSA_METRICS[task.metric]
     rows = [_load(item, task.from_files) for item in task.row_data]
@@ -96,7 +104,9 @@ def execute_psa_block(task: PSABlockTask) -> List[Tuple[int, int, float]]:
             if task.block.diagonal and global_j <= global_i:
                 continue
             out.append((global_i, global_j, float(metric_fn(traj_i, traj_j))))
-    return out
+    if not out:
+        return np.empty((0, 3), dtype=np.float64)
+    return np.asarray(out, dtype=np.float64)
 
 
 def make_psa_tasks(ensemble: TrajectoryEnsemble, *, group_size: int | None = None,
@@ -191,6 +201,14 @@ def run_psa(ensemble: TrajectoryEnsemble, framework: TaskFramework,
     configured plane for this run, so the payload conversion and the
     reported label agree; a :class:`SharedMemoryExecutor`'s transport
     itself is part of the executor and is not affected.
+
+    On the shm plane the *result* direction rides the plane as well:
+    each worker's distance block returns as a
+    :class:`~repro.frameworks.shm.BlockRef` that the driver resolves
+    zero-copy during assembly, and — when the framework's store is
+    configured with a ``store_capacity_bytes`` watermark — blocks past
+    the watermark spill to disk and the report's ``bytes_spilled``
+    records how much.
     """
     plane = data_plane if data_plane is not None else getattr(framework, "data_plane", "pickle")
     if plane not in DATA_PLANES:
@@ -207,26 +225,44 @@ def run_psa(ensemble: TrajectoryEnsemble, framework: TaskFramework,
     try:
         if override:
             framework.data_plane = plane
+            if owns_store:
+                # attach the ephemeral store so the framework's payload
+                # and result conversion actually runs on the shm plane
+                # for this run (mirrors run_leaflet_finder)
+                framework.store = store
         tasks = make_psa_tasks(ensemble, group_size=group_size, n_tasks=n_tasks,
                                metric=metric, paths=paths, store=store)
         n = ensemble.n_trajectories
         start = time.perf_counter()
         results = framework.map_tasks(execute_psa_block, tasks)
         wall = time.perf_counter() - start
+        # assemble the symmetric matrix from the distance blocks; on the
+        # shm plane each block is a zero-copy view of a result segment,
+        # and the vectorized scatter below is the only copy made of it
+        values = np.zeros((n, n), dtype=np.float64)
+        for block in results:
+            block = np.asarray(block, dtype=np.float64).reshape(-1, 3)
+            if block.shape[0] == 0:
+                continue
+            ii = block[:, 0].astype(np.intp)
+            jj = block[:, 1].astype(np.intp)
+            values[ii, jj] = block[:, 2]
+            values[jj, ii] = block[:, 2]
     finally:
         if override:
             framework.data_plane = configured_plane
+            if owns_store:
+                framework.store = None
         if owns_store:
+            # safe to unlink only after assembly: the result views above
+            # point into the ephemeral store's segments
             store.cleanup()
-    values = np.zeros((n, n), dtype=np.float64)
-    for triples in results:
-        for i, j, d in triples:
-            values[i, j] = values[j, i] = d
     matrix = DistanceMatrix(values, labels=ensemble.labels)
     metrics = framework.metrics
     if store is not None:
         metrics.bytes_shared = max(metrics.bytes_shared,
                                    sum(refs_nbytes(task) for task in tasks))
+        metrics.bytes_spilled = max(metrics.bytes_spilled, store.bytes_spilled)
     report = RunReport(
         algorithm=f"psa[{metric}]",
         framework=framework.name,

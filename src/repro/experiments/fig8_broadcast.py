@@ -11,15 +11,17 @@ broadcast the 524k system at all.
 ``measured_rows`` times the broadcast and the map phase live on the real
 substrates and reports the same breakdown.  ``data_plane_rows`` runs the
 identical workload on the pickle and shm data planes and reports the
-moved-vs-shared byte split: on the shm plane the broadcast volume
-collapses from the full system to a per-node ref; ``bytes_shared``
-(from :class:`~repro.frameworks.base.RunMetrics`) counts the array
-bytes the tasks *accessed* through shared memory (summed per task, the
+moved-vs-shared byte split in *both directions*: on the shm plane the
+broadcast volume collapses from the full system to a per-node ref, and
+the edge lists the tasks produce return as refs too instead of being
+pickled back.  ``bytes_shared`` / ``bytes_shared_results`` (from
+:class:`~repro.frameworks.base.RunMetrics`) count the array bytes the
+tasks accessed / returned through shared memory (summed per task, the
 analogue of what the pickle plane would have moved), while
 ``bytes_resident`` counts the segment bytes actually held in the store
-— the system appears there exactly once.  This is the serialization
-saving the paper identifies as the frameworks' main deficit against
-MPI.
+— the broadcast system appears there exactly once, plus the adopted
+result blocks.  This is the serialization saving the paper identifies
+as the frameworks' main deficit against MPI.
 """
 
 from __future__ import annotations
@@ -65,8 +67,14 @@ def measured_rows(n_atoms: int = 3000, cutoff: float = 15.0, n_tasks: int = 16,
             "bytes_broadcast": report.metrics.bytes_broadcast,
             # array bytes tasks accessed through the plane (per-task sum)
             "bytes_shared": report.metrics.bytes_shared,
-            # unique segment bytes resident in the store (system counted once)
-            "bytes_resident": store.bytes_shared if store is not None else 0,
+            # result direction: bytes moved back serialized vs returned
+            # through shared segments
+            "bytes_results_moved": report.metrics.bytes_results_pickled,
+            "bytes_shared_results": report.metrics.bytes_shared_results,
+            "bytes_spilled": report.metrics.bytes_spilled,
+            # segment bytes resident in the store (broadcast system once,
+            # plus adopted result blocks)
+            "bytes_resident": store.bytes_resident if store is not None else 0,
         })
         fw.close()
     return rows
@@ -77,13 +85,20 @@ def data_plane_rows(n_atoms: int = 3000, cutoff: float = 15.0, n_tasks: int = 16
                     frameworks: Sequence[str] = ("sparklite", "dasklite", "mpilite")) -> List[dict]:
     """Moved-vs-shared byte split: pickle plane against the shm plane.
 
-    One row per framework: the bytes a distributed deployment would move
-    for the approach-1 broadcast on each plane, the array bytes the
-    tasks accessed through shared memory instead
-    (``bytes_accessed_shm``, a per-task sum), and the unique segment
-    bytes resident in the store (``bytes_resident_shm`` — the system
-    counted once).  ``moved_reduction`` is the factor by which the shm
-    plane shrinks the moved volume.
+    One row per framework, covering both directions of the data plane:
+
+    * task direction — the bytes a distributed deployment would move for
+      the approach-1 broadcast on each plane (``bytes_moved_*``), the
+      array bytes the tasks accessed through shared memory instead
+      (``bytes_accessed_shm``, a per-task sum), and the segment bytes
+      resident in the store (``bytes_resident_shm``);
+    * result direction — the bytes the gathered edge lists would move on
+      each plane (``bytes_results_moved_*``: whole arrays on the pickle
+      plane, just the refs on the shm plane) and the array bytes
+      returned through shared segments (``bytes_shared_results``).
+
+    ``moved_reduction`` / ``results_moved_reduction`` are the factors by
+    which the shm plane shrinks each direction's moved volume.
     """
     rows: List[dict] = []
     pickle_rows = measured_rows(n_atoms, cutoff, n_tasks, workers, frameworks,
@@ -93,6 +108,8 @@ def data_plane_rows(n_atoms: int = 3000, cutoff: float = 15.0, n_tasks: int = 16
     for pickled, shared in zip(pickle_rows, shm_rows):
         moved_pickle = pickled["bytes_broadcast"]
         moved_shm = shared["bytes_broadcast"]
+        results_pickle = pickled["bytes_results_moved"]
+        results_shm = shared["bytes_results_moved"]
         rows.append({
             "framework": pickled["framework"],
             "n_atoms": n_atoms,
@@ -101,6 +118,11 @@ def data_plane_rows(n_atoms: int = 3000, cutoff: float = 15.0, n_tasks: int = 16
             "bytes_accessed_shm": shared["bytes_shared"],
             "bytes_resident_shm": shared["bytes_resident"],
             "moved_reduction": (moved_pickle / moved_shm) if moved_shm else float("inf"),
+            "bytes_results_moved_pickle": results_pickle,
+            "bytes_results_moved_shm": results_shm,
+            "bytes_shared_results": shared["bytes_shared_results"],
+            "results_moved_reduction": (results_pickle / results_shm)
+            if results_shm else float("inf"),
             "wall_time_pickle_s": pickled["wall_time_s"],
             "wall_time_shm_s": shared["wall_time_s"],
         })

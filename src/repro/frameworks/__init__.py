@@ -27,7 +27,7 @@ from .executors import (
     make_executor,
 )
 from .serialization import estimate_transfer_time, nbytes_of, serialized_size
-from .shm import DATA_PLANES, BlockRef, SharedMemoryStore
+from .shm import DATA_PLANES, BlockRef, FileBackedStore, SharedMemoryStore
 from .sparklite import SparkLiteContext
 from .dasklite import DaskLiteClient
 from .pilot import PilotFramework
@@ -51,6 +51,7 @@ __all__ = [
     "estimate_transfer_time",
     "DATA_PLANES",
     "BlockRef",
+    "FileBackedStore",
     "SharedMemoryStore",
     "SparkLiteContext",
     "DaskLiteClient",

@@ -39,6 +39,7 @@ from .shm import (
     DATA_PLANES,
     ResolvingTask,
     SharedMemoryStore,
+    adopt_payload,
     refs_nbytes,
     share_payload,
 )
@@ -67,13 +68,22 @@ class RunMetrics:
         :func:`repro.frameworks.serialization.nbytes_of` /
         ``serialized_size`` depending on the substrate.
     bytes_pickled / bytes_shared:
-        Data-plane split: task-payload bytes that cross (or, for
+        Data-plane split for *task payloads*: bytes that cross (or, for
         in-process executors, *would* cross) a process boundary
         serialized, vs array bytes accessed zero-copy through the
         shared-memory plane (:mod:`repro.frameworks.shm`).  Process
         pools measure real pickled sizes; in-process executors estimate
         with :func:`~repro.frameworks.serialization.nbytes_of`, the same
         would-move convention used for broadcast/shuffle volumes.
+    bytes_results_pickled / bytes_shared_results:
+        The same split for the *result* direction: result-payload bytes
+        serialized back to the driver (on the shm plane just the refs)
+        vs array bytes returned through shared segments the driver
+        resolves zero-copy.
+    bytes_spilled:
+        Cumulative bytes the framework's store moved to its disk tier
+        (non-zero only when a ``store_capacity_bytes`` watermark is
+        configured and exceeded).
     events:
         Free-form ``(label, value)`` pairs recorded by substrates
         (e.g. per-stage timings, database round-trips).
@@ -89,6 +99,9 @@ class RunMetrics:
     bytes_staged: int = 0
     bytes_pickled: int = 0
     bytes_shared: int = 0
+    bytes_results_pickled: int = 0
+    bytes_shared_results: int = 0
+    bytes_spilled: int = 0
     events: List[tuple] = field(default_factory=list)
 
     def record_event(self, label: str, value: Any) -> None:
@@ -108,6 +121,9 @@ class RunMetrics:
             bytes_staged=self.bytes_staged + other.bytes_staged,
             bytes_pickled=self.bytes_pickled + other.bytes_pickled,
             bytes_shared=self.bytes_shared + other.bytes_shared,
+            bytes_results_pickled=self.bytes_results_pickled + other.bytes_results_pickled,
+            bytes_shared_results=self.bytes_shared_results + other.bytes_shared_results,
+            bytes_spilled=max(self.bytes_spilled, other.bytes_spilled),
             events=self.events + other.events,
         )
         return merged
@@ -125,6 +141,9 @@ class RunMetrics:
             "bytes_staged": self.bytes_staged,
             "bytes_pickled": self.bytes_pickled,
             "bytes_shared": self.bytes_shared,
+            "bytes_results_pickled": self.bytes_results_pickled,
+            "bytes_shared_results": self.bytes_shared_results,
+            "bytes_spilled": self.bytes_spilled,
         }
 
 
@@ -167,6 +186,17 @@ class TaskFramework:
         registers NumPy payloads in a :class:`SharedMemoryStore` once and
         ships :class:`~repro.frameworks.shm.BlockRef` handles instead,
         the zero-copy plane described in :mod:`repro.frameworks.shm`.
+        On the shm plane *results* ride the plane too: tasks return refs
+        and the framework resolves them zero-copy before handing results
+        back.
+    store_capacity_bytes:
+        Optional watermark for the framework's store: resident segment
+        bytes past it spill least-recently-used-first to memory-mapped
+        files, so workloads larger than ``/dev/shm`` complete instead of
+        crashing.  ``None`` (default) disables spilling.
+    spill_dir:
+        Directory for the spill tier (a private temporary directory when
+        omitted).
     """
 
     name = "base"
@@ -180,7 +210,9 @@ class TaskFramework:
     def __init__(self, cluster: ClusterSpec | None = None,
                  executor: str | ExecutorBase = "serial",
                  workers: int | None = None,
-                 data_plane: str = "pickle") -> None:
+                 data_plane: str = "pickle",
+                 store_capacity_bytes: int | None = None,
+                 spill_dir: str | None = None) -> None:
         if data_plane not in DATA_PLANES:
             raise ValueError(
                 f"unknown data_plane {data_plane!r}; choose from {DATA_PLANES}"
@@ -188,7 +220,9 @@ class TaskFramework:
         if isinstance(executor, ExecutorBase):
             self.executor = executor
         else:
-            self.executor = make_executor(executor, workers)
+            self.executor = make_executor(executor, workers,
+                                          store_capacity_bytes=store_capacity_bytes,
+                                          spill_dir=spill_dir)
         self.cluster = cluster or local_cluster(cores=self.executor.workers)
         self.metrics = RunMetrics()
         self.data_plane = data_plane
@@ -197,7 +231,8 @@ class TaskFramework:
         self.store: SharedMemoryStore | None = getattr(self.executor, "store", None)
         self._owns_store = False
         if self.data_plane == "shm" and self.store is None:
-            self.store = SharedMemoryStore()
+            self.store = SharedMemoryStore(capacity_bytes=store_capacity_bytes,
+                                           spill_dir=spill_dir)
             self._owns_store = True
 
     # ------------------------------------------------------------------ #
@@ -211,6 +246,7 @@ class TaskFramework:
         start = time.perf_counter()
         results = self._run_tasks(fn, items)
         wall = time.perf_counter() - start
+        results = self._finish_results(results)
         task_time = self.executor.total_task_time
         self.metrics.tasks_completed = len(results)
         self.metrics.wall_time_s = wall
@@ -242,6 +278,21 @@ class TaskFramework:
     # ------------------------------------------------------------------ #
     # data-plane helpers shared by the substrates
     # ------------------------------------------------------------------ #
+    @property
+    def _executor_measures(self) -> bool:
+        """Whether the executor records real crossing bytes itself.
+
+        True only when tasks physically run on a process-based executor:
+        its per-task timings then hold measured pickled/shared sizes for
+        both directions, and the framework layer must not re-estimate
+        them.  ``_apply_data_plane`` and ``_finish_results`` both key off
+        this one definition so task- and result-direction accounting
+        stay consistent.
+        """
+        return (self._executor_runs_tasks
+                and isinstance(self.executor,
+                               (ProcessExecutor, SharedMemoryExecutor)))
+
     def _share_value(self, value: Any):
         """Store ``value`` on the shm plane if eligible; the ref or None."""
         if (self.data_plane == "shm" and self.store is not None
@@ -259,16 +310,16 @@ class TaskFramework:
         report comparable ``bytes_pickled`` numbers.  On the shm plane
         every array inside every payload is swapped for a ref
         (deduplicated store-wide), ``fn`` is wrapped to resolve refs
-        back to views task-side, and the metrics record the
-        pickled-vs-shared byte split that a process-crossing deployment
-        would see.  A :class:`SharedMemoryExecutor` that actually runs
-        the tasks converts and accounts payloads itself, so the
-        conversion is skipped to avoid double work.
+        back to views task-side *and* to send result arrays back through
+        the plane (into the framework's store for in-process executors,
+        via worker-side publish for process pools), and the metrics
+        record the pickled-vs-shared byte split that a process-crossing
+        deployment would see.  A :class:`SharedMemoryExecutor` that
+        actually runs the tasks converts and accounts payloads itself,
+        so the conversion is skipped to avoid double work.
         """
         items = list(items)
-        executor_measures = (self._executor_runs_tasks
-                             and isinstance(self.executor,
-                                            (ProcessExecutor, SharedMemoryExecutor)))
+        executor_measures = self._executor_measures
         if self.data_plane != "shm" or self.store is None:
             if not executor_measures:
                 self.metrics.bytes_pickled += sum(nbytes_of(item) for item in items)
@@ -278,7 +329,38 @@ class TaskFramework:
         shared_items = [share_payload(item, self.store)[0] for item in items]
         self.metrics.bytes_shared += sum(refs_nbytes(item) for item in shared_items)
         self.metrics.bytes_pickled += sum(serialized_size(item) for item in shared_items)
-        return ResolvingTask(fn), shared_items
+        if executor_measures:
+            # a plain process pool: the store cannot pickle into the
+            # workers, so results are published as standalone segments
+            # and adopted driver-side in _finish_results
+            return ResolvingTask(fn, publish_results=True), shared_items
+        return ResolvingTask(fn, result_store=self.store), shared_items
+
+    def _finish_results(self, results: List[Any]) -> List[Any]:
+        """Bring task results back from the active data plane.
+
+        On the shm plane results arrive as ref payloads: the refs'
+        segments are adopted into the framework's store (so their
+        lifetime and spilling are managed centrally) and resolved to
+        read-only zero-copy views.  The result-direction byte split is
+        recorded the same way as the task direction: real pickled sizes
+        where a process pool measured them, ``serialized_size`` /
+        ``nbytes_of`` would-move estimates otherwise.
+        """
+        executor_measures = self._executor_measures
+        if self.data_plane == "shm" and self.store is not None:
+            if not (executor_measures
+                    and isinstance(self.executor, SharedMemoryExecutor)):
+                self.metrics.bytes_shared_results += sum(refs_nbytes(r) for r in results)
+                if not executor_measures:
+                    self.metrics.bytes_results_pickled += sum(
+                        serialized_size(r) for r in results)
+                results = [adopt_payload(r, self.store) for r in results]
+            self.metrics.bytes_spilled = max(self.metrics.bytes_spilled,
+                                             self.store.bytes_spilled)
+        elif not executor_measures:
+            self.metrics.bytes_results_pickled += sum(nbytes_of(r) for r in results)
+        return results
 
     # ------------------------------------------------------------------ #
     def _collect_executor_bytes(self) -> None:
@@ -293,6 +375,10 @@ class TaskFramework:
                                          self.executor.total_bytes_pickled)
         self.metrics.bytes_shared = max(self.metrics.bytes_shared,
                                         self.executor.total_bytes_shared)
+        self.metrics.bytes_results_pickled = max(self.metrics.bytes_results_pickled,
+                                                 self.executor.total_bytes_results_pickled)
+        self.metrics.bytes_shared_results = max(self.metrics.bytes_shared_results,
+                                                self.executor.total_bytes_results_shared)
 
     def _run_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Substrate-specific execution; default delegates to the executor."""

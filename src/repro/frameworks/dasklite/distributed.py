@@ -24,7 +24,7 @@ from ..base import BroadcastHandle, RunMetrics, TaskFramework
 from ..cluster import ClusterSpec
 from ..executors import ExecutorBase
 from ..serialization import nbytes_of, serialized_size
-from ..shm import BlockRef
+from ..shm import BlockRef, resolve_payload
 from ..sparklite.partitioner import split_array_into_partitions
 from .bag import Bag, from_sequence
 from .delayed import Delayed, compute, delayed
@@ -100,9 +100,13 @@ class DaskLiteClient(TaskFramework):
     def __init__(self, cluster: ClusterSpec | None = None,
                  executor: str | ExecutorBase = "threads",
                  workers: int | None = None,
-                 data_plane: str = "pickle") -> None:
+                 data_plane: str = "pickle",
+                 store_capacity_bytes: int | None = None,
+                 spill_dir: str | None = None) -> None:
         super().__init__(cluster=cluster, executor=executor, workers=workers,
-                         data_plane=data_plane)
+                         data_plane=data_plane,
+                         store_capacity_bytes=store_capacity_bytes,
+                         spill_dir=spill_dir)
         if isinstance(executor, str) and executor == "serial":
             self.scheduler: SchedulerBase = SynchronousScheduler()
         else:
@@ -127,8 +131,15 @@ class DaskLiteClient(TaskFramework):
                 for value in results]
 
     def gather(self, futures: Iterable[Future]) -> List[Any]:
-        """Collect the results of several futures."""
-        return [f.result() for f in futures]
+        """Collect the results of several futures.
+
+        On the shm data plane a future's value may be (or contain) a
+        :class:`~repro.frameworks.shm.BlockRef`; gather resolves refs to
+        zero-copy views so callers always receive plain arrays, exactly
+        like ``dask.distributed.Client.gather`` dereferences remote
+        data.
+        """
+        return [resolve_payload(f.result()) for f in futures]
 
     def scatter(self, data: Any, broadcast: bool = False) -> ScatteredData:
         """Place data on the workers ahead of computation.
@@ -202,6 +213,9 @@ class DaskLiteClient(TaskFramework):
         nodes = [dfn(item) for item in items]
         results = list(compute(*nodes, scheduler=self.scheduler))
         wall = time.perf_counter() - start
+        # the graph hands back ref payloads on the shm plane: gather
+        # them through the store (adopt + zero-copy resolve)
+        results = self._finish_results(results)
         self.metrics.tasks_completed = len(results)
         self.metrics.wall_time_s = wall
         self.metrics.task_time_s = self.scheduler.total_task_time

@@ -17,13 +17,17 @@ place the frameworks delegate to one of four executors:
   plane of :mod:`repro.frameworks.shm`: array payloads are registered in
   a :class:`~repro.frameworks.shm.SharedMemoryStore` once and workers
   receive tiny :class:`~repro.frameworks.shm.BlockRef` handles that
-  rehydrate as views, removing the per-task array pickling entirely.
+  rehydrate as views — and the same happens in reverse for results,
+  which workers publish into shared segments and the driver adopts
+  zero-copy instead of unpickling.
 
 All executors record per-task wall-clock durations so the frameworks can
 report scheduling overhead separately from useful work; the process-based
-executors additionally record per-task ``bytes_pickled`` (input payload
-bytes that crossed the process boundary) and ``bytes_shared`` (array
-bytes the task accessed through shared memory instead).
+executors additionally record, per task, ``bytes_pickled`` /
+``bytes_results_pickled`` (payload bytes that crossed the process
+boundary serialized, in each direction) and ``bytes_shared`` /
+``bytes_results_shared`` (array bytes the task accessed or returned
+through shared memory instead).
 """
 
 from __future__ import annotations
@@ -35,7 +39,15 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Sequence
 
-from .shm import SharedMemoryStore, refs_nbytes, resolve_payload, share_payload
+from .shm import (
+    SharedMemoryStore,
+    adopt_payload,
+    mark_handed_off,
+    publish_payload,
+    refs_nbytes,
+    resolve_payload,
+    share_payload,
+)
 
 __all__ = [
     "TaskTiming",
@@ -50,12 +62,17 @@ __all__ = [
 
 
 def default_worker_count() -> int:
-    """A sensible default worker count for the local machine.
+    """Return a sensible default worker count for the local machine.
 
     One core is reserved for the driver (scheduler loops, result
     gathering, the interactive session), matching the deployment the
     paper's single-node runs use; the floor of 1 keeps single-core
     machines working.
+
+    Returns
+    -------
+    int
+        ``max(1, cpu_count - 1)``.
     """
     return max(1, (os.cpu_count() or 2) - 1)
 
@@ -64,11 +81,31 @@ def default_worker_count() -> int:
 class TaskTiming:
     """Wall-clock timing and data-plane accounting of one executed task.
 
-    ``bytes_pickled`` counts the task's *input payload* bytes that were
-    serialized across a process boundary; ``bytes_shared`` counts the
-    array bytes the task accessed through the shared-memory plane instead
-    of receiving them in the payload.  Both stay 0 for in-process
-    executors, where no boundary is crossed.
+    Parameters
+    ----------
+    index : int
+        Position of the task in the submitted batch.
+    start, stop : float
+        ``perf_counter`` timestamps bracketing the task (including its
+        payload deserialization and result serialization, where a real
+        deployment pays them).
+    bytes_pickled : int, optional
+        The task's *input payload* bytes serialized across a process
+        boundary.
+    bytes_shared : int, optional
+        Array bytes the task accessed through the shared-memory plane
+        instead of receiving them in the payload.
+    bytes_results_pickled : int, optional
+        The task's *result payload* bytes serialized back across the
+        boundary (for the shm plane this is just the refs).
+    bytes_results_shared : int, optional
+        Array bytes the task returned through shared memory instead of
+        the result payload.
+
+    Notes
+    -----
+    All byte counters stay 0 for in-process executors, where no boundary
+    is crossed.
     """
 
     index: int
@@ -76,6 +113,8 @@ class TaskTiming:
     stop: float
     bytes_pickled: int = 0
     bytes_shared: int = 0
+    bytes_results_pickled: int = 0
+    bytes_results_shared: int = 0
 
     @property
     def duration(self) -> float:
@@ -95,7 +134,21 @@ class ExecutorBase:
     timings: List[TaskTiming] = field(default_factory=list, repr=False)
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
-        """Run ``fn`` over ``items`` and return results in order."""
+        """Run ``fn`` over ``items`` and return results in order.
+
+        Parameters
+        ----------
+        fn : callable
+            Task function applied to each item.
+        items : sequence
+            Task payloads.
+
+        Returns
+        -------
+        list
+            ``[fn(item) for item in items]``, computed on this
+            executor's resources.
+        """
         raise NotImplementedError
 
     def map_with_args(self, fn: Callable[..., Any],
@@ -118,6 +171,16 @@ class ExecutorBase:
         """Array bytes accessed through shared memory (last call)."""
         return sum(t.bytes_shared for t in self.timings)
 
+    @property
+    def total_bytes_results_pickled(self) -> int:
+        """Result payload bytes pickled back across the boundary (last call)."""
+        return sum(t.bytes_results_pickled for t in self.timings)
+
+    @property
+    def total_bytes_results_shared(self) -> int:
+        """Array bytes returned through shared memory (last call)."""
+        return sum(t.bytes_results_shared for t in self.timings)
+
     def shutdown(self) -> None:
         """Release any pooled resources (no-op for stateless executors)."""
 
@@ -129,6 +192,7 @@ class SerialExecutor(ExecutorBase):
         super().__init__(workers=1)
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Run the tasks one after another in the calling thread."""
         self.timings = []
         results: List[Any] = []
         for i, item in enumerate(items):
@@ -139,12 +203,19 @@ class SerialExecutor(ExecutorBase):
 
 
 class ThreadExecutor(ExecutorBase):
-    """Thread-pool executor (shared memory, no pickling)."""
+    """Thread-pool executor (shared memory, no pickling).
+
+    Parameters
+    ----------
+    workers : int, optional
+        Pool size; defaults to :func:`default_worker_count`.
+    """
 
     def __init__(self, workers: int | None = None) -> None:
         super().__init__(workers=workers or default_worker_count())
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Run the tasks on the thread pool, preserving input order."""
         self.timings = []
         items = list(items)
         results: List[Any] = [None] * len(items)
@@ -166,25 +237,35 @@ class ThreadExecutor(ExecutorBase):
 
 
 def _timed_call(payload: tuple) -> tuple:
-    """Module-level helper so ProcessExecutor payloads are picklable.
+    """Run one pre-pickled task in a pool worker (pickle plane).
 
     The item arrives pre-pickled (serialized exactly once, driver-side,
-    which is also how its byte count is measured); deserialization runs
-    inside the timed region, where a real deployment pays it.
+    which is also how its byte count is measured); deserialization and
+    the result's serialization both run inside the timed region, where a
+    real deployment pays them.  The result returns as a pickle blob so
+    the driver can account the exact bytes that crossed back.
     """
     index, fn, blob = payload
     start = time.perf_counter()
     result = fn(pickle.loads(blob))
-    return index, result, start, time.perf_counter()
+    out = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    return index, out, start, time.perf_counter()
 
 
 class ProcessExecutor(ExecutorBase):
-    """Process-pool executor (pays pickling costs, bypasses the GIL)."""
+    """Process-pool executor (pays pickling costs, bypasses the GIL).
+
+    Parameters
+    ----------
+    workers : int, optional
+        Pool size; defaults to :func:`default_worker_count`.
+    """
 
     def __init__(self, workers: int | None = None) -> None:
         super().__init__(workers=workers or default_worker_count())
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Run the tasks on a process pool, measuring both crossings."""
         self.timings = []
         items = list(items)
         if not items:
@@ -197,27 +278,36 @@ class ProcessExecutor(ExecutorBase):
         timings: List[TaskTiming] = []
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             payloads = [(i, fn, blob) for i, blob in enumerate(blobs)]
-            for index, result, start, stop in pool.map(_timed_call, payloads):
-                results[index] = result
+            for index, out, start, stop in pool.map(_timed_call, payloads):
+                results[index] = pickle.loads(out)
                 timings.append(TaskTiming(index, start, stop,
-                                          bytes_pickled=len(blobs[index])))
+                                          bytes_pickled=len(blobs[index]),
+                                          bytes_results_pickled=len(out)))
         timings.sort(key=lambda t: t.index)
         self.timings = timings
         return results
 
 
 def _shm_timed_call(payload: tuple) -> tuple:
-    """Worker-side trampoline: unpickle the ref payload and resolve it.
+    """Run one task in a pool worker on the shm plane, both directions.
 
-    Both steps happen inside the timed region on purpose — unpickling
-    the (tiny) ref payload plus attaching to the segment *is* this data
-    plane's deserialization cost, and it must show up where pickling
-    showed up for :class:`ProcessExecutor`.
+    Unpickling the (tiny) ref payload plus attaching to the segments
+    *is* this data plane's deserialization cost, and publishing the
+    result arrays into shared segments is its serialization cost — both
+    run inside the timed region, exactly where pickling/unpickling shows
+    up for :class:`ProcessExecutor`.  Only the published refs travel
+    back through the pickle channel.
     """
     index, fn, blob = payload
     start = time.perf_counter()
     result = fn(resolve_payload(pickle.loads(blob)))
-    return index, result, start, time.perf_counter()
+    published, shared = publish_payload(result)
+    out = pickle.dumps(published, protocol=pickle.HIGHEST_PROTOCOL)
+    stop = time.perf_counter()
+    # the blob is on its way to the driver, whose store adopts the
+    # segments; this worker's crash-cleanup hook must leave them alone
+    mark_handed_off(published)
+    return index, out, start, stop, shared
 
 
 class SharedMemoryExecutor(ExecutorBase):
@@ -228,23 +318,42 @@ class SharedMemoryExecutor(ExecutorBase):
     distinct array exactly once); the workers receive payloads whose
     arrays are replaced by :class:`~repro.frameworks.shm.BlockRef`
     handles and rehydrate them as views of the shared segments.  Results
-    still return through the regular pickle channel.
+    travel the same plane in reverse: workers publish result arrays into
+    fresh segments, only the refs return through the pickle channel, and
+    the driver adopts the segments into the store — so returned arrays
+    are read-only views that stay valid until the store is cleaned up
+    (:meth:`shutdown`), and they spill to disk with the rest of the
+    store when a capacity is configured.
 
     Parameters
     ----------
-    store:
+    workers : int, optional
+        Pool size; defaults to :func:`default_worker_count`.
+    store : SharedMemoryStore, optional
         An existing store to register payloads in (shared with a
         framework, for example).  When omitted the executor owns a
         private store and unlinks its segments on :meth:`shutdown`.
+    store_capacity_bytes : int, optional
+        Capacity watermark for a privately owned store (ignored when
+        ``store`` is given); segments past it spill to disk.
+    spill_dir : str, optional
+        Spill directory for a privately owned store.
     """
 
     def __init__(self, workers: int | None = None,
-                 store: SharedMemoryStore | None = None) -> None:
+                 store: SharedMemoryStore | None = None,
+                 store_capacity_bytes: int | None = None,
+                 spill_dir: str | None = None) -> None:
         super().__init__(workers=workers or default_worker_count())
-        self.store = store if store is not None else SharedMemoryStore()
+        if store is not None:
+            self.store = store
+        else:
+            self.store = SharedMemoryStore(capacity_bytes=store_capacity_bytes,
+                                           spill_dir=spill_dir)
         self._owns_store = store is None
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Run the tasks on a process pool with zero-copy payloads and results."""
         self.timings = []
         items = list(items)
         if not items:
@@ -257,11 +366,15 @@ class SharedMemoryExecutor(ExecutorBase):
         timings: List[TaskTiming] = []
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             payloads = [(i, fn, blob) for i, blob in enumerate(blobs)]
-            for index, result, start, stop in pool.map(_shm_timed_call, payloads):
-                results[index] = result
+            for index, out, start, stop, shared in pool.map(_shm_timed_call, payloads):
+                # adopt while the pool is alive: the worker that created
+                # the segments keeps them mapped until the driver owns them
+                results[index] = adopt_payload(pickle.loads(out), self.store)
                 timings.append(TaskTiming(index, start, stop,
                                           bytes_pickled=len(blobs[index]),
-                                          bytes_shared=shared_sizes[index]))
+                                          bytes_shared=shared_sizes[index],
+                                          bytes_results_pickled=len(out),
+                                          bytes_results_shared=shared))
         timings.sort(key=lambda t: t.index)
         self.timings = timings
         return results
@@ -272,8 +385,26 @@ class SharedMemoryExecutor(ExecutorBase):
             self.store.cleanup()
 
 
-def make_executor(kind: str = "serial", workers: int | None = None) -> ExecutorBase:
-    """Factory: ``"serial"``, ``"threads"``, ``"processes"`` or ``"shm"``."""
+def make_executor(kind: str = "serial", workers: int | None = None,
+                  store_capacity_bytes: int | None = None,
+                  spill_dir: str | None = None) -> ExecutorBase:
+    """Build an executor by name.
+
+    Parameters
+    ----------
+    kind : str
+        ``"serial"``, ``"threads"``, ``"processes"`` or ``"shm"``.
+    workers : int, optional
+        Pool size for the pooled kinds.
+    store_capacity_bytes, spill_dir : optional
+        Store configuration, forwarded to
+        :class:`SharedMemoryExecutor` (ignored by the other kinds).
+
+    Returns
+    -------
+    ExecutorBase
+        The requested executor.
+    """
     if kind == "serial":
         return SerialExecutor()
     if kind in ("threads", "thread"):
@@ -281,5 +412,6 @@ def make_executor(kind: str = "serial", workers: int | None = None) -> ExecutorB
     if kind in ("processes", "process"):
         return ProcessExecutor(workers)
     if kind in ("shm", "sharedmem", "shared-memory"):
-        return SharedMemoryExecutor(workers)
+        return SharedMemoryExecutor(workers, store_capacity_bytes=store_capacity_bytes,
+                                    spill_dir=spill_dir)
     raise ValueError(f"unknown executor kind {kind!r}")

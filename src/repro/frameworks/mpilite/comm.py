@@ -22,7 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..serialization import nbytes_of, serialized_size
-from ..shm import BlockRef, SharedMemoryStore, maybe_resolve
+from ..shm import BlockRef, SharedMemoryStore, maybe_resolve, refs_nbytes
 
 __all__ = ["WorldContext", "Communicator", "ReduceOp"]
 
@@ -204,11 +204,24 @@ class Communicator:
         return value
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
-        """Gather one object per rank at ``root`` (None elsewhere)."""
+        """Gather one object per rank at ``root`` (None elsewhere).
+
+        With the shared-memory transport active, a payload that carries
+        :class:`~repro.frameworks.shm.BlockRef` handles (ranks return
+        result arrays through the store) moves only its pickled refs to
+        the root; the referenced array bytes are accounted as shared —
+        the result-direction mirror of the ``bcast``/``scatter``
+        accounting.
+        """
         ctx = self.context
         ctx.slots[self.rank] = obj
         if self.rank != root:
-            ctx.account("gather", nbytes_of(obj))
+            shared = refs_nbytes(obj) if ctx.store is not None else 0
+            if shared:
+                ctx.account("gather", serialized_size(obj))
+                ctx.account_shared(shared)
+            else:
+                ctx.account("gather", nbytes_of(obj))
         ctx.barrier.wait()
         result = list(ctx.slots) if self.rank == root else None
         ctx.barrier.wait()

@@ -99,9 +99,13 @@ class MPIFramework(TaskFramework):
                  executor: str | ExecutorBase = "threads",
                  workers: int | None = None,
                  ranks: int | None = None,
-                 data_plane: str = "pickle") -> None:
+                 data_plane: str = "pickle",
+                 store_capacity_bytes: int | None = None,
+                 spill_dir: str | None = None) -> None:
         super().__init__(cluster=cluster, executor=executor, workers=workers,
-                         data_plane=data_plane)
+                         data_plane=data_plane,
+                         store_capacity_bytes=store_capacity_bytes,
+                         spill_dir=spill_dir)
         self.ranks = ranks or max(1, self.executor.workers)
         self.last_context: Optional[WorldContext] = None
 
@@ -157,7 +161,9 @@ class MPIFramework(TaskFramework):
         context = self._make_context(size)
         self.last_context = context
         per_rank = run_spmd(rank_main, size, context=context)
-        results = per_rank[0]
+        # on the shm plane the gather moved only refs (the collective
+        # accounted them); resolve to views for the caller
+        results = self._finish_results(per_rank[0])
         wall = time.perf_counter() - start
         self.metrics.tasks_completed = len(results)
         self.metrics.wall_time_s = wall

@@ -188,7 +188,12 @@ class PilotFramework(TaskFramework):
         ``"pickle"`` stages data as pickle files on the shared filesystem
         (RP's pattern); ``"shm"`` stages arrays into shared memory and
         hands units ``shm://`` refs — the on-node staging shortcut that
-        removes both the file write and the payload pickling.
+        removes both the file write and the payload pickling.  Unit
+        *results* ride the same plane: output arrays are staged as
+        shared segments and the driver resolves them zero-copy.
+    store_capacity_bytes, spill_dir:
+        Spill-tier configuration for the shm store (see
+        :class:`~repro.frameworks.base.TaskFramework`).
     """
 
     name = "pilot"
@@ -198,9 +203,13 @@ class PilotFramework(TaskFramework):
                  workers: int | None = None,
                  database_latency_s: float = 0.0,
                  staging_dir: str | None = None,
-                 data_plane: str = "pickle") -> None:
+                 data_plane: str = "pickle",
+                 store_capacity_bytes: int | None = None,
+                 spill_dir: str | None = None) -> None:
         super().__init__(cluster=cluster, executor=executor, workers=workers,
-                         data_plane=data_plane)
+                         data_plane=data_plane,
+                         store_capacity_bytes=store_capacity_bytes,
+                         spill_dir=spill_dir)
         self._staged_refs: Dict[str, BlockRef] = {}
         self.session = Session(StateDatabase(latency_s=database_latency_s))
         self.pilot_manager = PilotManager(self.session, executor=self.executor)
@@ -231,7 +240,10 @@ class PilotFramework(TaskFramework):
         failed = [u for u in units if u.state == UnitState.FAILED]
         if failed:
             raise failed[0].exception  # surface the first task failure
-        results = [u.result for u in units]
+        # on the shm plane unit results are staged as shared segments
+        # (the output-staging analogue of shm:// input staging): the
+        # refs on the units become zero-copy views here
+        results = self._finish_results([u.result for u in units])
         wall = time.perf_counter() - start
         self.metrics.tasks_completed = len(results)
         self.metrics.wall_time_s = wall

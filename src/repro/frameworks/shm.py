@@ -1,27 +1,51 @@
-"""Zero-copy shared-memory data plane.
+"""Zero-copy shared-memory data plane with a spill-to-disk tier.
 
 The paper attributes most of the gap between the Python task-parallel
 frameworks and MPI to serialization: every trajectory block and every
 position chunk is pickled into the task payload, shipped, and unpickled,
 even when producer and consumer share a node.  This module removes that
-cost for NumPy payloads:
+cost for NumPy payloads — on the inbound *task* path and on the outbound
+*result* path:
 
 * :class:`SharedMemoryStore` places an array in a named
   ``multiprocessing.shared_memory`` segment exactly once and returns a
-  :class:`BlockRef` — a tiny picklable handle (segment name, shape, dtype,
-  offset).
-* :class:`BlockRef.resolve` rehydrates the handle as a NumPy *view* of the
-  segment, in the owning process or in any worker process that attaches by
-  name.  No bytes are copied or pickled for the array payload itself.
+  :class:`BlockRef` — a tiny picklable handle (segment name, shape,
+  dtype, offset, spill directory).
+* :meth:`BlockRef.resolve` rehydrates the handle as a NumPy *view* of
+  the segment, in the owning process or in any worker process that
+  attaches by name.  No bytes are copied or pickled for the array
+  payload itself.
 * :func:`share_payload` / :func:`resolve_payload` walk arbitrary task
   payloads (dataclasses, lists, tuples, dicts) swapping arrays for refs
   and back, so existing task types move onto the data plane unchanged.
+* :func:`publish_payload` / :func:`adopt_payload` do the same for
+  *results*: a worker process publishes its result arrays into fresh
+  segments and returns refs; the driver adopts the segments into its
+  store (taking over their lifetime) and resolves the refs zero-copy.
+* When a store is constructed with ``capacity_bytes``, segments past the
+  watermark spill least-recently-used-first into memory-mapped files in
+  ``spill_dir`` (the :class:`FileBackedStore` tier).  Spilled refs keep
+  resolving — through the page cache instead of ``/dev/shm`` — so
+  ensembles larger than shared memory degrade gracefully instead of
+  crashing.
 
 Every framework substrate accepts ``data_plane="pickle"|"shm"``; with
-``"shm"`` the task payload that crosses the (real or accounted) process
-boundary shrinks from the array bytes to the ref bytes, and the array
-bytes are reported separately as *shared* — the split the fig8 broadcast
-experiment quantifies.
+``"shm"`` the payloads that cross the (real or accounted) process
+boundary shrink from array bytes to ref bytes in both directions, and
+the array bytes are reported separately as *shared* — the split the
+fig8 broadcast experiment quantifies.
+
+Lifetime and cleanup
+--------------------
+Stores unlink their segments in :meth:`SharedMemoryStore.cleanup`,
+which is also registered with :mod:`atexit` *and* as a
+``multiprocessing.util.Finalize`` hook: ``atexit`` covers normal
+interpreter exit, while the finalizer covers pool worker processes
+(which exit through ``os._exit`` and never run ``atexit`` handlers).
+Worker-published result segments that were never handed back to a
+driver — the worker crashed mid-publish — are unlinked by the same
+worker-side finalizer, so repeated test runs do not leak ``/dev/shm``
+entries.
 """
 
 from __future__ import annotations
@@ -29,20 +53,31 @@ from __future__ import annotations
 import atexit
 import copy
 import dataclasses
+import itertools
+import mmap
+import os
+import sys
+import tempfile
 import threading
+import uuid
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from multiprocessing import resource_tracker, shared_memory
+from multiprocessing import resource_tracker, shared_memory, util as mp_util
 
 __all__ = [
     "DATA_PLANES",
     "BlockRef",
     "SharedMemoryStore",
+    "FileBackedStore",
     "share_payload",
     "resolve_payload",
+    "publish_payload",
+    "mark_handed_off",
+    "adopt_payload",
     "refs_nbytes",
     "maybe_resolve",
     "ResolvingTask",
@@ -54,20 +89,87 @@ DATA_PLANES = ("pickle", "shm")
 # Process-local segment registries.  ``_OWNED`` holds segments created by
 # stores in this process (resolving a ref to an owned segment is a pure
 # dictionary lookup); ``_ATTACHED`` caches segments this process attached
-# to by name, so repeated resolves of worker-side refs reuse one mapping.
+# to by name, so repeated resolves of worker-side refs reuse one mapping;
+# ``_MAPPED`` caches memory-mapped spill files the same way.
 _OWNED: Dict[str, shared_memory.SharedMemory] = {}
 _ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+_MAPPED: Dict[str, mmap.mmap] = {}
 _REGISTRY_LOCK = threading.Lock()
+
+# Result segments published by this (worker) process that have not yet
+# been handed off to a driver: name -> SharedMemory.  Normally emptied by
+# ``publish_payload`` callers the moment the refs are returned; anything
+# left behind belongs to a crashed task and is unlinked at process exit.
+_PUBLISHED: Dict[str, shared_memory.SharedMemory] = {}
+_PUBLISH_HOOK_INSTALLED = False
+
+# Unlinked segments whose mappings are still pinned by live NumPy views.
+# NumPy does not hold a Py_buffer export on the mapping — closing (or
+# garbage-collecting) the SharedMemory object would unmap the pages
+# underneath the views — so such segments are parked here and closed by
+# :func:`_sweep_retired` once their views are gone.
+_RETIRED: List[shared_memory.SharedMemory] = []
+
+
+def _segment_in_use(segment: shared_memory.SharedMemory) -> bool:
+    """Whether live array views still point into ``segment``'s mapping.
+
+    A view created by :meth:`BlockRef.resolve` keeps a reference to the
+    segment's underlying ``mmap`` object (its ``base``), so the mmap's
+    refcount reveals outstanding views.  The baseline references are the
+    segment's own ``_mmap`` attribute, the ``obj`` slot of its cached
+    ``_buf`` memoryview, the local binding below, and ``getrefcount``'s
+    argument — anything beyond those is a view (or another buffer
+    consumer), and the mapping must not be torn down.
+    """
+    mapping = getattr(segment, "_mmap", None)
+    if mapping is None:
+        return False
+    return sys.getrefcount(mapping) > 4
+
+
+def _retire_or_close(segment: shared_memory.SharedMemory) -> None:
+    """Close a no-longer-wanted segment, or park it if views pin it.
+
+    The in-use check and the close run under ``_REGISTRY_LOCK``, the
+    same lock :meth:`BlockRef.resolve` holds while constructing a view
+    from a registry segment — otherwise a view created between the
+    refcount check and the close would dangle over unmapped pages.
+    """
+    with _REGISTRY_LOCK:
+        if _segment_in_use(segment):
+            _RETIRED.append(segment)
+            return
+        try:
+            segment.close()
+        except Exception:
+            pass
+
+
+def _sweep_retired() -> None:
+    """Close parked segments whose last view has since been dropped."""
+    with _REGISTRY_LOCK:
+        parked = list(_RETIRED)
+        _RETIRED.clear()
+    for segment in parked:
+        _retire_or_close(segment)
 
 
 def _unregister_from_tracker(segment: shared_memory.SharedMemory) -> None:
-    """Undo the resource tracker's registration of an *attached* segment.
+    """Undo the resource tracker's registration of a shm segment.
 
-    Attaching to an existing segment registers it with the resource
-    tracker as if this process owned it, which makes the tracker unlink
-    (or warn about) the segment when any attaching process exits.  The
-    creator's :class:`SharedMemoryStore` owns the lifetime, so attachers
-    must not be tracked.
+    Both creating and attaching to a segment register it with the
+    resource tracker as if this process owned it, which makes the
+    tracker unlink (or warn about) the segment when any such process
+    exits.  The data plane manages segment lifetime explicitly (stores
+    own their segments; published result segments are adopted by the
+    driver), so tracker bookkeeping is dropped for everything except the
+    creating store's own segments.
+
+    Parameters
+    ----------
+    segment : multiprocessing.shared_memory.SharedMemory
+        The segment to unregister.
     """
     try:
         resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
@@ -75,8 +177,51 @@ def _unregister_from_tracker(segment: shared_memory.SharedMemory) -> None:
         pass
 
 
+def _quiet_unlink(segment: shared_memory.SharedMemory) -> None:
+    """Unlink a segment without unbalancing the resource tracker.
+
+    ``SharedMemory.unlink`` always sends an *unregister* to the resource
+    tracker; depending on which process attached (and dropped tracking)
+    in between, the name may or may not still be registered.  The
+    tracker's registry is a set, so registering right before unlinking
+    makes the pair balanced in every history — and if the unlink fails
+    (name already gone), the freshly added entry is removed again so the
+    tracker never warns about it at exit.
+
+    Parameters
+    ----------
+    segment : multiprocessing.shared_memory.SharedMemory
+        The segment to unlink.
+    """
+    try:
+        resource_tracker.register(segment._name, "shared_memory")  # noqa: SLF001
+    except Exception:
+        pass
+    try:
+        segment.unlink()
+    except Exception:
+        _unregister_from_tracker(segment)
+
+
 def _attach(name: str) -> shared_memory.SharedMemory:
-    """Segment by name: owned registry, attach cache, or a fresh attach."""
+    """Return the shm segment ``name``: owned registry, attach cache, or a fresh attach.
+
+    Parameters
+    ----------
+    name : str
+        Shared-memory segment name.
+
+    Returns
+    -------
+    multiprocessing.shared_memory.SharedMemory
+        The (cached) mapping of the segment.
+
+    Raises
+    ------
+    FileNotFoundError
+        If no segment with that name exists (e.g. it was spilled to disk
+        and unlinked).
+    """
     with _REGISTRY_LOCK:
         segment = _OWNED.get(name) or _ATTACHED.get(name)
         if segment is None:
@@ -86,20 +231,134 @@ def _attach(name: str) -> shared_memory.SharedMemory:
         return segment
 
 
+def _attach_file(spill_dir: str, name: str) -> Optional[mmap.mmap]:
+    """Memory-map the spill file for segment ``name``, if it exists.
+
+    Parameters
+    ----------
+    spill_dir : str
+        Directory the owning store spills into.
+    name : str
+        Segment name; the file is ``<spill_dir>/<name>.blk``.
+
+    Returns
+    -------
+    mmap.mmap or None
+        A read-only mapping of the block file (cached per process), or
+        ``None`` when the segment was never spilled.
+    """
+    path = os.path.join(spill_dir, name + ".blk")
+    with _REGISTRY_LOCK:
+        mapped = _MAPPED.get(path)
+    if mapped is not None:
+        return mapped
+    try:
+        with open(path, "rb") as fh:
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    except (FileNotFoundError, ValueError):
+        return None
+    with _REGISTRY_LOCK:
+        # keep the first mapping if another thread raced us here
+        mapped = _MAPPED.setdefault(path, mapped)
+    return mapped
+
+
+def _copy_into_segment(array: np.ndarray,
+                       spill_dir: Optional[str] = None
+                       ) -> Tuple[shared_memory.SharedMemory, "BlockRef"]:
+    """Copy an array into a fresh shm segment and build its ref.
+
+    The one place that knows how array bytes enter a segment (contiguity
+    coercion, sizing, the copy itself) — shared by
+    :meth:`SharedMemoryStore.put` and :func:`publish_payload` so the two
+    entry points cannot drift apart.
+
+    Parameters
+    ----------
+    array : numpy.ndarray
+        Array to copy (made C-contiguous; zero-byte arrays rejected).
+    spill_dir : str, optional
+        Spill directory to embed in the returned ref.
+
+    Returns
+    -------
+    segment : multiprocessing.shared_memory.SharedMemory
+        The freshly created segment (caller owns it).
+    ref : BlockRef
+        Handle to the copied bytes.
+    """
+    data = np.ascontiguousarray(array)
+    if data.nbytes == 0:
+        raise ValueError("cannot share a zero-byte array")
+    segment = shared_memory.SharedMemory(create=True, size=data.nbytes)
+    view = np.ndarray(data.shape, dtype=data.dtype, buffer=segment.buf)
+    np.copyto(view, data)
+    del view
+    ref = BlockRef(segment=segment.name, shape=tuple(data.shape),
+                   dtype=data.dtype.str, spill_dir=spill_dir)
+    return segment, ref
+
+
+def _install_publish_hook() -> None:
+    """Install the process-exit hook that unlinks orphaned published segments.
+
+    Registered lazily on first publish so the hook exists in whichever
+    process actually publishes (pool workers clear finalizers inherited
+    from the parent, so a hook installed driver-side would not cover
+    them).  Both ``atexit`` (normal interpreter exit) and
+    ``multiprocessing.util.Finalize`` (worker processes, which exit via
+    ``os._exit``) paths are covered.
+    """
+    global _PUBLISH_HOOK_INSTALLED
+    if _PUBLISH_HOOK_INSTALLED:
+        return
+    _PUBLISH_HOOK_INSTALLED = True
+    atexit.register(_cleanup_published)
+    mp_util.Finalize(None, _cleanup_published, exitpriority=10)
+
+
+def _cleanup_published() -> None:
+    """Unlink any published result segments that were never handed off."""
+    with _REGISTRY_LOCK:
+        leftovers = list(_PUBLISHED.values())
+        _PUBLISHED.clear()
+    for segment in leftovers:
+        _quiet_unlink(segment)
+        _retire_or_close(segment)
+
+
 @dataclass(frozen=True)
 class BlockRef:
     """Lightweight handle to an array stored in a shared-memory segment.
 
     A ref pickles to a few hundred bytes regardless of the array size;
     :meth:`resolve` returns a read-only NumPy view of the segment (zero
-    copies).  Refs are immutable and hashable, so they can be deduplicated
-    and reused across many tasks.
+    copies).  Refs are immutable and hashable, so they can be
+    deduplicated and reused across many tasks.
+
+    Parameters
+    ----------
+    segment : str
+        Name of the shared-memory segment (or file-backed block) that
+        holds the array bytes.
+    shape : tuple of int
+        Array shape.
+    dtype : str
+        NumPy dtype string (``array.dtype.str``).
+    offset : int, optional
+        Byte offset of the array data inside the segment.
+    spill_dir : str, optional
+        Directory the owning store spills into.  When the segment has
+        been retired from ``/dev/shm``, :meth:`resolve` falls back to a
+        memory-mapped ``<spill_dir>/<segment>.blk`` file; refs from
+        stores that never spill carry ``None``.
     """
 
     segment: str
     shape: Tuple[int, ...]
     dtype: str
     offset: int = 0
+    spill_dir: Optional[str] = None
 
     @property
     def nbytes(self) -> int:
@@ -109,21 +368,78 @@ class BlockRef:
             count *= int(dim)
         return count * np.dtype(self.dtype).itemsize
 
-    def resolve(self) -> np.ndarray:
-        """Rehydrate as a read-only NumPy view of the shared segment."""
-        segment = _attach(self.segment)
-        view = np.ndarray(self.shape, dtype=self.dtype, buffer=segment.buf,
+    def _view(self, buffer: Any) -> np.ndarray:
+        """Build the read-only array view over ``buffer``."""
+        view = np.ndarray(self.shape, dtype=self.dtype, buffer=buffer,
                           offset=self.offset)
-        view.flags.writeable = False
+        if view.flags.writeable:
+            view.flags.writeable = False
         return view
 
-    def slice_rows(self, start: int, stop: int) -> "BlockRef":
-        """A sub-ref covering rows ``start:stop`` along the first axis.
+    def resolve(self) -> np.ndarray:
+        """Rehydrate the ref as a read-only NumPy view, zero-copy.
 
-        This is how partitioners hand out per-task chunks without copying:
-        the sub-ref shares the parent segment and only adjusts offset and
-        shape.  Requires the stored array to be C-contiguous, which
-        :meth:`SharedMemoryStore.put` guarantees.
+        Resolution order: a segment mapping this process already holds
+        (owned or attached), the spill-file tier, then a fresh
+        shared-memory attach by name.  A segment that spills between the
+        lookup and the view construction is retried through the file
+        tier, so refs stay valid across spills.
+
+        Returns
+        -------
+        numpy.ndarray
+            Read-only view of the shared (or memory-mapped) bytes.
+
+        Raises
+        ------
+        FileNotFoundError
+            If neither a live segment nor a spill file exists for this
+            ref's segment name.
+        """
+        name = self.segment
+        with _REGISTRY_LOCK:
+            # view construction stays inside the lock so the spill
+            # path's check-then-close cannot unmap the segment between
+            # our lookup and the ndarray taking its reference
+            segment = _OWNED.get(name) or _ATTACHED.get(name)
+            if segment is not None and getattr(segment, "buf", None) is not None:
+                try:
+                    return self._view(segment.buf)
+                except (ValueError, TypeError):
+                    pass  # segment retired (spilled) under us; fall through
+        if self.spill_dir is not None:
+            mapped = _attach_file(self.spill_dir, name)
+            if mapped is not None:
+                return self._view(mapped)
+        try:
+            segment = _attach(name)
+        except FileNotFoundError:
+            if self.spill_dir is not None:
+                # the owning store may have spilled it while we attached
+                mapped = _attach_file(self.spill_dir, name)
+                if mapped is not None:
+                    return self._view(mapped)
+            raise
+        return self._view(segment.buf)
+
+    def slice_rows(self, start: int, stop: int) -> "BlockRef":
+        """Return a sub-ref covering rows ``start:stop`` along the first axis.
+
+        This is how partitioners hand out per-task chunks without
+        copying: the sub-ref shares the parent segment and only adjusts
+        offset and shape.  Requires the stored array to be C-contiguous,
+        which :meth:`SharedMemoryStore.put` guarantees.
+
+        Parameters
+        ----------
+        start, stop : int
+            Row range (negative and out-of-range values are clipped with
+            ``slice`` semantics).
+
+        Returns
+        -------
+        BlockRef
+            Ref to the same segment with adjusted shape and offset.
         """
         if not self.shape:
             raise ValueError("cannot row-slice a 0-d BlockRef")
@@ -137,6 +453,7 @@ class BlockRef:
             shape=(max(0, stop - start),) + tuple(self.shape[1:]),
             dtype=self.dtype,
             offset=self.offset + start * row_items * itemsize,
+            spill_dir=self.spill_dir,
         )
 
 
@@ -147,54 +464,372 @@ class SharedMemoryStore:
     :class:`BlockRef`; putting the same array object again returns the
     existing ref (so a 2-D block decomposition that reuses every
     trajectory in ~2·N/n1 tasks still shares each one exactly once).
-    ``cleanup`` closes and unlinks every owned segment; it also runs at
-    interpreter exit as a backstop against leaked ``/dev/shm`` entries.
+    ``adopt`` takes ownership of a segment another process published, so
+    worker-side result blocks are unlinked with the rest of the store.
+    With ``capacity_bytes`` set the store keeps at most that many
+    resident segment bytes: the least recently used segments spill to
+    memory-mapped files in ``spill_dir`` and their refs keep resolving
+    bit-identically through the file tier.
+
+    ``cleanup`` closes and unlinks every owned segment and removes the
+    spill files; it also runs at interpreter exit (``atexit``) and at
+    worker-process exit (``multiprocessing.util.Finalize``) as a
+    backstop against leaked ``/dev/shm`` entries.
+
+    Parameters
+    ----------
+    capacity_bytes : int, optional
+        Watermark for resident segment bytes.  ``None`` (default)
+        disables spilling.
+    spill_dir : str, optional
+        Directory for the disk tier.  Created on demand; when omitted
+        and a capacity is set, a private temporary directory is used
+        (and removed by :meth:`cleanup`).
+
+    Attributes
+    ----------
+    bytes_shared : int
+        Cumulative unique array bytes entered through :meth:`put`.
+    bytes_adopted : int
+        Cumulative segment bytes adopted from other processes.
+    bytes_resident : int
+        Segment bytes currently resident in shared memory (grows on
+        put/adopt, shrinks on spill).
+    bytes_spilled : int
+        Cumulative bytes written to the disk tier.
     """
 
-    def __init__(self) -> None:
-        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+    def __init__(self, capacity_bytes: int | None = None,
+                 spill_dir: str | None = None) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self._segments: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
         # id(array) -> (array, ref); the array reference keeps the id stable
         self._registered: Dict[int, Tuple[np.ndarray, BlockRef]] = {}
-        self._lock = threading.Lock()
+        self._spilled: Dict[str, int] = {}
+        self._lock = threading.RLock()
         self._closed = False
+        self.capacity_bytes = capacity_bytes
         self.bytes_shared = 0
+        self.bytes_adopted = 0
+        self.bytes_resident = 0
+        self.bytes_spilled = 0
+        self._owns_spill_dir = capacity_bytes is not None and spill_dir is None
+        if self._owns_spill_dir:
+            self.spill_dir: str | None = tempfile.mkdtemp(prefix="repro-spill-")
+        else:
+            self.spill_dir = spill_dir
+            if spill_dir is not None:
+                os.makedirs(spill_dir, exist_ok=True)
         atexit.register(self.cleanup)
+        # atexit never runs in multiprocessing workers (they exit through
+        # os._exit); the Finalize hook covers them
+        self._finalizer = mp_util.Finalize(self, SharedMemoryStore.cleanup,
+                                           args=(self,), exitpriority=10)
 
     # ------------------------------------------------------------------ #
-    def put(self, array: np.ndarray) -> BlockRef:
-        """Place ``array`` in shared memory (once) and return its ref."""
+    def put(self, array: np.ndarray, dedup: bool = True) -> BlockRef:
+        """Place ``array`` in shared memory and return its ref.
+
+        Parameters
+        ----------
+        array : numpy.ndarray
+            Array to share; copied into the segment (made C-contiguous
+            if needed).  Zero-byte arrays are rejected.
+        dedup : bool, optional
+            With the default ``True`` the same array *object* is shared
+            at most once and later puts return the original ref; the
+            store keeps a reference to the array to pin its identity.
+            Result-plane callers pass ``False`` — each result array is
+            shared exactly once and must not be kept alive driver-side.
+
+        Returns
+        -------
+        BlockRef
+            Handle to the stored bytes.
+        """
         if self._closed:
             raise RuntimeError("SharedMemoryStore is closed")
         if not isinstance(array, np.ndarray):
             raise TypeError(f"SharedMemoryStore.put needs an ndarray, got {type(array)!r}")
         key = id(array)
+        _sweep_retired()
         with self._lock:
-            hit = self._registered.get(key)
-            if hit is not None:
-                return hit[1]
+            if dedup:
+                hit = self._registered.get(key)
+                if hit is not None:
+                    self._touch(hit[1].segment)
+                    return hit[1]
+            segment, ref = _copy_into_segment(array, spill_dir=self.spill_dir)
+            with _REGISTRY_LOCK:
+                _OWNED[segment.name] = segment
+            self._segments[segment.name] = segment
+            self._sizes[segment.name] = ref.nbytes
+            if dedup:
+                self._registered[key] = (array, ref)
+            self.bytes_shared += ref.nbytes
+            self.bytes_resident += ref.nbytes
+            self._maybe_spill()
+            return ref
+
+    def adopt(self, ref: BlockRef) -> BlockRef:
+        """Take ownership of the segment behind a worker-published ref.
+
+        The segment joins the store's resident set: it counts against
+        the capacity watermark, may spill, and is unlinked by
+        :meth:`cleanup`.  Adopting a ref the store already owns (or has
+        already spilled) only refreshes its LRU position.
+
+        Parameters
+        ----------
+        ref : BlockRef
+            Ref whose segment this store should own.
+
+        Returns
+        -------
+        BlockRef
+            The ref, rewritten to carry this store's ``spill_dir`` so it
+            keeps resolving after a spill.
+        """
+        if not isinstance(ref, BlockRef):
+            raise TypeError(f"SharedMemoryStore.adopt needs a BlockRef, got {type(ref)!r}")
+        _sweep_retired()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SharedMemoryStore is closed")
+            name = ref.segment
+            out = ref if ref.spill_dir == self.spill_dir else \
+                dataclasses.replace(ref, spill_dir=self.spill_dir)
+            if name in self._segments:
+                self._touch(name)
+                return out
+            if name in self._spilled:
+                return out
+            with _REGISTRY_LOCK:
+                segment = _ATTACHED.pop(name, None)
+            if segment is None:
+                try:
+                    # attaching registers this process with the resource
+                    # tracker — kept, since the adopter owns the segment
+                    # now and its eventual unlink() balances the entry
+                    segment = shared_memory.SharedMemory(name=name)
+                except FileNotFoundError:
+                    # already unlinked elsewhere; resolution (if any) must
+                    # go through a cached mapping or the ref's own tier
+                    return ref
+            else:
+                # promote a cached attach (which dropped its tracker
+                # entry) back to tracked ownership
+                try:
+                    resource_tracker.register(segment._name, "shared_memory")  # noqa: SLF001
+                except Exception:
+                    pass
+            with _REGISTRY_LOCK:
+                _OWNED[name] = segment
+            nbytes = segment.size
+            self._segments[name] = segment
+            self._sizes[name] = nbytes
+            self.bytes_adopted += nbytes
+            self.bytes_resident += nbytes
+            self._maybe_spill()
+            return out
+
+    def get(self, ref: BlockRef) -> np.ndarray:
+        """Resolve a ref (works for refs from any store in any process)."""
+        with self._lock:
+            self._touch(ref.segment)
+        return ref.resolve()
+
+    def __len__(self) -> int:
+        """Number of resident segments (spilled segments excluded)."""
+        return len(self._segments)
+
+    def __contains__(self, ref: BlockRef) -> bool:
+        """Whether ``ref`` points at a segment this store owns (any tier)."""
+        return isinstance(ref, BlockRef) and (ref.segment in self._segments
+                                              or ref.segment in self._spilled)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`cleanup` ran."""
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    def _touch(self, name: str) -> None:
+        """Mark segment ``name`` most recently used (no-op if not resident)."""
+        if name in self._segments:
+            self._segments.move_to_end(name)
+
+    def _maybe_spill(self) -> None:
+        """Spill least-recently-used segments until under the watermark."""
+        if self.capacity_bytes is None:
+            return
+        while self.bytes_resident > self.capacity_bytes and self._segments:
+            name = next(iter(self._segments))
+            self._spill_segment(name)
+
+    def _spill_segment(self, name: str) -> None:
+        """Move one resident segment to the disk tier."""
+        segment = self._segments.pop(name)
+        nbytes = self._sizes.pop(name)
+        path = os.path.join(self.spill_dir, name + ".blk")
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(segment.buf)
+        # readers must never observe a partial block: publish atomically,
+        # and only unlink the shm name once the file is in place
+        os.replace(tmp, path)
+        with _REGISTRY_LOCK:
+            _OWNED.pop(name, None)
+        _quiet_unlink(segment)
+        # live views may pin the mapping; park the segment instead of
+        # closing under them (swept once the views are gone)
+        _retire_or_close(segment)
+        self._spilled[name] = nbytes
+        self.bytes_resident -= nbytes
+        self.bytes_spilled += nbytes
+
+    # ------------------------------------------------------------------ #
+    def cleanup(self) -> None:
+        """Close and unlink every owned segment and spill file (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for name, segment in self._segments.items():
+            with _REGISTRY_LOCK:
+                _OWNED.pop(name, None)
+            # unlink unconditionally so the name never outlives the
+            # store, but only unmap when no caller still holds views
+            # (result arrays are views into these segments)
+            _quiet_unlink(segment)
+            _retire_or_close(segment)
+        self._segments.clear()
+        self._sizes.clear()
+        self._registered.clear()
+        self.bytes_resident = 0
+        for name in self._spilled:
+            path = os.path.join(self.spill_dir, name + ".blk")
+            with _REGISTRY_LOCK:
+                mapped = _MAPPED.pop(path, None)
+            if mapped is not None:
+                try:
+                    mapped.close()
+                except Exception:
+                    pass
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self._spilled.clear()
+        if self._owns_spill_dir and self.spill_dir is not None:
+            try:
+                os.rmdir(self.spill_dir)
+            except OSError:
+                pass
+        try:
+            atexit.unregister(self.cleanup)
+        except Exception:
+            pass
+        try:
+            self._finalizer.cancel()
+        except Exception:
+            pass
+
+    close = cleanup
+
+
+_file_counter = itertools.count()
+
+
+class FileBackedStore:
+    """Disk-tier store: the :class:`BlockRef` API over memory-mapped files.
+
+    The pure-disk sibling of :class:`SharedMemoryStore` — every array is
+    written once to a ``.blk`` file and refs resolve as read-only views
+    of the page-cache-backed mapping.  Useful on its own for datasets
+    that must never touch ``/dev/shm``, and as the executable
+    specification of the spill tier (``SharedMemoryStore`` writes the
+    identical format, so one resolver serves both).
+
+    Parameters
+    ----------
+    directory : str, optional
+        Where to place the block files.  When omitted a private
+        temporary directory is created and removed by :meth:`cleanup`.
+
+    Attributes
+    ----------
+    bytes_shared : int
+        Cumulative unique array bytes written.
+    """
+
+    def __init__(self, directory: str | None = None) -> None:
+        self._owns_dir = directory is None
+        self.directory = directory or tempfile.mkdtemp(prefix="repro-filestore-")
+        os.makedirs(self.directory, exist_ok=True)
+        self._names: Dict[str, int] = {}
+        self._registered: Dict[int, Tuple[np.ndarray, BlockRef]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self.bytes_shared = 0
+        atexit.register(self.cleanup)
+        self._finalizer = mp_util.Finalize(self, FileBackedStore.cleanup,
+                                           args=(self,), exitpriority=10)
+
+    def put(self, array: np.ndarray, dedup: bool = True) -> BlockRef:
+        """Write ``array`` to a block file and return its ref.
+
+        Parameters
+        ----------
+        array : numpy.ndarray
+            Array to store (copied to the file; made C-contiguous).
+        dedup : bool, optional
+            Share the same array object at most once (see
+            :meth:`SharedMemoryStore.put`).
+
+        Returns
+        -------
+        BlockRef
+            Handle resolving to a read-only memory-mapped view.
+        """
+        if self._closed:
+            raise RuntimeError("FileBackedStore is closed")
+        if not isinstance(array, np.ndarray):
+            raise TypeError(f"FileBackedStore.put needs an ndarray, got {type(array)!r}")
+        with self._lock:
+            if dedup:
+                hit = self._registered.get(id(array))
+                if hit is not None:
+                    return hit[1]
             data = np.ascontiguousarray(array)
             if data.nbytes == 0:
                 raise ValueError("cannot share a zero-byte array")
-            segment = shared_memory.SharedMemory(create=True, size=data.nbytes)
-            view = np.ndarray(data.shape, dtype=data.dtype, buffer=segment.buf)
-            np.copyto(view, data)
-            ref = BlockRef(segment=segment.name, shape=tuple(data.shape),
-                           dtype=data.dtype.str)
-            self._segments[segment.name] = segment
-            _OWNED[segment.name] = segment
-            self._registered[key] = (array, ref)
+            name = f"fbs-{os.getpid()}-{next(_file_counter)}-{uuid.uuid4().hex[:8]}"
+            path = os.path.join(self.directory, name + ".blk")
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(data.data)
+            os.replace(tmp, path)
+            ref = BlockRef(segment=name, shape=tuple(data.shape),
+                           dtype=data.dtype.str, spill_dir=self.directory)
+            self._names[name] = data.nbytes
+            if dedup:
+                self._registered[id(array)] = (array, ref)
             self.bytes_shared += data.nbytes
             return ref
 
     def get(self, ref: BlockRef) -> np.ndarray:
-        """Resolve a ref (works for refs from any store in any process)."""
+        """Resolve a ref to a read-only view of its block file."""
         return ref.resolve()
 
     def __len__(self) -> int:
-        return len(self._segments)
+        """Number of blocks written."""
+        return len(self._names)
 
     def __contains__(self, ref: BlockRef) -> bool:
-        return isinstance(ref, BlockRef) and ref.segment in self._segments
+        """Whether ``ref`` points at a block this store wrote."""
+        return isinstance(ref, BlockRef) and ref.segment in self._names
 
     @property
     def closed(self) -> bool:
@@ -202,21 +837,36 @@ class SharedMemoryStore:
         return self._closed
 
     def cleanup(self) -> None:
-        """Close and unlink every owned segment (idempotent)."""
+        """Close mappings and remove every block file (idempotent)."""
         if self._closed:
             return
         self._closed = True
-        for name, segment in self._segments.items():
-            _OWNED.pop(name, None)
+        for name in self._names:
+            path = os.path.join(self.directory, name + ".blk")
+            with _REGISTRY_LOCK:
+                mapped = _MAPPED.pop(path, None)
+            if mapped is not None:
+                try:
+                    mapped.close()
+                except Exception:
+                    pass
             try:
-                segment.close()
-                segment.unlink()
-            except Exception:
+                os.remove(path)
+            except OSError:
                 pass
-        self._segments.clear()
+        self._names.clear()
         self._registered.clear()
+        if self._owns_dir:
+            try:
+                os.rmdir(self.directory)
+            except OSError:
+                pass
         try:
             atexit.unregister(self.cleanup)
+        except Exception:
+            pass
+        try:
+            self._finalizer.cancel()
         except Exception:
             pass
 
@@ -240,7 +890,13 @@ def _walk(obj: Any, leaf) -> Any:
         return new if any(a is not b for a, b in zip(new, obj)) else obj
     if isinstance(obj, tuple):
         new = tuple(_walk(item, leaf) for item in obj)
-        return new if any(a is not b for a, b in zip(new, obj)) else obj
+        if not any(a is not b for a, b in zip(new, obj)):
+            return obj
+        # preserve NamedTuple types: rebuilding as a bare tuple would
+        # break attribute access task-side
+        if hasattr(obj, "_fields"):
+            return type(obj)(*new)
+        return new
     if isinstance(obj, dict):
         new = {key: _walk(value, leaf) for key, value in obj.items()}
         return new if any(new[k] is not obj[k] for k in obj) else obj
@@ -263,10 +919,23 @@ def _walk(obj: Any, leaf) -> Any:
 def share_payload(obj: Any, store: SharedMemoryStore) -> Tuple[Any, int]:
     """Swap every non-empty ndarray in ``obj`` for a :class:`BlockRef`.
 
-    Returns ``(converted, bytes_newly_shared)`` where the byte count is
-    the segment bytes this call added to the store (deduplicated arrays
-    contribute zero).  Use :func:`refs_nbytes` on the converted payload
-    for the per-task "bytes accessed through the plane" number.
+    Parameters
+    ----------
+    obj : Any
+        Task payload (arbitrarily nested dataclasses/lists/tuples/dicts).
+    store : SharedMemoryStore
+        Store the arrays are registered in (deduplicated store-wide).
+
+    Returns
+    -------
+    converted : Any
+        The payload with arrays replaced by refs (structure shared with
+        ``obj`` where nothing changed).
+    bytes_newly_shared : int
+        Segment bytes this call added to the store (deduplicated arrays
+        contribute zero).  Use :func:`refs_nbytes` on the converted
+        payload for the per-task "bytes accessed through the plane"
+        number.
     """
     before = store.bytes_shared
 
@@ -290,6 +959,107 @@ def resolve_payload(obj: Any) -> Any:
     return _walk(obj, leaf)
 
 
+def publish_payload(obj: Any) -> Tuple[Any, int]:
+    """Publish a result payload's arrays into fresh shm segments (worker side).
+
+    The cross-process counterpart of :func:`share_payload` for the
+    *result* path: no store object survives pickling into a pool worker,
+    so the worker creates standalone segments, returns refs, and the
+    driver takes over their lifetime with :func:`adopt_payload`.
+    Segments are tracked process-locally until the refs are returned;
+    anything a crashed task leaves behind is unlinked at process exit.
+
+    Parameters
+    ----------
+    obj : Any
+        The task's result (arbitrarily nested).
+
+    Returns
+    -------
+    converted : Any
+        The result with every non-empty array replaced by a
+        :class:`BlockRef`.
+    bytes_published : int
+        Array bytes written into the published segments.
+    """
+    _install_publish_hook()
+    published = 0
+
+    def leaf(x: Any) -> Any:
+        nonlocal published
+        if isinstance(x, np.ndarray) and x.nbytes > 0:
+            segment, ref = _copy_into_segment(x)
+            # the driver's store owns the lifetime once it adopts the
+            # ref; drop the tracker registration so this process's exit
+            # does not tear the segment down underneath it
+            _unregister_from_tracker(segment)
+            with _REGISTRY_LOCK:
+                _PUBLISHED[segment.name] = segment
+            published += ref.nbytes
+            return ref
+        return x
+
+    converted = _walk(obj, leaf)
+    return converted, published
+
+
+def mark_handed_off(obj: Any) -> None:
+    """Release crash-cleanup tracking for a published payload's segments.
+
+    Call once the converted payload is definitely on its way to the
+    driver (serialized for return): from that point the driver's adopt
+    is responsible for the segments, and the publisher's exit hook must
+    not unlink them.
+
+    Parameters
+    ----------
+    obj : Any
+        A payload previously converted by :func:`publish_payload`.
+    """
+
+    def leaf(x: Any) -> Any:
+        if isinstance(x, BlockRef):
+            with _REGISTRY_LOCK:
+                segment = _PUBLISHED.pop(x.segment, None)
+            if segment is not None:
+                # keep the local mapping cached: same-process adopters
+                # (in-process pools) reuse it instead of re-attaching
+                with _REGISTRY_LOCK:
+                    _ATTACHED.setdefault(x.segment, segment)
+        return x
+
+    _walk(obj, leaf)
+
+
+def adopt_payload(obj: Any, store: SharedMemoryStore) -> Any:
+    """Adopt and resolve a published result payload (driver side).
+
+    Every ref's segment is adopted into ``store`` — so it is unlinked at
+    cleanup, counted against the capacity watermark, and spilled when
+    the store runs past it — and the ref is resolved to a read-only
+    zero-copy view.
+
+    Parameters
+    ----------
+    obj : Any
+        Result payload containing :class:`BlockRef` handles.
+    store : SharedMemoryStore
+        The store that takes ownership of the segments.
+
+    Returns
+    -------
+    Any
+        The payload with every ref replaced by its array view.
+    """
+
+    def leaf(x: Any) -> Any:
+        if isinstance(x, BlockRef):
+            return store.adopt(x).resolve()
+        return x
+
+    return _walk(obj, leaf)
+
+
 def refs_nbytes(obj: Any) -> int:
     """Total array bytes referenced (not moved) by the refs inside ``obj``."""
     total = 0
@@ -305,22 +1075,54 @@ def refs_nbytes(obj: Any) -> int:
 
 
 def maybe_resolve(value: Any) -> Any:
-    """``value.resolve()`` for a :class:`BlockRef`, ``value`` otherwise."""
+    """Return ``value.resolve()`` for a :class:`BlockRef`, ``value`` otherwise."""
     if isinstance(value, BlockRef):
         return value.resolve()
     return value
 
 
 class ResolvingTask:
-    """Picklable wrapper: resolve the payload's refs, then call ``fn``.
+    """Picklable wrapper: resolve the payload's refs, call ``fn``, share the result.
 
-    Substrates wrap the user's task function with this when running on the
-    shm data plane, so the function still receives plain arrays while only
-    refs cross the task boundary.
+    Substrates wrap the user's task function with this when running on
+    the shm data plane, so the function still receives plain arrays
+    while only refs cross the task boundary — in both directions.
+
+    Parameters
+    ----------
+    fn : callable
+        The task function.
+    result_store : SharedMemoryStore, optional
+        In-process mode: result arrays are written straight into this
+        store (with the spill tier applying) and refs are returned.
+        Stores do not pickle, so this mode is for executors whose tasks
+        share the driver's address space.
+    publish_results : bool, optional
+        Cross-process mode: result arrays are published into standalone
+        segments with :func:`publish_payload` for the driver to adopt.
+        Mutually exclusive with ``result_store``.
     """
 
-    def __init__(self, fn) -> None:
+    def __init__(self, fn, result_store: SharedMemoryStore | None = None,
+                 publish_results: bool = False) -> None:
+        if result_store is not None and publish_results:
+            raise ValueError("result_store and publish_results are mutually exclusive")
         self.fn = fn
+        self.result_store = result_store
+        self.publish_results = publish_results
 
     def __call__(self, item: Any) -> Any:
-        return self.fn(resolve_payload(item))
+        """Run the task over the resolved payload and convert its result."""
+        result = self.fn(resolve_payload(item))
+        if self.result_store is not None:
+            def leaf(x: Any) -> Any:
+                if isinstance(x, np.ndarray) and x.nbytes > 0:
+                    return self.result_store.put(x, dedup=False)
+                return x
+
+            return _walk(result, leaf)
+        if self.publish_results:
+            converted, _ = publish_payload(result)
+            mark_handed_off(converted)
+            return converted
+        return result

@@ -36,9 +36,13 @@ class SparkLiteContext(TaskFramework):
         Default number of partitions for ``parallelize`` when the caller
         does not specify one.
     data_plane:
-        ``"pickle"`` or ``"shm"``; with ``"shm"`` broadcast variables and
-        ``map_tasks`` payloads carry shared-memory refs instead of array
-        bytes (see :mod:`repro.frameworks.shm`).
+        ``"pickle"`` or ``"shm"``; with ``"shm"`` broadcast variables,
+        ``map_tasks`` payloads *and collected results* carry
+        shared-memory refs instead of array bytes (see
+        :mod:`repro.frameworks.shm`).
+    store_capacity_bytes, spill_dir:
+        Spill-tier configuration for the shm store (see
+        :class:`~repro.frameworks.base.TaskFramework`).
     """
 
     name = "sparklite"
@@ -47,9 +51,13 @@ class SparkLiteContext(TaskFramework):
                  executor: str | ExecutorBase = "threads",
                  workers: int | None = None,
                  default_parallelism: int | None = None,
-                 data_plane: str = "pickle") -> None:
+                 data_plane: str = "pickle",
+                 store_capacity_bytes: int | None = None,
+                 spill_dir: str | None = None) -> None:
         super().__init__(cluster=cluster, executor=executor, workers=workers,
-                         data_plane=data_plane)
+                         data_plane=data_plane,
+                         store_capacity_bytes=store_capacity_bytes,
+                         spill_dir=spill_dir)
         self.default_parallelism = default_parallelism or max(2, self.executor.workers)
         self._scheduler = DAGScheduler(self, self.executor)
         self._rdd_counter = 0
@@ -104,6 +112,9 @@ class SparkLiteContext(TaskFramework):
         rdd = self.parallelize(items, num_partitions=len(items)).map(fn)
         results = rdd.collect()
         wall = time.perf_counter() - start
+        # collect() hands back ref payloads on the shm plane; resolve
+        # them zero-copy and account the result-direction byte split
+        results = self._finish_results(results)
         self.metrics.wall_time_s = wall
         self.metrics.task_time_s = self.executor.total_task_time
         workers = max(1, self.executor.workers)

@@ -1,0 +1,249 @@
+"""Tests for the tiered result plane: spill-to-disk and segment cleanup.
+
+Covers the PR's acceptance criteria for the spill tier: a store filled
+past its watermark moves least-recently-used blocks to memory-mapped
+files, refs keep resolving bit-identically across the tier change,
+``bytes_spilled`` is reported, a PSA run sized beyond a configured store
+cap completes with bit-identical output — and no ``/dev/shm`` segments
+leak across runs (the worker-crash cleanup fix).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.psa import psa_serial, run_psa
+from repro.frameworks import make_framework
+from repro.frameworks.executors import SharedMemoryExecutor
+from repro.frameworks.shm import (
+    BlockRef,
+    FileBackedStore,
+    SharedMemoryStore,
+    publish_payload,
+    adopt_payload,
+)
+from repro.trajectory import EnsembleSpec, make_clustered_ensemble
+
+
+def shm_entries():
+    """Current /dev/shm segment names (empty set if the dir is absent)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # non-Linux fallback: nothing to compare
+        return set()
+
+
+@pytest.fixture()
+def arrays():
+    rng = np.random.default_rng(42)
+    return [rng.random((50, 10)) for _ in range(6)]  # 4000 bytes each
+
+
+class TestSpillToDisk:
+    def test_fill_past_watermark_spills_lru_first(self, arrays):
+        store = SharedMemoryStore(capacity_bytes=10_000)
+        try:
+            refs = [store.put(a) for a in arrays]
+            # 24k put into a 10k store: at least 4 blocks must have spilled
+            assert store.bytes_spilled >= 4 * 4000
+            assert store.bytes_resident <= 10_000
+            # LRU: the most recently put block is still resident
+            assert refs[-1].segment in store._segments
+            # the first block went to disk, as a .blk file in the spill dir
+            assert os.path.exists(
+                os.path.join(store.spill_dir, refs[0].segment + ".blk"))
+        finally:
+            store.cleanup()
+
+    def test_spilled_refs_resolve_bit_identical(self, arrays):
+        store = SharedMemoryStore(capacity_bytes=5_000)
+        try:
+            refs = [store.put(a) for a in arrays]
+            assert store.bytes_spilled > 0
+            for array, ref in zip(arrays, refs):
+                view = ref.resolve()
+                assert np.array_equal(view, array)  # bit-identical
+                assert not view.flags.writeable
+        finally:
+            store.cleanup()
+
+    def test_slice_rows_survives_spill(self, arrays):
+        store = SharedMemoryStore(capacity_bytes=4_000)
+        try:
+            ref = store.put(arrays[0])
+            sub = ref.slice_rows(10, 30)
+            store.put(arrays[1])  # pushes the first block to disk
+            assert ref.segment not in store._segments
+            assert np.array_equal(sub.resolve(), arrays[0][10:30])
+        finally:
+            store.cleanup()
+
+    def test_get_refreshes_lru_position(self, arrays):
+        store = SharedMemoryStore(capacity_bytes=9_000)  # two blocks fit
+        try:
+            ref0 = store.put(arrays[0])
+            store.put(arrays[1])
+            store.get(ref0)           # touch: block 0 becomes most recent
+            store.put(arrays[2])      # evicts block 1, not block 0
+            assert ref0.segment in store._segments
+        finally:
+            store.cleanup()
+
+    def test_adopted_segments_spill_too(self, arrays):
+        published, _ = publish_payload([arrays[0], arrays[1]])
+        store = SharedMemoryStore(capacity_bytes=4_000)
+        try:
+            views = adopt_payload(published, store)
+            assert store.bytes_adopted >= 8_000
+            assert store.bytes_spilled > 0  # adoption ran past the watermark
+            for array, view in zip(arrays, views):
+                assert np.array_equal(view, array)
+        finally:
+            store.cleanup()
+
+    def test_cleanup_removes_spill_files(self, arrays):
+        store = SharedMemoryStore(capacity_bytes=4_000)
+        refs = [store.put(a) for a in arrays[:3]]
+        spill_dir = store.spill_dir
+        assert os.listdir(spill_dir)
+        store.cleanup()
+        assert not os.path.exists(spill_dir)  # files and owned dir removed
+        del refs
+
+    def test_zero_capacity_goes_straight_to_disk(self, arrays):
+        store = SharedMemoryStore(capacity_bytes=0)
+        try:
+            ref = store.put(arrays[0])
+            assert store.bytes_resident == 0
+            assert store.bytes_spilled == arrays[0].nbytes
+            assert np.array_equal(ref.resolve(), arrays[0])
+        finally:
+            store.cleanup()
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SharedMemoryStore(capacity_bytes=-1)
+
+
+class TestFileBackedStore:
+    def test_put_resolve_round_trip(self, arrays):
+        store = FileBackedStore()
+        try:
+            ref = store.put(arrays[0])
+            assert isinstance(ref, BlockRef)
+            view = store.get(ref)
+            assert np.array_equal(view, arrays[0])
+            assert not view.flags.writeable
+            assert ref in store and len(store) == 1
+        finally:
+            store.cleanup()
+
+    def test_dedup_and_rejects(self, arrays):
+        store = FileBackedStore()
+        try:
+            assert store.put(arrays[0]) == store.put(arrays[0])
+            assert len(store) == 1
+            with pytest.raises(ValueError):
+                store.put(np.empty((0, 3)))
+            with pytest.raises(TypeError):
+                store.put([1, 2, 3])
+        finally:
+            store.cleanup()
+
+    def test_cleanup_removes_directory(self, arrays):
+        store = FileBackedStore()
+        store.put(arrays[0])
+        directory = store.directory
+        store.cleanup()
+        assert store.closed
+        assert not os.path.exists(directory)
+        with pytest.raises(RuntimeError):
+            store.put(arrays[0])
+
+
+class TestMetricsAndAcceptance:
+    def test_psa_beyond_store_cap_completes_bit_identical(self):
+        """PR 2 acceptance: a PSA run sized beyond the configured store
+        cap completes via spill with bit-identical output."""
+        ensemble = make_clustered_ensemble(
+            EnsembleSpec(n_trajectories=8, n_frames=16, n_atoms=64, seed=3))
+        total = sum(t.as_array().nbytes for t in ensemble)
+        reference = psa_serial(ensemble).values
+        fw = make_framework("dasklite", executor="threads", workers=2,
+                            data_plane="shm", store_capacity_bytes=total // 4)
+        try:
+            matrix, report = run_psa(ensemble, fw, n_tasks=8)
+            assert np.array_equal(matrix.values, reference)  # bit-identical
+            assert report.metrics.bytes_spilled > 0
+            assert fw.store.bytes_resident <= total // 4
+            assert report.metrics.as_dict()["bytes_spilled"] > 0
+        finally:
+            fw.close()
+
+    def test_shm_executor_with_cap_spills_results(self):
+        """Cross-process: worker-published result blocks spill once the
+        driver store runs past its watermark, and still round-trip."""
+        before = shm_entries()
+        ex = SharedMemoryExecutor(workers=2, store_capacity_bytes=2_000)
+        try:
+            items = [np.full((30, 10), i, dtype=np.float64) for i in range(4)]
+            results = ex.map_tasks(_double, items)
+            for i, out in enumerate(results):
+                assert np.array_equal(out, items[i] * 2)
+            assert ex.store.bytes_spilled > 0
+            assert ex.total_bytes_results_shared == 4 * 30 * 10 * 8
+            assert 0 < ex.total_bytes_results_pickled < ex.total_bytes_results_shared
+        finally:
+            ex.shutdown()
+        assert shm_entries() <= before  # nothing leaked
+
+
+def _double(array):
+    return np.asarray(array) * 2
+
+
+class TestNoSegmentLeaks:
+    """The worker-crash cleanup fix: /dev/shm stays clean across runs."""
+
+    def test_executor_run_leaves_no_segments(self):
+        before = shm_entries()
+        ex = SharedMemoryExecutor(workers=2)
+        ex.map_tasks(_double, [np.ones((40, 3)) for _ in range(4)])
+        ex.shutdown()
+        assert shm_entries() <= before
+
+    def test_failing_tasks_leave_no_segments(self):
+        before = shm_entries()
+        ex = SharedMemoryExecutor(workers=2)
+        with pytest.raises(ValueError, match="boom"):
+            ex.map_tasks(_explode, [np.ones((40, 3)) for _ in range(4)])
+        ex.shutdown()
+        assert shm_entries() <= before
+
+    def test_framework_shm_run_leaves_no_segments(self):
+        before = shm_entries()
+        ensemble = make_clustered_ensemble(
+            EnsembleSpec(n_trajectories=4, n_frames=8, n_atoms=16, seed=5))
+        fw = make_framework("sparklite", executor="threads", workers=2,
+                            data_plane="shm")
+        run_psa(ensemble, fw, n_tasks=2)
+        fw.close()
+        assert shm_entries() <= before
+
+    def test_store_registers_exit_finalizers(self):
+        """cleanup is wired to both atexit and the multiprocessing
+        finalizer registry (workers skip atexit), and cleanup cancels
+        them again."""
+        import multiprocessing.util as mp_util
+
+        store = SharedMemoryStore()
+        assert store._finalizer in mp_util._finalizer_registry.values()
+        store.cleanup()
+        assert store._finalizer not in mp_util._finalizer_registry.values()
+
+
+def _explode(array):
+    raise ValueError("boom")
