@@ -5,6 +5,13 @@ These are the serial building blocks that the task-parallel algorithms in
 :mod:`repro.core` distribute across frameworks.
 """
 
+from .engine import (
+    KERNEL_METHODS,
+    get_kernel_method,
+    resolve_kernel_method,
+    set_kernel_method,
+    use_kernel_method,
+)
 from .rmsd import (
     kabsch_rmsd,
     kabsch_rotation,
@@ -29,12 +36,19 @@ from .pairwise import (
     pairwise_distances,
     self_edges_within_cutoff,
 )
-from .neighbors import BallTree, GridNeighborSearch, brute_force_radius, radius_edges
+from .neighbors import (
+    BallTree,
+    GridNeighborSearch,
+    brute_force_radius,
+    brute_force_radius_pairs,
+    radius_edges,
+)
 from .graph import (
     DisjointSet,
     components_to_labels,
     connected_components,
     connected_components_networkx,
+    label_components,
     merge_component_sets,
     normalize_components,
 )
@@ -48,6 +62,11 @@ from .subsetting import (
 )
 
 __all__ = [
+    "KERNEL_METHODS",
+    "get_kernel_method",
+    "set_kernel_method",
+    "resolve_kernel_method",
+    "use_kernel_method",
     "rmsd",
     "kabsch_rmsd",
     "kabsch_rotation",
@@ -69,8 +88,10 @@ __all__ = [
     "BallTree",
     "GridNeighborSearch",
     "brute_force_radius",
+    "brute_force_radius_pairs",
     "radius_edges",
     "DisjointSet",
+    "label_components",
     "connected_components",
     "connected_components_networkx",
     "components_to_labels",

@@ -9,54 +9,131 @@ with the two operations the algorithm needs:
 * construction over a set of 3-D points, and
 * ``query_radius`` — all points within ``r`` of each query point.
 
-A uniform-grid (cell list) search, the classic MD neighbor-search
-structure, is included as a second implementation for the ablation
-benchmarks, plus a brute-force reference used to verify both.
+Both searchers are **array-backed**: the BallTree stores its nodes in
+contiguous ``centers``/``radii``/child-index arrays and answers all
+queries at once with an iterative frontier traversal (one NumPy pass per
+tree level over every live (query, node) pair, instead of one Python
+recursion per query); the uniform grid bins points with a lexsorted
+cell-key array and answers queries with ``np.searchsorted`` over the
+batched 27-cell stencil.  Results are bit-identical to the brute-force
+reference.
+
+The flat-pair surface ``query_radius_pairs`` — parallel ``(query_row,
+point_index)`` arrays sorted by query — is what the vectorized
+:func:`radius_edges` consumes; ``query_radius`` wraps it into the
+classic list-of-arrays view.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 from scipy.spatial.distance import cdist
 
-__all__ = ["BallTree", "GridNeighborSearch", "brute_force_radius", "radius_edges"]
+__all__ = [
+    "BallTree",
+    "GridNeighborSearch",
+    "brute_force_radius",
+    "brute_force_radius_pairs",
+    "radius_edges",
+]
+
+#: query rows handled per chunk by the brute-force reference (bounds the
+#: dense cdist temporary to ~chunk x n_points doubles)
+_BRUTE_CHUNK = 2048
+
+
+def _grouped_arange(counts: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(c) for c in counts])`` without the Python loop."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.cumsum(counts) - counts
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+def _sort_pairs(q: np.ndarray, p: np.ndarray,
+                n_points: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort flat (query, point) pairs by query then point index.
+
+    Uses one combined integer key so NumPy's stable (radix) integer sort
+    applies — measurably faster than ``np.lexsort`` on two keys.
+    """
+    order = np.argsort(q * np.int64(n_points + 1) + p, kind="stable")
+    return q[order], p[order]
+
+
+def _pairs_to_lists(n_queries: int, q: np.ndarray, p: np.ndarray) -> List[np.ndarray]:
+    """Split sorted flat pairs into one sorted index array per query."""
+    counts = np.bincount(q, minlength=n_queries) if q.size else np.zeros(n_queries, dtype=np.int64)
+    splits = np.cumsum(counts)[:-1]
+    return [np.ascontiguousarray(chunk) for chunk in np.split(p, splits)]
+
+
+def _axis_cell_distance(span: np.ndarray, frac: np.ndarray, h: float) -> np.ndarray:
+    """Squared per-axis distance from queries to cells ``span`` offsets away.
+
+    ``frac`` is the query coordinate relative to its own cell's lower
+    corner (in ``[0, h)``); offset 0 contributes zero, positive offsets
+    measure to the cell's near face on the right, negative to the left.
+    """
+    gap = np.maximum(span * h - frac[:, None], frac[:, None] - (span + 1) * h)
+    gap = np.maximum(gap, 0.0)
+    return gap * gap
+
+
+def _check_queries(queries: np.ndarray, radius: float) -> np.ndarray:
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    if queries.ndim != 2 or queries.shape[1] != 3:
+        raise ValueError("queries must have shape (m, 3)")
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    return queries
+
+
+def brute_force_radius_pairs(points: np.ndarray, queries: np.ndarray,
+                             radius: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference flat pairs: every (query_row, point_index) within ``radius``.
+
+    Evaluated in query chunks so the dense distance block never exceeds
+    ``_BRUTE_CHUNK x n_points`` doubles; output order is (query, point)
+    ascending, the canonical order every searcher reproduces.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    queries = _check_queries(queries, radius)
+    q_chunks: List[np.ndarray] = []
+    p_chunks: List[np.ndarray] = []
+    for start in range(0, queries.shape[0], _BRUTE_CHUNK):
+        block = queries[start:start + _BRUTE_CHUNK]
+        rows, cols = np.nonzero(cdist(block, points) <= radius)
+        q_chunks.append(rows.astype(np.int64) + start)
+        p_chunks.append(cols.astype(np.int64))
+    if not q_chunks:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(q_chunks), np.concatenate(p_chunks)
 
 
 def brute_force_radius(points: np.ndarray, queries: np.ndarray,
                        radius: float) -> List[np.ndarray]:
     """Reference implementation: indices of ``points`` within ``radius`` of each query."""
-    points = np.asarray(points, dtype=np.float64)
-    queries = np.asarray(queries, dtype=np.float64)
-    if radius <= 0:
-        raise ValueError("radius must be positive")
-    dist = cdist(queries, points)
-    return [np.flatnonzero(row <= radius) for row in dist]
-
-
-@dataclass
-class _Node:
-    """A BallTree node: a bounding ball plus children or a leaf point set."""
-
-    center: np.ndarray
-    radius: float
-    indices: np.ndarray | None = None   # leaf only
-    left: "_Node | None" = None
-    right: "_Node | None" = None
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.indices is not None
+    queries = _check_queries(queries, radius)
+    q, p = brute_force_radius_pairs(points, queries, radius)
+    return _pairs_to_lists(queries.shape[0], q, p)
 
 
 class BallTree:
-    """A BallTree over 3-D points supporting fixed-radius queries.
+    """A flat, array-backed BallTree over 3-D points for fixed-radius queries.
 
     Construction is O(n log n): nodes are split along the dimension of
-    largest spread at the median.  ``query_radius`` walks the tree pruning
-    every ball farther than ``radius`` from the query point.
+    largest spread at the median, and every node is one row of the
+    contiguous node arrays (``_centers``, ``_radii``, ``_left``/``_right``
+    child indices, ``_starts``/``_stops`` slices of the permuted point
+    index array ``_idx``).  ``query_radius`` prunes with the same
+    ball-distance test as the classic recursion but advances *all* live
+    (query, node) pairs one level per NumPy pass.
 
     Parameters
     ----------
@@ -67,7 +144,7 @@ class BallTree:
         build a deeper tree.
     """
 
-    def __init__(self, points: np.ndarray, leaf_size: int = 32) -> None:
+    def __init__(self, points: np.ndarray, leaf_size: int = 16) -> None:
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[1] != 3:
             raise ValueError("points must have shape (n, 3)")
@@ -76,83 +153,205 @@ class BallTree:
         self.points = points
         self.leaf_size = int(leaf_size)
         self.n_points = points.shape[0]
-        if self.n_points == 0:
-            self._root: _Node | None = None
+        self._idx = np.arange(self.n_points, dtype=np.int64)
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        """Level-synchronous construction: one batch of NumPy passes per level.
+
+        All nodes of a level are processed together — segment means and
+        radii via ``np.add.reduceat``/``np.maximum.reduceat`` over the
+        level's concatenated point slices, and every splitting node's
+        median partition through a single stable ``np.lexsort`` keyed by
+        (segment id, split coordinate).  Node ids come out in the same
+        breadth-first order a per-node work queue would produce.
+        """
+        idx = self._idx
+        points = self.points
+        starts_l: List[np.ndarray] = []
+        stops_l: List[np.ndarray] = []
+        lefts_l: List[np.ndarray] = []
+        rights_l: List[np.ndarray] = []
+        centers_l: List[np.ndarray] = []
+        radii_l: List[np.ndarray] = []
+        if self.n_points:
+            seg_start = np.zeros(1, dtype=np.int64)
+            seg_stop = np.full(1, self.n_points, dtype=np.int64)
+            next_id = 1
         else:
-            self._root = self._build(np.arange(self.n_points, dtype=np.int64))
+            seg_start = np.empty(0, dtype=np.int64)
+            seg_stop = np.empty(0, dtype=np.int64)
+            next_id = 0
+        while seg_start.size:
+            lengths = seg_stop - seg_start
+            # the level's points, concatenated in segment order
+            positions = np.repeat(seg_start, lengths) + _grouped_arange(lengths)
+            pts = points[idx[positions]]
+            seg_of = np.repeat(np.arange(seg_start.size, dtype=np.int64), lengths)
+            offsets = np.cumsum(lengths) - lengths
+            centers = np.add.reduceat(pts, offsets, axis=0) / lengths[:, None]
+            delta = pts - centers[seg_of]
+            d2 = np.einsum("ij,ij->i", delta, delta)
+            radii = np.sqrt(np.maximum.reduceat(d2, offsets))
+            centers_l.append(centers)
+            radii_l.append(radii)
+            starts_l.append(seg_start)
+            stops_l.append(seg_stop)
+            internal = lengths > self.leaf_size
+            n_internal = int(internal.sum())
+            left = np.full(seg_start.size, -1, dtype=np.int64)
+            right = np.full(seg_start.size, -1, dtype=np.int64)
+            # children are allocated consecutively per splitting node, in
+            # node order — exactly the ids a FIFO work queue would assign
+            left[internal] = next_id + 2 * np.arange(n_internal, dtype=np.int64)
+            right[internal] = left[internal] + 1
+            lefts_l.append(left)
+            rights_l.append(right)
+            next_id += 2 * n_internal
+            if not n_internal:
+                break
+            # split every internal segment along its widest dimension at
+            # the median: one stable lexsort keyed by (segment, coordinate)
+            # applies all the per-node argsorts at once
+            spread = (np.maximum.reduceat(pts, offsets, axis=0)
+                      - np.minimum.reduceat(pts, offsets, axis=0))
+            dim = np.argmax(spread, axis=1)
+            split_mask = internal[seg_of]
+            split_pos = positions[split_mask]
+            key = pts[np.arange(pts.shape[0]), dim[seg_of]][split_mask]
+            order = np.lexsort((key, seg_of[split_mask]))
+            idx[split_pos] = idx[split_pos][order]
+            halves = lengths[internal] // 2
+            seg_mid = seg_start[internal] + halves
+            seg_start, seg_stop = (
+                np.column_stack([seg_start[internal], seg_mid]).reshape(-1),
+                np.column_stack([seg_mid, seg_stop[internal]]).reshape(-1),
+            )
+        if next_id:
+            self._centers = np.concatenate(centers_l, axis=0)
+            self._radii = np.concatenate(radii_l)
+            self._left = np.concatenate(lefts_l)
+            self._right = np.concatenate(rights_l)
+            self._starts = np.concatenate(starts_l)
+            self._stops = np.concatenate(stops_l)
+        else:
+            self._centers = np.empty((0, 3), dtype=np.float64)
+            self._radii = np.empty(0, dtype=np.float64)
+            self._left = np.empty(0, dtype=np.int64)
+            self._right = np.empty(0, dtype=np.int64)
+            self._starts = np.empty(0, dtype=np.int64)
+            self._stops = np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
-    def _make_node(self, indices: np.ndarray) -> _Node:
-        pts = self.points[indices]
-        center = pts.mean(axis=0)
-        radius = float(np.sqrt(((pts - center) ** 2).sum(axis=1).max())) if len(indices) else 0.0
-        return _Node(center=center, radius=radius)
+    def _frontier(self, queries: np.ndarray, radius: float):
+        """Iterate pruned (leaf_nodes, leaf_queries) frontiers level by level.
 
-    def _build(self, indices: np.ndarray) -> _Node:
-        node = self._make_node(indices)
-        if len(indices) <= self.leaf_size:
-            node.indices = indices
-            return node
-        pts = self.points[indices]
-        spread = pts.max(axis=0) - pts.min(axis=0)
-        dim = int(np.argmax(spread))
-        order = np.argsort(pts[:, dim], kind="stable")
-        half = len(indices) // 2
-        left_idx = indices[order[:half]]
-        right_idx = indices[order[half:]]
-        if len(left_idx) == 0 or len(right_idx) == 0:
-            # degenerate (all points identical along every axis): make a leaf
-            node.indices = indices
-            return node
-        node.left = self._build(left_idx)
-        node.right = self._build(right_idx)
-        return node
+        Yields, per tree level, the surviving leaf-pair arrays after the
+        ball-distance pruning test (``d2 <= (radius + node_radius)^2``,
+        evaluated without square roots); internal pairs are expanded into
+        their two children for the next level.
+        """
+        pair_nodes = np.zeros(queries.shape[0], dtype=np.int64)
+        pair_q = np.arange(queries.shape[0], dtype=np.int64)
+        while pair_nodes.size:
+            delta = queries[pair_q] - self._centers[pair_nodes]
+            d2 = np.einsum("ij,ij->i", delta, delta)
+            reach = radius + self._radii[pair_nodes]
+            keep = d2 <= reach * reach
+            nodes = pair_nodes[keep]
+            qs = pair_q[keep]
+            is_leaf = self._left[nodes] < 0
+            yield nodes[is_leaf], qs[is_leaf]
+            inner = nodes[~is_leaf]
+            inner_q = qs[~is_leaf]
+            pair_nodes = np.concatenate([self._left[inner], self._right[inner]])
+            pair_q = np.concatenate([inner_q, inner_q])
 
-    # ------------------------------------------------------------------ #
+    def query_radius_pairs(self, queries: np.ndarray,
+                           radius: float) -> Tuple[np.ndarray, np.ndarray]:
+        """All (query_row, point_index) pairs within ``radius``, sorted by query.
+
+        This is the flat, allocation-friendly form of :meth:`query_radius`:
+        two parallel int64 arrays ordered by (query row, point index).
+        """
+        queries = _check_queries(queries, radius)
+        hits_q: List[np.ndarray] = []
+        hits_p: List[np.ndarray] = []
+        if self.n_points and queries.shape[0]:
+            r2 = radius * radius
+            for leaves, leaf_q in self._frontier(queries, radius):
+                if not leaves.size:
+                    continue
+                starts = self._starts[leaves]
+                counts = self._stops[leaves] - starts
+                pos = np.repeat(starts, counts) + _grouped_arange(counts)
+                cand_p = self._idx[pos]
+                cand_q = np.repeat(leaf_q, counts)
+                delta = self.points[cand_p] - queries[cand_q]
+                mask = np.einsum("ij,ij->i", delta, delta) <= r2
+                hits_q.append(cand_q[mask])
+                hits_p.append(cand_p[mask])
+        if not hits_q:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        return _sort_pairs(np.concatenate(hits_q), np.concatenate(hits_p),
+                           self.n_points)
+
     def query_radius(self, queries: np.ndarray, radius: float) -> List[np.ndarray]:
         """Indices of tree points within ``radius`` of each query point.
 
         Returns a list with one sorted index array per query row.
         """
-        queries = np.asarray(queries, dtype=np.float64)
-        if queries.ndim == 1:
-            queries = queries[None, :]
-        if queries.ndim != 2 or queries.shape[1] != 3:
-            raise ValueError("queries must have shape (m, 3)")
-        if radius <= 0:
-            raise ValueError("radius must be positive")
-        results: List[np.ndarray] = []
-        for q in queries:
-            hits: List[np.ndarray] = []
-            if self._root is not None:
-                self._query_single(self._root, q, radius, hits)
-            if hits:
-                found = np.sort(np.concatenate(hits))
-            else:
-                found = np.empty(0, dtype=np.int64)
-            results.append(found)
-        return results
-
-    def _query_single(self, node: _Node, q: np.ndarray, radius: float,
-                      hits: List[np.ndarray]) -> None:
-        dist_to_center = float(np.sqrt(((q - node.center) ** 2).sum()))
-        if dist_to_center > radius + node.radius:
-            return  # ball entirely outside the query sphere
-        if node.is_leaf:
-            pts = self.points[node.indices]
-            d2 = ((pts - q) ** 2).sum(axis=1)
-            mask = d2 <= radius * radius
-            if mask.any():
-                hits.append(node.indices[mask])
-            return
-        assert node.left is not None and node.right is not None
-        self._query_single(node.left, q, radius, hits)
-        self._query_single(node.right, q, radius, hits)
+        queries = _check_queries(queries, radius)
+        q, p = self.query_radius_pairs(queries, radius)
+        return _pairs_to_lists(queries.shape[0], q, p)
 
     def count_within(self, queries: np.ndarray, radius: float) -> np.ndarray:
-        """Number of tree points within ``radius`` of each query point."""
-        return np.array([len(idx) for idx in self.query_radius(queries, radius)],
-                        dtype=np.int64)
+        """Number of tree points within ``radius`` of each query point.
+
+        Counts during the frontier traversal instead of materializing
+        index lists: a node ball entirely inside the query sphere
+        contributes its subtree count wholesale, and only boundary leaves
+        are distance-tested.
+        """
+        queries = _check_queries(queries, radius)
+        counts = np.zeros(queries.shape[0], dtype=np.int64)
+        if not self.n_points or not queries.shape[0]:
+            return counts
+        r2 = radius * radius
+        pair_nodes = np.zeros(queries.shape[0], dtype=np.int64)
+        pair_q = np.arange(queries.shape[0], dtype=np.int64)
+        while pair_nodes.size:
+            delta = queries[pair_q] - self._centers[pair_nodes]
+            d2 = np.einsum("ij,ij->i", delta, delta)
+            radii = self._radii[pair_nodes]
+            margin = radius - radii
+            inside = (margin >= 0.0) & (d2 <= margin * margin)
+            if inside.any():
+                sizes = self._stops[pair_nodes[inside]] - self._starts[pair_nodes[inside]]
+                np.add.at(counts, pair_q[inside], sizes)
+            reach = radius + radii
+            keep = ~inside & (d2 <= reach * reach)
+            nodes = pair_nodes[keep]
+            qs = pair_q[keep]
+            is_leaf = self._left[nodes] < 0
+            leaves = nodes[is_leaf]
+            if leaves.size:
+                starts = self._starts[leaves]
+                leaf_counts = self._stops[leaves] - starts
+                pos = np.repeat(starts, leaf_counts) + _grouped_arange(leaf_counts)
+                cand_p = self._idx[pos]
+                cand_q = np.repeat(qs[is_leaf], leaf_counts)
+                delta = self.points[cand_p] - queries[cand_q]
+                mask = np.einsum("ij,ij->i", delta, delta) <= r2
+                if mask.any():
+                    np.add.at(counts, cand_q[mask], 1)
+            inner = nodes[~is_leaf]
+            inner_q = qs[~is_leaf]
+            pair_nodes = np.concatenate([self._left[inner], self._right[inner]])
+            pair_q = np.concatenate([inner_q, inner_q])
+        return counts
 
 
 class GridNeighborSearch:
@@ -160,10 +359,19 @@ class GridNeighborSearch:
 
     Bins points into cubic cells of edge ``cell_size`` (default: the query
     radius) and answers radius queries by scanning the 27 neighboring
-    cells.  For homogeneous systems such as lipid bilayers this is O(n)
-    build and O(1) expected per query; included as an ablation against the
+    cells.  The bins are a lexsorted array of scalar cell keys, so a
+    batch of queries gathers every stencil bucket with two
+    ``np.searchsorted`` calls instead of per-cell dict lookups.  For
+    homogeneous systems such as lipid bilayers this is O(n) build and
+    O(1) expected per query; included as an ablation against the
     BallTree.
     """
+
+    #: dense start/count tables are built while ``prod(dims)`` stays below
+    #: ``max(_DENSE_MIN_CELLS, _DENSE_CELLS_PER_POINT * n)``; pathologically
+    #: sparse clouds fall back to ``np.searchsorted`` over the sorted keys
+    _DENSE_MIN_CELLS = 4096
+    _DENSE_CELLS_PER_POINT = 16
 
     def __init__(self, points: np.ndarray, cell_size: float) -> None:
         points = np.asarray(points, dtype=np.float64)
@@ -175,43 +383,187 @@ class GridNeighborSearch:
         self.cell_size = float(cell_size)
         self.n_points = points.shape[0]
         self._origin = points.min(axis=0) if self.n_points else np.zeros(3)
-        cells = np.floor((points - self._origin) / self.cell_size).astype(np.int64) if self.n_points else np.empty((0, 3), dtype=np.int64)
-        self._cells: dict[tuple[int, int, int], list[int]] = {}
-        for idx, cell in enumerate(map(tuple, cells)):
-            self._cells.setdefault(cell, []).append(idx)
+        self._cell_starts: np.ndarray | None = None
+        self._cell_counts: np.ndarray | None = None
+        if self.n_points:
+            cells = np.floor((points - self._origin) / self.cell_size).astype(np.int64)
+            self._dims = cells.max(axis=0) + 1
+            keys = self._encode(cells)
+            self._order = np.argsort(keys, kind="stable")
+            self._sorted_keys = keys[self._order]
+            n_cells = int(self._dims.prod())
+            if n_cells <= max(self._DENSE_MIN_CELLS,
+                              self._DENSE_CELLS_PER_POINT * self.n_points):
+                # dense per-cell bucket tables: O(1) lookups per stencil cell
+                self._cell_counts = np.bincount(self._sorted_keys, minlength=n_cells)
+                self._cell_starts = np.concatenate(
+                    [np.zeros(1, dtype=np.int64),
+                     np.cumsum(self._cell_counts)[:-1]])
+        else:
+            self._dims = np.ones(3, dtype=np.int64)
+            self._order = np.empty(0, dtype=np.int64)
+            self._sorted_keys = np.empty(0, dtype=np.int64)
+
+    def _encode(self, cells: np.ndarray) -> np.ndarray:
+        """Scalar cell key for in-range integer cell coordinates."""
+        return (cells[..., 0] * self._dims[1] + cells[..., 1]) * self._dims[2] + cells[..., 2]
+
+    def _stencil_buckets(self, queries: np.ndarray,
+                         radius: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Bucket (start, count) arrays, shape ``(m, S)``, for every stencil cell.
+
+        The stencil key of cell ``(cx+a, cy+b, cz+c)`` separates into three
+        per-axis terms, so the ``(m, S)`` key matrix is one broadcast sum of
+        three ``(m, 2*reach+1)`` arrays instead of ``(m, S, 3)`` temporaries.
+        """
+        m = queries.shape[0]
+        h = self.cell_size
+        reach = int(np.ceil(radius / h))
+        span = np.arange(-reach, reach + 1, dtype=np.int64)
+        width = span.size
+        local = queries - self._origin
+        qcells = np.floor(local / h).astype(np.int64)
+        ax = qcells[:, 0, None] + span
+        ay = qcells[:, 1, None] + span
+        az = qcells[:, 2, None] + span
+        # per-axis distance from the query to each offset cell's slab; the
+        # broadcast sum lower-bounds the query-to-cell box distance, so
+        # cells farther than the radius are dropped before any gathering
+        frac = local - qcells * h
+        d_x = _axis_cell_distance(span, frac[:, 0], h)
+        d_y = _axis_cell_distance(span, frac[:, 1], h)
+        d_z = _axis_cell_distance(span, frac[:, 2], h)
+        near = (d_x[:, :, None, None] + d_y[:, None, :, None]
+                + d_z[:, None, None, :]) <= radius * radius
+        valid = ((ax >= 0) & (ax < self._dims[0]))[:, :, None, None] \
+            & ((ay >= 0) & (ay < self._dims[1]))[:, None, :, None] \
+            & ((az >= 0) & (az < self._dims[2]))[:, None, None, :] \
+            & near
+        keys = (ax * (self._dims[1] * self._dims[2]))[:, :, None, None] \
+            + (ay * self._dims[2])[:, None, :, None] \
+            + az[:, None, None, :]
+        valid = valid.reshape(m, width ** 3)
+        keys = keys.reshape(m, width ** 3)
+        if self._cell_starts is not None:
+            keys = np.where(valid, keys, 0)
+            starts = self._cell_starts[keys]
+            counts = np.where(valid, self._cell_counts[keys], 0)
+        else:
+            keys = np.where(valid, keys, -1)
+            starts = np.searchsorted(self._sorted_keys, keys, side="left")
+            stops = np.searchsorted(self._sorted_keys, keys, side="right")
+            counts = np.where(valid, stops - starts, 0)
+        return starts, counts
+
+    def query_radius_pairs(self, queries: np.ndarray,
+                           radius: float) -> Tuple[np.ndarray, np.ndarray]:
+        """All (query_row, point_index) pairs within ``radius``, sorted by query."""
+        queries = _check_queries(queries, radius)
+        empty = np.empty(0, dtype=np.int64)
+        if not self.n_points or not queries.shape[0]:
+            return empty, empty.copy()
+        starts, counts = self._stencil_buckets(queries, radius)
+        n_stencil = counts.shape[1]
+        counts = counts.ravel()
+        pos = np.repeat(starts.ravel(), counts) + _grouped_arange(counts)
+        cand_p = self._order[pos]
+        cell_q = np.repeat(np.arange(queries.shape[0], dtype=np.int64), n_stencil)
+        cand_q = np.repeat(cell_q, counts)
+        delta = self.points[cand_p] - queries[cand_q]
+        mask = np.einsum("ij,ij->i", delta, delta) <= radius * radius
+        return _sort_pairs(cand_q[mask], cand_p[mask], self.n_points)
 
     def query_radius(self, queries: np.ndarray, radius: float) -> List[np.ndarray]:
         """Indices of stored points within ``radius`` of each query point."""
-        queries = np.asarray(queries, dtype=np.float64)
-        if queries.ndim == 1:
-            queries = queries[None, :]
+        queries = _check_queries(queries, radius)
+        q, p = self.query_radius_pairs(queries, radius)
+        return _pairs_to_lists(queries.shape[0], q, p)
+
+    def count_within(self, queries: np.ndarray, radius: float) -> np.ndarray:
+        """Number of stored points within ``radius`` of each query point."""
+        queries = _check_queries(queries, radius)
+        q, _p = self.query_radius_pairs(queries, radius)
+        return np.bincount(q, minlength=queries.shape[0]).astype(np.int64)
+
+    def self_join_pairs(self, radius: float) -> Tuple[np.ndarray, np.ndarray]:
+        """All stored-point pairs ``(i, j)``, ``i < j``, closer than ``radius``.
+
+        The classic half cell list: every unordered cell pair is visited
+        once (own cell plus the lexicographically forward half of the
+        stencil), so each candidate pair is distance-tested exactly once —
+        half the work of querying every point against the full stencil.
+        Output matches :func:`radius_edges` with ``method="brute"``:
+        sorted by ``(i, j)``.
+        """
         if radius <= 0:
             raise ValueError("radius must be positive")
-        reach = int(np.ceil(radius / self.cell_size))
-        results: List[np.ndarray] = []
-        offsets = range(-reach, reach + 1)
-        for q in queries:
-            cell = tuple(np.floor((q - self._origin) / self.cell_size).astype(np.int64))
-            candidates: List[int] = []
-            for dx in offsets:
-                for dy in offsets:
-                    for dz in offsets:
-                        key = (cell[0] + dx, cell[1] + dy, cell[2] + dz)
-                        bucket = self._cells.get(key)
-                        if bucket:
-                            candidates.extend(bucket)
-            if candidates:
-                cand = np.asarray(candidates, dtype=np.int64)
-                d2 = ((self.points[cand] - q) ** 2).sum(axis=1)
-                results.append(np.sort(cand[d2 <= radius * radius]))
-            else:
-                results.append(np.empty(0, dtype=np.int64))
-        return results
+        empty = np.empty(0, dtype=np.int64)
+        if self.n_points < 2:
+            return empty, empty.copy()
+        h = self.cell_size
+        reach = int(np.ceil(radius / h))
+        # occupied cells as groups of the key-sorted point order
+        uniq, gstart, gcount = np.unique(self._sorted_keys,
+                                         return_index=True, return_counts=True)
+        d1, d2 = int(self._dims[1]), int(self._dims[2])
+        cx = uniq // (d1 * d2)
+        rem = uniq - cx * (d1 * d2)
+        cy = rem // d2
+        cz = rem - cy * d2
+        span = np.arange(-reach, reach + 1, dtype=np.int64)
+        offs = np.stack(np.meshgrid(span, span, span, indexing="ij"),
+                        axis=-1).reshape(-1, 3)
+        forward = (offs[:, 0] > 0) | ((offs[:, 0] == 0) & (
+            (offs[:, 1] > 0) | ((offs[:, 1] == 0) & (offs[:, 2] >= 0))))
+        offs = offs[forward]
+        # minimum box-to-box distance per offset prunes far stencil cells
+        gap = np.maximum(np.abs(offs) - 1, 0) * h
+        offs = offs[(gap * gap).sum(axis=1) <= radius * radius]
+        own = (offs == 0).all(axis=1)                 # the (0, 0, 0) offset
+        tx = cx[:, None] + offs[:, 0]
+        ty = cy[:, None] + offs[:, 1]
+        tz = cz[:, None] + offs[:, 2]                 # (G, F)
+        valid = ((tx >= 0) & (tx < self._dims[0])
+                 & (ty >= 0) & (ty < self._dims[1])
+                 & (tz >= 0) & (tz < self._dims[2]))
+        tkey = (tx * d1 + ty) * d2 + tz
+        if self._cell_starts is not None:
+            tkey = np.where(valid, tkey, 0)
+            bstart = self._cell_starts[tkey]
+            bcount = np.where(valid, self._cell_counts[tkey], 0)
+        else:
+            tkey = np.where(valid, tkey, -1)
+            bstart = np.searchsorted(self._sorted_keys, tkey, side="left")
+            bstop = np.searchsorted(self._sorted_keys, tkey, side="right")
+            bcount = np.where(valid, bstop - bstart, 0)
+        n_pairs = (gcount[:, None] * bcount).ravel()  # candidates per cell pair
+        r = _grouped_arange(n_pairs)
+        b_sizes = np.repeat(bcount.ravel(), n_pairs)
+        a_local = r // b_sizes
+        b_local = r - a_local * b_sizes
+        a_pos = np.repeat(np.repeat(gstart, offs.shape[0]), n_pairs) + a_local
+        b_pos = np.repeat(bstart.ravel(), n_pairs) + b_local
+        pi = self._order[a_pos]
+        pj = self._order[b_pos]
+        delta = self.points[pi] - self.points[pj]
+        keep = np.einsum("ij,ij->i", delta, delta) <= radius * radius
+        # own-cell products contain both orders and the diagonal: keep i < j
+        keep &= (pi < pj) | ~np.repeat(np.tile(own, uniq.size), n_pairs)
+        pi, pj = pi[keep], pj[keep]
+        lo = np.minimum(pi, pj)
+        hi = np.maximum(pi, pj)
+        return _sort_pairs(lo, hi, self.n_points)
 
 
-def radius_edges(points: np.ndarray, cutoff: float, *, query_indices: Sequence[int] | np.ndarray | None = None,
-                 method: str = "balltree", leaf_size: int = 32) -> np.ndarray:
+def radius_edges(points: np.ndarray, cutoff: float, *,
+                 query_indices: Sequence[int] | np.ndarray | None = None,
+                 method: str = "balltree", leaf_size: int = 16) -> np.ndarray:
     """Undirected edges (i, j), i < j, between points closer than ``cutoff``.
+
+    The edge array is assembled from the searcher's flat (query, point)
+    pairs with one vectorized filter — no per-query Python loop — and is
+    bit-identical across methods: grouped by query (in ``query_indices``
+    order), neighbor index ascending within each group.
 
     Parameters
     ----------
@@ -228,27 +580,27 @@ def radius_edges(points: np.ndarray, cutoff: float, *, query_indices: Sequence[i
     points = np.asarray(points, dtype=np.float64)
     n = points.shape[0]
     if query_indices is None:
+        if method == "grid":
+            # full self-join: the half-stencil cell list touches every
+            # unordered pair once instead of querying the full stencil
+            i, j = GridNeighborSearch(points, cell_size=cutoff).self_join_pairs(cutoff)
+            if not i.size:
+                return np.empty((0, 2), dtype=np.int64)
+            return np.column_stack([i, j])
         query_indices = np.arange(n, dtype=np.int64)
     else:
         query_indices = np.asarray(query_indices, dtype=np.int64)
     queries = points[query_indices]
     if method == "balltree":
-        searcher = BallTree(points, leaf_size=leaf_size)
-        neighbor_lists = searcher.query_radius(queries, cutoff)
+        q, p = BallTree(points, leaf_size=leaf_size).query_radius_pairs(queries, cutoff)
     elif method == "grid":
-        searcher = GridNeighborSearch(points, cell_size=cutoff)
-        neighbor_lists = searcher.query_radius(queries, cutoff)
+        q, p = GridNeighborSearch(points, cell_size=cutoff).query_radius_pairs(queries, cutoff)
     elif method == "brute":
-        neighbor_lists = brute_force_radius(points, queries, cutoff)
+        q, p = brute_force_radius_pairs(points, queries, cutoff)
     else:
         raise ValueError(f"unknown neighbor search method {method!r}")
-    edge_chunks: List[np.ndarray] = []
-    for qi, neighbors in zip(query_indices, neighbor_lists):
-        if neighbors.size == 0:
-            continue
-        keep = neighbors[neighbors > qi]  # i < j, drops self edge
-        if keep.size:
-            edge_chunks.append(np.column_stack([np.full(keep.size, qi, dtype=np.int64), keep]))
-    if not edge_chunks:
+    qi = query_indices[q]
+    keep = p > qi  # i < j, drops self edge
+    if not keep.any():
         return np.empty((0, 2), dtype=np.int64)
-    return np.concatenate(edge_chunks, axis=0)
+    return np.column_stack([qi[keep], p[keep]])

@@ -77,14 +77,15 @@ def edges_from_block(
     if cutoff <= 0:
         raise ValueError("cutoff must be positive")
     dist = pairwise_distances(block_a, block_b)
-    mask = dist <= cutoff
+    if exclude_self and dist.shape[0] != dist.shape[1]:
+        raise ValueError("exclude_self requires the two blocks to be the same block")
+    rows, cols = np.nonzero(dist <= cutoff)
     if exclude_self:
-        if mask.shape[0] != mask.shape[1]:
-            raise ValueError("exclude_self requires the two blocks to be the same block")
         # keep strictly upper-triangular entries only: drops i == j self
-        # edges and keeps each undirected edge exactly once
-        mask &= np.triu(np.ones_like(mask, dtype=bool), k=1)
-    rows, cols = np.nonzero(mask)
+        # edges and keeps each undirected edge exactly once (filtering the
+        # hit list beats materializing an n x n triangular mask)
+        keep = rows < cols
+        rows, cols = rows[keep], cols[keep]
     edges = np.column_stack([rows + offset_a, cols + offset_b]).astype(np.int64)
     return edges
 

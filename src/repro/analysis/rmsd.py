@@ -105,7 +105,22 @@ def rmsd_trajectory(positions: np.ndarray, reference: np.ndarray | None = None,
         reference = positions[0]
     reference = _as_frame(reference, "reference")
     if superposition:
-        return np.array([kabsch_rmsd(frame, reference) for frame in positions])
+        if positions.shape[1] != reference.shape[0]:
+            raise ValueError("reference must have the trajectory's atom count")
+        # batched Kabsch: all frames at once — stacked 3x3 covariances via
+        # einsum, one batched SVD, and a batched rotation apply — instead
+        # of a Python loop over frames
+        centered = positions - positions.mean(axis=1, keepdims=True)
+        ref_centered = reference - reference.mean(axis=0)
+        covariances = np.einsum("fai,aj->fij", centered, ref_centered)
+        u, _s, vt = np.linalg.svd(covariances)
+        # proper rotations only: flip the last singular direction where
+        # det(u @ vt) is negative (the classic Kabsch sign correction)
+        signs = np.sign(np.linalg.det(u @ vt))
+        u[:, :, 2] *= signs[:, None]
+        rotations = u @ vt
+        diff = centered @ rotations - ref_centered[None]
+        return np.sqrt((diff * diff).sum(axis=(1, 2)) / positions.shape[1])
     diff = positions - reference[None]
     return np.sqrt((diff * diff).sum(axis=(1, 2)) / positions.shape[1])
 

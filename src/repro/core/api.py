@@ -52,7 +52,9 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
         their canonical sparklite/dasklite/pilot/mpilite spellings) or an
         already constructed :class:`TaskFramework`.
     metric : str, optional
-        ``"hausdorff"`` (default), ``"hausdorff_earlybreak"``,
+        ``"hausdorff"`` (default), ``"hausdorff_earlybreak"``
+        (blockwise early-break on the vectorized kernel engine),
+        ``"hausdorff_earlybreak_reference"`` (the Python reference scan),
         ``"frechet"`` or ``"hausdorff_naive"``.
     n_tasks : int, optional
         Target task count; the 2-D block size is derived from it.

@@ -40,7 +40,7 @@ from typing import Callable, Dict, List, Tuple
 import numpy as np
 
 from ..analysis.graph import connected_components, merge_component_sets
-from ..analysis.neighbors import BallTree, GridNeighborSearch
+from ..analysis.neighbors import BallTree, GridNeighborSearch, radius_edges
 from ..analysis.pairwise import edges_from_block
 from ..frameworks.base import TaskFramework
 from ..frameworks.serialization import nbytes_of
@@ -83,17 +83,8 @@ def leaflet_serial(positions: np.ndarray, cutoff: float,
     """
     positions = _validate_inputs(positions, cutoff)
     n = positions.shape[0]
-    if method == "brute":
-        edges = edges_from_block(positions, positions, cutoff, exclude_self=True)
-    else:
-        searcher = BallTree(positions) if method == "balltree" else GridNeighborSearch(positions, cutoff)
-        neighbor_lists = searcher.query_radius(positions, cutoff)
-        chunks = []
-        for i, neighbors in enumerate(neighbor_lists):
-            keep = neighbors[neighbors > i]
-            if keep.size:
-                chunks.append(np.column_stack([np.full(keep.size, i, dtype=np.int64), keep]))
-        edges = np.concatenate(chunks, axis=0) if chunks else np.empty((0, 2), dtype=np.int64)
+    # the kernel engine's vectorized edge assembly for every method
+    edges = radius_edges(positions, cutoff, method=method)
     components = connected_components(edges, n)
     return LeafletResult(components, n_atoms=n, n_edges=edges.shape[0])
 
@@ -167,21 +158,19 @@ class _TreeBlockTask:
             searcher = GridNeighborSearch(cols, self.cutoff)
         else:
             raise ValueError(f"unknown tree method {self.method!r}")
-        neighbor_lists = searcher.query_radius(rows, self.cutoff)
-        chunks = []
-        for local_i, neighbors in enumerate(neighbor_lists):
-            if neighbors.size == 0:
-                continue
-            global_i = self.block.row_start + local_i
-            global_j = neighbors + self.block.col_start
-            if self.block.diagonal:
-                keep = global_j > global_i
-                global_j = global_j[keep]
-            if global_j.size:
-                chunks.append(np.column_stack([
-                    np.full(global_j.size, global_i, dtype=np.int64), global_j
-                ]))
-        edges = np.concatenate(chunks, axis=0) if chunks else np.empty((0, 2), dtype=np.int64)
+        # flat (query, point) pairs straight from the batched traversal;
+        # the global edge array is two vectorized offsets plus a filter
+        local_i, local_j = searcher.query_radius_pairs(rows, self.cutoff)
+        global_i = local_i + self.block.row_start
+        global_j = local_j + self.block.col_start
+        if self.block.diagonal:
+            keep = global_j > global_i
+            global_i = global_i[keep]
+            global_j = global_j[keep]
+        if global_i.size:
+            edges = np.column_stack([global_i, global_j])
+        else:
+            edges = np.empty((0, 2), dtype=np.int64)
         return _partial_components_from_edges(edges)
 
 
@@ -189,11 +178,10 @@ def _partial_components_from_edges(edges: np.ndarray) -> List[np.ndarray]:
     """Connected components of a task's local edge set, as global-id arrays."""
     if edges.size == 0:
         return []
-    nodes = np.unique(edges)
-    index_of = {int(n): i for i, n in enumerate(nodes)}
-    local_edges = np.array(
-        [[index_of[int(a)], index_of[int(b)]] for a, b in edges], dtype=np.int64
-    )
+    # compact the node ids in one unique pass; the inverse *is* the
+    # relabeled edge array
+    nodes, local_edges = np.unique(edges, return_inverse=True)
+    local_edges = local_edges.reshape(edges.shape).astype(np.int64, copy=False)
     local_components = connected_components(local_edges, len(nodes),
                                             include_singletons=False)
     return [nodes[c] for c in local_components]

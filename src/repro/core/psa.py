@@ -38,11 +38,22 @@ from .results import DistanceMatrix, RunReport
 __all__ = ["PSA_METRICS", "PSABlockTask", "psa_serial", "run_psa", "make_psa_tasks"]
 
 
+def hausdorff_earlybreak_reference(traj_a: np.ndarray, traj_b: np.ndarray) -> float:
+    """Early-break Hausdorff pinned to the Python reference kernel.
+
+    Kept as an explicit PSA metric so the figure ablations can report the
+    reference-vs-vectorized kernel engine split by metric name (tasks carry
+    metric *names*, so the choice survives pickling into workers).
+    """
+    return hausdorff_earlybreak(traj_a, traj_b, method="reference")
+
+
 #: Metric name -> callable mapping two (n_frames, n_atoms, 3) arrays to a float.
 PSA_METRICS: Dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
     "hausdorff": hausdorff,
     "hausdorff_naive": hausdorff_naive,
     "hausdorff_earlybreak": hausdorff_earlybreak,
+    "hausdorff_earlybreak_reference": hausdorff_earlybreak_reference,
     "frechet": discrete_frechet,
 }
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..analysis.engine import use_kernel_method
 from ..core.leaflet import LEAFLET_APPROACHES, run_leaflet_finder
 from ..frameworks import make_framework
 from ..perfmodel.machines import WRANGLER
@@ -47,35 +48,47 @@ def modeled_rows(frameworks: Sequence[str] = PAPER_FRAMEWORKS,
 def measured_rows(n_atoms: int = 2000, cutoff: float = 15.0, n_tasks: int = 32,
                   workers: int = 4,
                   frameworks: Sequence[str] = ("sparklite", "dasklite", "mpilite"),
-                  approaches: Sequence[str] | None = None) -> List[dict]:
-    """Laptop-scale live run of every (framework, approach) combination."""
+                  approaches: Sequence[str] | None = None,
+                  kernel_methods: Sequence[str] = ("vectorized",)) -> List[dict]:
+    """Laptop-scale live run of every (framework, approach) combination.
+
+    ``kernel_methods`` selects the kernel engine variants to ablate;
+    passing ``("vectorized", "reference")`` reruns the grid with the
+    Python reference kernels and reports the engine as an explicit
+    ``kernel`` column (all cells must agree on the leaflet assignment
+    regardless of engine).
+    """
     approaches = list(approaches or LEAFLET_APPROACHES)
     positions, labels = make_bilayer(BilayerSpec(n_atoms=n_atoms, seed=7))
     rows: List[dict] = []
     reference_sizes = None
-    for name in frameworks:
-        for approach in approaches:
-            fw = make_framework(name, executor="threads", workers=workers)
-            result, report = run_leaflet_finder(positions, cutoff, fw,
-                                                approach=approach, n_tasks=n_tasks)
-            sizes = result.sizes[:2]
-            if reference_sizes is None:
-                reference_sizes = sizes
-            elif sizes != reference_sizes:
-                raise AssertionError(
-                    f"{name}/{approach} disagrees on leaflet sizes: {sizes} vs {reference_sizes}"
-                )
-            rows.append({
-                "framework": name,
-                "approach": approach,
-                "n_atoms": n_atoms,
-                "n_tasks": report.n_tasks,
-                "wall_time_s": report.wall_time_s,
-                "bytes_broadcast": report.metrics.bytes_broadcast,
-                "bytes_shuffled": report.metrics.bytes_shuffled,
-                "agreement": result.agreement_with(labels),
-            })
-            fw.close()
+    for kernel in kernel_methods:
+        for name in frameworks:
+            for approach in approaches:
+                fw = make_framework(name, executor="threads", workers=workers)
+                with use_kernel_method(kernel):
+                    result, report = run_leaflet_finder(positions, cutoff, fw,
+                                                        approach=approach, n_tasks=n_tasks)
+                sizes = result.sizes[:2]
+                if reference_sizes is None:
+                    reference_sizes = sizes
+                elif sizes != reference_sizes:
+                    raise AssertionError(
+                        f"{name}/{approach}/{kernel} disagrees on leaflet sizes: "
+                        f"{sizes} vs {reference_sizes}"
+                    )
+                rows.append({
+                    "framework": name,
+                    "approach": approach,
+                    "kernel": kernel,
+                    "n_atoms": n_atoms,
+                    "n_tasks": report.n_tasks,
+                    "wall_time_s": report.wall_time_s,
+                    "bytes_broadcast": report.metrics.bytes_broadcast,
+                    "bytes_shuffled": report.metrics.bytes_shuffled,
+                    "agreement": result.agreement_with(labels),
+                })
+                fw.close()
     return rows
 
 

@@ -23,8 +23,11 @@ cost for NumPy payloads — on the inbound *task* path and on the outbound
   segments and returns refs; the driver adopts the segments into its
   store (taking over their lifetime) and resolves the refs zero-copy.
 * When a store is constructed with ``capacity_bytes``, segments past the
-  watermark spill least-recently-used-first into memory-mapped files in
-  ``spill_dir`` (the :class:`FileBackedStore` tier).  Spilled refs keep
+  watermark spill into memory-mapped files in ``spill_dir`` (the
+  :class:`FileBackedStore` tier).  Eviction is size-aware LRU: the
+  largest block outside the most-recently-used quarter goes first, so
+  one big spill frees what would otherwise cost many small ones.
+  Spilled refs keep
   resolving — through the page cache instead of ``/dev/shm`` — so
   ensembles larger than shared memory degrade gracefully instead of
   crashing.
@@ -467,9 +470,9 @@ class SharedMemoryStore:
     ``adopt`` takes ownership of a segment another process published, so
     worker-side result blocks are unlinked with the rest of the store.
     With ``capacity_bytes`` set the store keeps at most that many
-    resident segment bytes: the least recently used segments spill to
-    memory-mapped files in ``spill_dir`` and their refs keep resolving
-    bit-identically through the file tier.
+    resident segment bytes: cold segments spill to memory-mapped files
+    in ``spill_dir`` (largest-cold-first — see :meth:`_choose_victim`)
+    and their refs keep resolving bit-identically through the file tier.
 
     ``cleanup`` closes and unlinks every owned segment and removes the
     spill files; it also runs at interpreter exit (``atexit``) and at
@@ -662,12 +665,30 @@ class SharedMemoryStore:
             self._segments.move_to_end(name)
 
     def _maybe_spill(self) -> None:
-        """Spill least-recently-used segments until under the watermark."""
+        """Spill cold segments, largest first, until under the watermark."""
         if self.capacity_bytes is None:
             return
         while self.bytes_resident > self.capacity_bytes and self._segments:
-            name = next(iter(self._segments))
-            self._spill_segment(name)
+            self._spill_segment(self._choose_victim())
+
+    def _choose_victim(self) -> str:
+        """Size-aware LRU eviction choice.
+
+        Pure put/get-order eviction can push out many small blocks to make
+        room that one cold oversized block would have freed in a single
+        spill (and a single write).  Instead, the victim is the *largest*
+        segment among the cold majority — everything except the
+        most-recently-used quarter (always at least the single hottest
+        segment), which stays protected so one oversized put cannot evict
+        what the computation just touched.  Ties go to the least recently
+        used of the largest, which reduces to classic LRU when all blocks
+        are the same size.
+        """
+        names = list(self._segments)          # LRU -> MRU order
+        protected = max(1, len(names) // 4)
+        cold = names[:-protected] or names[:1]
+        # max() keeps the first (= least recently used) of equal sizes
+        return max(cold, key=self._sizes.__getitem__)
 
     def _spill_segment(self, name: str) -> None:
         """Move one resident segment to the disk tier."""

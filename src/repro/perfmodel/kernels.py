@@ -22,7 +22,17 @@ __all__ = ["KernelRates", "DEFAULT_RATES", "KernelCosts"]
 
 @dataclass(frozen=True)
 class KernelRates:
-    """Throughput constants (element operations per second per core)."""
+    """Throughput constants (element operations per second per core).
+
+    ``union_find_ops`` describes the reference (per-edge Python)
+    connected-components loop the paper's measurements reflect, and
+    ``tree_query_points`` the regime where queries are issued one at a
+    time (per-query call overhead dominates, as in the paper-era tree
+    search); ``cc_label_ops`` and ``tree_batch_candidates`` describe the
+    vectorized kernel engine, whose per-element throughput is one to two
+    orders of magnitude higher because the work runs as whole-array
+    NumPy passes.
+    """
 
     #: fused multiply-adds per second achieved by the GEMM inside rmsd_matrix
     gemm_flops: float = 4.0e9
@@ -30,10 +40,17 @@ class KernelRates:
     cdist_evals: float = 2.0e8
     #: point insertions per second for BallTree construction
     tree_build_points: float = 6.0e5
-    #: neighbor candidates examined per second for BallTree queries
+    #: neighbor candidates examined per second when radius queries are
+    #: issued one query per call (the paper-era per-query regime)
     tree_query_points: float = 4.0e5
-    #: union-find operations per second for connected components
+    #: union-find operations per second for reference connected components
     union_find_ops: float = 2.0e6
+    #: label updates per second for the vectorized connected components
+    #: (min-label propagation over the whole edge array)
+    cc_label_ops: float = 4.0e7
+    #: neighbor candidates filtered per second by the batched (frontier)
+    #: tree traversal of the vectorized kernel engine
+    tree_batch_candidates: float = 2.0e7
     #: trajectory file read bandwidth (bytes/s) from the parallel filesystem
     io_bandwidth: float = 5.0e8
 
@@ -48,6 +65,8 @@ class KernelRates:
             tree_build_points=self.tree_build_points * factor,
             tree_query_points=self.tree_query_points * factor,
             union_find_ops=self.union_find_ops * factor,
+            cc_label_ops=self.cc_label_ops * factor,
+            tree_batch_candidates=self.tree_batch_candidates * factor,
         )
 
 
@@ -76,6 +95,19 @@ class KernelCosts:
         """One full 2D-RMSD matrix between two trajectories (CPPTraj kernel)."""
         return self.hausdorff_pair(n_frames, n_atoms)
 
+    def hausdorff_earlybreak_pair(self, n_frames: int, n_atoms: int,
+                                  visit_fraction: float = 0.25) -> float:
+        """One blockwise early-break Hausdorff distance.
+
+        The early-break kernel evaluates only a fraction of the 2D-RMSD
+        matrix before every row is retired; ``visit_fraction`` is that
+        fraction (Taha & Hanbury report ~0.1-0.4 depending on structure,
+        and :mod:`repro.perfmodel.calibration` measures it locally).
+        """
+        if not 0.0 < visit_fraction <= 1.0:
+            raise ValueError("visit_fraction must be in (0, 1]")
+        return visit_fraction * self.hausdorff_pair(n_frames, n_atoms)
+
     def trajectory_read(self, n_frames: int, n_atoms: int) -> float:
         """Reading one trajectory from the filesystem (float32 on disk)."""
         nbytes = n_frames * n_atoms * 3 * 4
@@ -97,11 +129,34 @@ class KernelCosts:
         query = n_rows * log_cols / self.rates.tree_query_points
         return build + query
 
-    def connected_components(self, n_nodes: int, n_edges: int) -> float:
-        """Union-find over ``n_edges`` edges (plus node initialization)."""
+    def connected_components(self, n_nodes: int, n_edges: int,
+                             method: str = "reference") -> float:
+        """Connected components over ``n_edges`` edges (plus node init).
+
+        ``method="reference"`` models the per-edge union-find loop (what
+        the paper's Python measurements reflect, and the default so the
+        modeled figures keep the published shapes);
+        ``method="vectorized"`` models the array-native min-label
+        propagation, whose per-element rate is ``cc_label_ops`` but which
+        takes O(log n) passes over the edge array.
+        """
         if n_nodes < 0 or n_edges < 0:
             raise ValueError("n_nodes and n_edges must be non-negative")
-        return (n_nodes + n_edges) / self.rates.union_find_ops
+        if method == "reference":
+            return (n_nodes + n_edges) / self.rates.union_find_ops
+        if method == "vectorized":
+            passes = max(1.0, np.log2(max(n_nodes, 2)) / 2.0)
+            return (n_nodes + n_edges) * passes / self.rates.cc_label_ops
+        raise ValueError(f"unknown connected-components cost method {method!r}")
+
+    def tree_block_batched(self, n_rows: int, n_cols: int) -> float:
+        """Vectorized tree build plus batched frontier query on a block."""
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError("block dimensions must be non-negative")
+        log_cols = max(1.0, np.log2(max(n_cols, 2)))
+        build = n_cols / self.rates.tree_build_points
+        query = n_rows * log_cols / self.rates.tree_batch_candidates
+        return build + query
 
     def partial_component_merge(self, n_memberships: int) -> float:
         """Merging partial components with ``n_memberships`` (atom, comp) pairs."""

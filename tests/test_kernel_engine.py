@@ -1,0 +1,330 @@
+"""Property-based equivalence suite for the vectorized kernel engine.
+
+Every vectorized kernel must match its executable reference *exactly* on
+randomized inputs: the flat-array BallTree and the sorted-cell grid
+against the brute-force scan (bit-identical index sets and edge arrays),
+the min-label-propagation connected components against the union-find
+loop and networkx, the vectorized partial-component merge against the
+dict/union-find merge, and the blockwise early-break Hausdorff against
+the literal Taha & Hanbury scan (equal floats, not approximately equal).
+Degenerate cases — coincident points, empty edge lists, single-frame
+trajectories, singleton partials — are exercised explicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.engine import (
+    KERNEL_METHODS,
+    get_kernel_method,
+    resolve_kernel_method,
+    set_kernel_method,
+    use_kernel_method,
+)
+from repro.analysis.graph import (
+    connected_components,
+    connected_components_networkx,
+    label_components,
+    merge_component_sets,
+)
+from repro.analysis.hausdorff import hausdorff, hausdorff_earlybreak
+from repro.analysis.neighbors import (
+    BallTree,
+    GridNeighborSearch,
+    brute_force_radius,
+    brute_force_radius_pairs,
+    radius_edges,
+)
+from repro.analysis.rmsd import kabsch_rmsd, rmsd_trajectory
+
+
+def random_cloud(rng, kind):
+    """A point cloud of the named flavour (uniform, clustered, degenerate)."""
+    n = int(rng.integers(1, 150))
+    if kind == "uniform":
+        return rng.uniform(-20.0, 20.0, size=(n, 3))
+    if kind == "clustered":
+        centers = rng.uniform(-30.0, 30.0, size=(max(1, n // 20), 3))
+        return centers[rng.integers(0, len(centers), size=n)] + rng.normal(scale=0.8, size=(n, 3))
+    if kind == "coincident":
+        # many exactly coincident points plus a few distinct ones
+        base = rng.uniform(-5.0, 5.0, size=(max(1, n // 10), 3))
+        return base[rng.integers(0, len(base), size=n)]
+    if kind == "planar":
+        cloud = rng.uniform(-20.0, 20.0, size=(n, 3))
+        cloud[:, 2] = 0.0
+        return cloud
+    raise AssertionError(kind)
+
+
+CLOUD_KINDS = ("uniform", "clustered", "coincident", "planar")
+
+
+class TestEngineSelection:
+    def test_default_is_vectorized(self):
+        assert get_kernel_method() == "vectorized"
+        assert resolve_kernel_method(None) == "vectorized"
+
+    def test_context_manager_restores(self):
+        with use_kernel_method("reference"):
+            assert get_kernel_method() == "reference"
+            assert resolve_kernel_method(None) == "reference"
+        assert get_kernel_method() == "vectorized"
+
+    def test_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_kernel_method("reference"):
+                raise RuntimeError("boom")
+        assert get_kernel_method() == "vectorized"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            set_kernel_method("numba")
+        with pytest.raises(ValueError):
+            resolve_kernel_method("gpu")
+        assert set(KERNEL_METHODS) == {"reference", "vectorized"}
+
+
+class TestNeighborSearchEquivalence:
+    @pytest.mark.parametrize("kind", CLOUD_KINDS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_searchers_match_brute_force_bitwise(self, kind, seed):
+        rng = np.random.default_rng(100 * seed + hash(kind) % 97)
+        points = random_cloud(rng, kind)
+        queries = random_cloud(rng, kind)[: int(rng.integers(1, 40))]
+        radius = float(rng.uniform(0.5, 12.0))
+        expected = brute_force_radius(points, queries, radius)
+        for searcher in (BallTree(points, leaf_size=int(rng.integers(1, 20))),
+                         GridNeighborSearch(points, cell_size=float(rng.uniform(0.5, 8.0)))):
+            got = searcher.query_radius(queries, radius)
+            assert len(got) == len(expected)
+            for e, g in zip(expected, got):
+                assert np.array_equal(e, g)     # same ids, same (sorted) order
+
+    @pytest.mark.parametrize("kind", CLOUD_KINDS)
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_flat_pairs_match_list_view(self, kind, seed):
+        rng = np.random.default_rng(500 + seed + hash(kind) % 89)
+        points = random_cloud(rng, kind)
+        queries = points[: max(1, points.shape[0] // 3)]
+        radius = float(rng.uniform(0.5, 10.0))
+        bq, bp = brute_force_radius_pairs(points, queries, radius)
+        for searcher in (BallTree(points, leaf_size=7),
+                         GridNeighborSearch(points, cell_size=radius)):
+            q, p = searcher.query_radius_pairs(queries, radius)
+            assert np.array_equal(q, bq)
+            assert np.array_equal(p, bp)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_radius_edges_bit_identical_across_methods(self, seed):
+        rng = np.random.default_rng(900 + seed)
+        points = random_cloud(rng, CLOUD_KINDS[seed % len(CLOUD_KINDS)])
+        cutoff = float(rng.uniform(0.5, 10.0))
+        brute = radius_edges(points, cutoff, method="brute")
+        for method in ("balltree", "grid"):
+            edges = radius_edges(points, cutoff, method=method)
+            assert edges.dtype == brute.dtype
+            assert np.array_equal(edges, brute)   # same pairs in the same order
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_radius_edges_query_subset(self, seed):
+        rng = np.random.default_rng(1300 + seed)
+        points = random_cloud(rng, "clustered")
+        cutoff = float(rng.uniform(1.0, 8.0))
+        subset = rng.choice(points.shape[0], size=max(1, points.shape[0] // 4),
+                            replace=False)
+        brute = radius_edges(points, cutoff, query_indices=subset, method="brute")
+        for method in ("balltree", "grid"):
+            assert np.array_equal(
+                radius_edges(points, cutoff, query_indices=subset, method=method), brute)
+
+    @pytest.mark.parametrize("kind", CLOUD_KINDS)
+    def test_count_within_matches_query_radius(self, kind):
+        rng = np.random.default_rng(hash(kind) % 1000)
+        points = random_cloud(rng, kind)
+        queries = random_cloud(rng, kind)[:25]
+        radius = float(rng.uniform(0.5, 15.0))
+        expected = np.array([len(hits) for hits in brute_force_radius(points, queries, radius)])
+        tree = BallTree(points, leaf_size=5)
+        assert np.array_equal(tree.count_within(queries, radius), expected)
+        grid = GridNeighborSearch(points, cell_size=radius)
+        assert np.array_equal(grid.count_within(queries, radius), expected)
+
+    def test_empty_structures(self):
+        empty = np.empty((0, 3))
+        assert BallTree(empty).query_radius(np.zeros((2, 3)), 1.0)[0].size == 0
+        assert BallTree(empty).count_within(np.zeros((2, 3)), 1.0).tolist() == [0, 0]
+        i, j = GridNeighborSearch(np.zeros((1, 3)), 1.0).self_join_pairs(1.0)
+        assert i.size == 0 and j.size == 0
+        assert radius_edges(np.zeros((1, 3)), 5.0).shape == (0, 2)
+
+    def test_all_coincident_points(self):
+        points = np.ones((60, 3))
+        tree = BallTree(points, leaf_size=4)
+        assert tree.query_radius(np.ones((1, 3)), 0.5)[0].size == 60
+        assert tree.count_within(np.ones((1, 3)), 0.5)[0] == 60
+        edges = radius_edges(points, 0.5, method="grid")
+        assert edges.shape[0] == 60 * 59 // 2
+        assert np.array_equal(edges, radius_edges(points, 0.5, method="brute"))
+
+
+class TestConnectedComponentsEquivalence:
+    @staticmethod
+    def assert_same_components(left, right):
+        assert len(left) == len(right)
+        for a, b in zip(left, right):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("include_singletons", [True, False])
+    def test_vectorized_equals_reference_and_networkx(self, seed, include_singletons):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 120))
+        n_edges = int(rng.integers(0, 300))
+        edges = rng.integers(0, n, size=(n_edges, 2))
+        vec = connected_components(edges, n, include_singletons, method="vectorized")
+        ref = connected_components(edges, n, include_singletons, method="reference")
+        nxc = connected_components_networkx(edges, n, include_singletons)
+        self.assert_same_components(vec, ref)
+        self.assert_same_components(vec, nxc)
+
+    def test_empty_edge_list(self):
+        vec = connected_components(np.empty((0, 2)), 5, method="vectorized")
+        ref = connected_components(np.empty((0, 2)), 5, method="reference")
+        self.assert_same_components(vec, ref)
+        assert len(vec) == 5
+        assert connected_components(np.empty((0, 2)), 0, method="vectorized") == []
+
+    def test_engine_default_steers_method(self):
+        edges = np.array([[0, 1], [2, 3]])
+        with use_kernel_method("reference"):
+            ref = connected_components(edges, 5)
+        self.assert_same_components(ref, connected_components(edges, 5))
+
+    def test_label_components_minimum_labels(self):
+        labels = label_components(np.array([[4, 3], [3, 2], [0, 1]]), 6)
+        assert labels.tolist() == [0, 0, 2, 2, 2, 5]
+
+    def test_self_loops_and_duplicates(self):
+        edges = np.array([[1, 1], [1, 1], [2, 1], [1, 2]])
+        vec = connected_components(edges, 4, method="vectorized")
+        ref = connected_components(edges, 4, method="reference")
+        self.assert_same_components(vec, ref)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_merge_vectorized_equals_reference(self, seed):
+        rng = np.random.default_rng(40 + seed)
+        n = int(rng.integers(2, 200))
+        edges = rng.integers(0, n, size=(int(rng.integers(0, 350)), 2))
+        partial_sets = [
+            [c.tolist() for c in connected_components(chunk, n, include_singletons=False)]
+            for chunk in np.array_split(edges, int(rng.integers(1, 7)))
+        ]
+        vec = merge_component_sets(partial_sets, method="vectorized")
+        ref = merge_component_sets(partial_sets, method="reference")
+        self.assert_same_components(vec, ref)
+        # merged partials reproduce the global components
+        expected = connected_components(edges, n, include_singletons=False)
+        self.assert_same_components(vec, expected)
+
+    def test_merge_degenerates(self):
+        for method in KERNEL_METHODS:
+            assert merge_component_sets([], method=method) == []
+            assert merge_component_sets([[], []], method=method) == []
+            singles = merge_component_sets([[[7]], [[7]], [[9]]], method=method)
+            assert [c.tolist() for c in singles] == [[7], [9]]
+
+
+class TestEarlybreakEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_blockwise_exactly_equals_reference(self, seed):
+        rng = np.random.default_rng(2000 + seed)
+        n_a = int(rng.integers(1, 24))
+        n_b = int(rng.integers(1, 24))
+        n_atoms = int(rng.integers(1, 10))
+        a = rng.normal(scale=rng.uniform(0.1, 10.0), size=(n_a, n_atoms, 3))
+        b = rng.normal(scale=rng.uniform(0.1, 10.0), size=(n_b, n_atoms, 3))
+        for shuffle_seed in (None, seed):
+            blockwise = hausdorff_earlybreak(a, b, shuffle_seed=shuffle_seed,
+                                             method="vectorized")
+            reference = hausdorff_earlybreak(a, b, shuffle_seed=shuffle_seed,
+                                             method="reference")
+            assert blockwise == reference        # equal floats, not approx
+            assert blockwise == pytest.approx(hausdorff(a, b), rel=1e-10)
+
+    @pytest.mark.parametrize("offset", [1e3, 9e6, -5e6])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_large_common_offset_stays_exact(self, offset, seed):
+        """Regression: a large shared coordinate magnitude must not break the
+        GEMM expansion's pruning (catastrophic cancellation) — the blockwise
+        kernel centers both sets by their common mean first."""
+        rng = np.random.default_rng(4000 + seed)
+        a = rng.normal(size=(int(rng.integers(1, 20)), 7, 3)) + offset
+        b = rng.normal(size=(int(rng.integers(1, 20)), 7, 3)) + offset
+        blockwise = hausdorff_earlybreak(a, b, shuffle_seed=seed)
+        reference = hausdorff_earlybreak(a, b, shuffle_seed=seed, method="reference")
+        assert blockwise == reference
+
+    @pytest.mark.parametrize("block_size", [1, 3, 17, 256])
+    def test_block_size_does_not_change_result(self, block_size):
+        rng = np.random.default_rng(77)
+        a = rng.normal(size=(21, 6, 3))
+        b = rng.normal(size=(13, 6, 3))
+        expected = hausdorff_earlybreak(a, b, method="reference")
+        assert hausdorff_earlybreak(a, b, block_size=block_size) == expected
+
+    def test_single_frame_trajectories(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(1, 4, 3))
+        b = rng.normal(size=(1, 4, 3))
+        assert hausdorff_earlybreak(a, b) == hausdorff_earlybreak(a, b, method="reference")
+        assert hausdorff_earlybreak(a, a) == 0.0
+
+    def test_identical_trajectories_zero(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(9, 5, 3))
+        for method in KERNEL_METHODS:
+            assert hausdorff_earlybreak(a, a.copy(), method=method) == 0.0
+
+    def test_engine_default_steers_method(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(8, 4, 3))
+        b = rng.normal(size=(6, 4, 3))
+        with use_kernel_method("reference"):
+            assert hausdorff_earlybreak(a, b) == hausdorff_earlybreak(
+                a, b, method="reference")
+
+    def test_invalid_block_size(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(3, 2, 3))
+        with pytest.raises(ValueError):
+            hausdorff_earlybreak(a, a, block_size=0)
+
+
+class TestBatchedKabschEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_batched_matches_per_frame_loop(self, seed):
+        rng = np.random.default_rng(3000 + seed)
+        traj = rng.normal(scale=rng.uniform(0.5, 4.0), size=(17, 9, 3))
+        reference = rng.normal(size=(9, 3))
+        batched = rmsd_trajectory(traj, reference=reference, superposition=True)
+        looped = np.array([kabsch_rmsd(frame, reference) for frame in traj])
+        assert np.allclose(batched, looped, rtol=1e-9, atol=1e-12)
+
+    def test_single_frame(self):
+        rng = np.random.default_rng(9)
+        traj = rng.normal(size=(1, 6, 3))
+        out = rmsd_trajectory(traj, superposition=True)
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_rotated_copy_has_zero_fitted_rmsd(self):
+        rng = np.random.default_rng(10)
+        frame = rng.normal(size=(12, 3))
+        theta = 0.7
+        rot = np.array([[np.cos(theta), -np.sin(theta), 0.0],
+                        [np.sin(theta), np.cos(theta), 0.0],
+                        [0.0, 0.0, 1.0]])
+        traj = np.stack([frame, frame @ rot.T + 3.0])
+        fitted = rmsd_trajectory(traj, reference=frame, superposition=True)
+        assert np.allclose(fitted, 0.0, atol=1e-9)

@@ -125,6 +125,28 @@ class TestKernels:
         with pytest.raises(ValueError):
             kern.connected_components(-1, 0)
 
+    def test_vectorized_engine_costs(self):
+        """The kernel-engine cost split: vectorized variants model cheaper."""
+        kern = KernelCosts()
+        n, e = 100_000, 400_000
+        assert kern.connected_components(n, e, method="vectorized") \
+            < kern.connected_components(n, e, method="reference")
+        assert kern.tree_block_batched(n, n) < kern.tree_block(n, n)
+        with pytest.raises(ValueError):
+            kern.connected_components(10, 10, method="gpu")
+        with pytest.raises(ValueError):
+            kern.tree_block_batched(-1, 5)
+
+    def test_earlybreak_pair_cost(self):
+        """The early-break kernel models as a fraction of the full 2D-RMSD."""
+        kern = KernelCosts()
+        full = kern.hausdorff_pair(256, 64)
+        assert kern.hausdorff_earlybreak_pair(256, 64) == pytest.approx(0.25 * full)
+        assert kern.hausdorff_earlybreak_pair(256, 64, visit_fraction=1.0) \
+            == pytest.approx(full)
+        with pytest.raises(ValueError):
+            kern.hausdorff_earlybreak_pair(256, 64, visit_fraction=0.0)
+
 
 class TestThroughputModel:
     def test_figure2_shape(self):

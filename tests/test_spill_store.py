@@ -92,6 +92,42 @@ class TestSpillToDisk:
         finally:
             store.cleanup()
 
+    def test_size_aware_eviction_prefers_large_cold_blocks(self):
+        """One cold oversized block spills before many small cold ones."""
+        rng = np.random.default_rng(7)
+        small = [rng.random((25, 5)) for _ in range(2)]   # 1000 bytes each
+        big = rng.random((200, 5))                        # 8000 bytes
+        store = SharedMemoryStore(capacity_bytes=10_000)
+        try:
+            small_refs = [store.put(a) for a in small]
+            big_ref = store.put(big)                      # resident: 10k exactly
+            assert store.bytes_spilled == 0
+            trigger = store.put(rng.random((25, 5)))      # 11k > 10k: evict
+            # the big block is the largest cold segment -> it spills alone,
+            # every small block (older ones included) stays resident
+            assert big_ref.segment not in store._segments
+            assert store.bytes_spilled == big.nbytes
+            for ref in small_refs + [trigger]:
+                assert ref.segment in store._segments
+            assert np.array_equal(big_ref.resolve(), big)  # via the file tier
+        finally:
+            store.cleanup()
+
+    def test_size_aware_eviction_protects_most_recent(self):
+        """Equal sizes reduce to classic LRU; the hottest block never spills."""
+        rng = np.random.default_rng(8)
+        arrays = [rng.random((50, 10)) for _ in range(4)]  # 4000 bytes each
+        store = SharedMemoryStore(capacity_bytes=9_000)
+        try:
+            ref0 = store.put(arrays[0])
+            store.put(arrays[1])
+            store.get(ref0)                   # block 0 is now the hottest
+            ref2 = store.put(arrays[2])       # evicts block 1 (cold), not 0
+            assert ref0.segment in store._segments
+            assert ref2.segment in store._segments
+        finally:
+            store.cleanup()
+
     def test_adopted_segments_spill_too(self, arrays):
         published, _ = publish_payload([arrays[0], arrays[1]])
         store = SharedMemoryStore(capacity_bytes=4_000)
