@@ -7,7 +7,16 @@ extension reports: the shm plane moves strictly fewer bytes while the
 results stay bit-identical.  Noise-aware assertions only — wall-clock
 wins at laptop scale are within scheduler jitter for small kernels, so
 the guarded quantity is bytes, not seconds.
+
+The exception is the spill pipeline: file writes of multi-megabyte
+blocks are far above timer noise, so the async-vs-sync comparison *is*
+asserted in seconds (the put-path stall must at least halve) and the
+measured table is written to ``BENCH_spill.json``.
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -18,8 +27,12 @@ from repro.core.psa import run_psa
 from repro.experiments.fig8_broadcast import data_plane_rows
 from repro.frameworks import make_framework
 from repro.frameworks.base import TaskFramework
+from repro.frameworks.shm import SharedMemoryStore
 
 CUTOFF = 15.0
+SPILL_RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_spill.json"
+
+_SPILL_RECORDS: list = []
 
 
 @pytest.mark.parametrize("plane", ["pickle", "shm"])
@@ -84,3 +97,78 @@ def test_fig8_data_plane_extension_shape(benchmark):
     for row in rows:
         assert row["bytes_moved_shm"] < row["bytes_moved_pickle"]
         assert row["moved_reduction"] > 10.0  # refs are orders of magnitude smaller
+
+
+def _fill_over_capacity(spill_async: bool, blocks, capacity: int,
+                        queue_depth: int):
+    """Put every block into an over-capacity store; measure where time went.
+
+    Returns ``(put_wall, spill_wait, spill_hidden, bytes_spilled)``:
+    total wall clock of the put loop, the store's hot-path stall, the
+    background-writer seconds, and the spilled volume.  Resolution of
+    every ref is verified bit-identical before the store is torn down.
+    """
+    store = SharedMemoryStore(capacity_bytes=capacity, spill_async=spill_async,
+                              spill_queue_depth=queue_depth)
+    try:
+        refs = []
+        put_wall = 0.0
+        for block in blocks:
+            start = time.perf_counter()
+            refs.append(store.put(block, dedup=False))
+            put_wall += time.perf_counter() - start
+        store.flush_spill()
+        for block, ref in zip(blocks, refs):
+            assert np.array_equal(ref.resolve(), block)
+        return (put_wall, store.spill_wait_seconds,
+                store.spill_hidden_seconds, store.bytes_spilled)
+    finally:
+        store.cleanup()
+
+
+def test_async_spill_reduces_put_path_stall(benchmark):
+    """PR 4 acceptance: write-behind spilling must at least halve the
+    put-path stall on an over-capacity workload, bit-identically.
+
+    4 MiB blocks keep the file writes far above timer noise; the queue
+    is deeper than the spill count, so the async stall measures the
+    enqueue path itself rather than disk backpressure.
+    """
+    rng = np.random.default_rng(1234)
+    blocks = [rng.random((512, 1024)) for _ in range(10)]       # 4 MiB each
+    capacity = 2 * blocks[0].nbytes                              # 8 MiB store
+    best = {}
+    for spill_async in (False, True):
+        best[spill_async] = min(
+            _fill_over_capacity(spill_async, blocks, capacity, queue_depth=16)
+            for _ in range(3))
+    benchmark(lambda: _fill_over_capacity(True, blocks, capacity, 16))
+    sync_wall, sync_wait, _, sync_spilled = best[False]
+    async_wall, async_wait, async_hidden, async_spilled = best[True]
+    assert sync_spilled == async_spilled > 0        # identical eviction decisions
+    assert sync_wait > 0.0
+    assert async_hidden > 0.0                       # the writes really ran behind
+    # the acceptance floor: >= 2x less hot-path stall (measured: ~100x)
+    assert async_wait * 2.0 <= sync_wait
+    _SPILL_RECORDS.append({
+        "workload": f"{len(blocks)} x {blocks[0].nbytes} B blocks into "
+                    f"{capacity} B store",
+        "bytes_spilled": int(async_spilled),
+        "sync_put_wall_s": sync_wall,
+        "async_put_wall_s": async_wall,
+        "sync_spill_wait_s": sync_wait,
+        "async_spill_wait_s": async_wait,
+        "async_spill_hidden_s": async_hidden,
+        "stall_reduction": sync_wait / max(async_wait, 1e-12),
+    })
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_spill_record():
+    """Persist the spill comparison, even on partial runs."""
+    yield
+    if _SPILL_RECORDS:
+        SPILL_RECORD_PATH.write_text(json.dumps({
+            "suite": "spill pipeline: synchronous vs write-behind",
+            "rows": _SPILL_RECORDS,
+        }, indent=2) + "\n")

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Spill tier walkthrough: an ensemble larger than the store completes.
+
+Configures the shm data plane with a store capacity deliberately far
+smaller than the ensemble, runs PSA end-to-end, and shows what the
+write-behind spill pipeline did:
+
+1. the run completes (and matches the serial reference bit-for-bit)
+   even though the working set never fits in the configured capacity;
+2. ``bytes_spilled`` reports how much of it went through the disk tier;
+3. the async-vs-sync comparison shows where the spill time lands —
+   ``spill_wait_seconds`` stalls the put path, ``spill_hidden_seconds``
+   runs behind it on the spill-writer thread.
+
+Run with::
+
+    python examples/spill_tier.py
+    python examples/spill_tier.py --trajectories 12 --frames 24 --capacity-divisor 8
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core.api import psa
+from repro.core.psa import psa_serial
+from repro.trajectory import EnsembleSpec, make_clustered_ensemble
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trajectories", type=int, default=8)
+    parser.add_argument("--frames", type=int, default=32)
+    parser.add_argument("--atoms", type=int, default=256,
+                        help="block size matters: spill writes of toy-sized "
+                        "blocks cost less than the enqueue bookkeeping")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--tasks", type=int, default=8)
+    parser.add_argument("--capacity-divisor", type=int, default=4,
+                        help="store capacity = ensemble bytes / this")
+    parser.add_argument("--queue-depth", type=int, default=8,
+                        help="write-behind queue bound before backpressure")
+    args = parser.parse_args()
+
+    ensemble = make_clustered_ensemble(
+        EnsembleSpec(n_trajectories=args.trajectories, n_frames=args.frames,
+                     n_atoms=args.atoms, seed=3))
+    total = sum(t.as_array().nbytes for t in ensemble)
+    capacity = total // args.capacity_divisor
+    print("== spill tier: ensemble larger than the configured store ==")
+    print(f"ensemble: {args.trajectories} trajectories, {total} bytes; "
+          f"store capacity: {capacity} bytes (1/{args.capacity_divisor})")
+
+    reference = psa_serial(ensemble).values
+
+    rows = []
+    for spill_async in (False, True):
+        matrix, report = psa(ensemble, "dasklite", workers=args.workers,
+                             n_tasks=args.tasks, data_plane="shm",
+                             store_capacity_bytes=capacity,
+                             spill_async=spill_async,
+                             spill_queue_depth=args.queue_depth)
+        assert np.array_equal(matrix.values, reference), "results must be bit-identical"
+        rows.append((spill_async, report.metrics))
+
+    print(f"\n{'mode':<14} {'bytes_spilled':>14} {'spill_wait_seconds':>20} "
+          f"{'spill_hidden_seconds':>22}")
+    for spill_async, metrics in rows:
+        mode = "write-behind" if spill_async else "synchronous"
+        print(f"{mode:<14} {metrics.bytes_spilled:>14} "
+              f"{metrics.spill_wait_seconds:>20.6f} "
+              f"{metrics.spill_hidden_seconds:>22.6f}")
+
+    sync_metrics = dict(rows)[False]
+    async_metrics = dict(rows)[True]
+    print(f"\nboth runs spilled {async_metrics.bytes_spilled} bytes and "
+          "produced bit-identical distance matrices.")
+    print("synchronous spill stalls the put path for every file write; "
+          "write-behind hides the writes on the spill-writer thread "
+          f"(stall {sync_metrics.spill_wait_seconds:.6f}s -> "
+          f"{async_metrics.spill_wait_seconds:.6f}s).")
+
+
+if __name__ == "__main__":
+    main()

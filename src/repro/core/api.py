@@ -8,7 +8,9 @@ Every entry point accepts a ``data_plane`` option (``"pickle"`` or
 ``"shm"``); on the shm plane task payloads *and results* travel as
 zero-copy shared-memory refs, and ``store_capacity_bytes`` bounds the
 resident shared memory by spilling least-recently-used blocks to disk
-(see :mod:`repro.frameworks.shm`).
+— write-behind by default (``spill_async``), so evictions enqueue onto
+a background writer instead of stalling the hot path (see
+:mod:`repro.frameworks.shm` and ``docs/data_plane.md``).
 """
 
 from __future__ import annotations
@@ -40,7 +42,9 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
         executor: str = "threads",
         data_plane: str | None = None,
         store_capacity_bytes: int | None = None,
-        spill_dir: str | None = None) -> Tuple[DistanceMatrix, RunReport]:
+        spill_dir: str | None = None,
+        spill_async: bool = True,
+        spill_queue_depth: int = 4) -> Tuple[DistanceMatrix, RunReport]:
     """Run Path Similarity Analysis on an ensemble.
 
     Parameters
@@ -81,6 +85,14 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
     spill_dir : str, optional
         Directory for the spill tier (private temporary directory when
         omitted).
+    spill_async : bool, optional
+        ``True`` (default) spills write-behind — evictions enqueue onto
+        a spill-writer thread and the put path only stalls on
+        backpressure; ``False`` writes spill files synchronously.  The
+        report splits the cost into ``spill_wait_seconds`` vs
+        ``spill_hidden_seconds``.
+    spill_queue_depth : int, optional
+        Write-behind queue bound before eviction applies backpressure.
 
     Returns
     -------
@@ -93,7 +105,8 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
     fw = _resolve_framework(framework, executor=executor, workers=workers,
                             data_plane=data_plane or "pickle",
                             store_capacity_bytes=store_capacity_bytes,
-                            spill_dir=spill_dir) \
+                            spill_dir=spill_dir, spill_async=spill_async,
+                            spill_queue_depth=spill_queue_depth) \
         if created else framework
     try:
         return run_psa(ensemble, fw, metric=metric, n_tasks=n_tasks,
@@ -113,7 +126,9 @@ def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
                    executor: str = "threads",
                    data_plane: str | None = None,
                    store_capacity_bytes: int | None = None,
-                   spill_dir: str | None = None) -> Tuple[LeafletResult, RunReport]:
+                   spill_dir: str | None = None,
+                   spill_async: bool = True,
+                   spill_queue_depth: int = 4) -> Tuple[LeafletResult, RunReport]:
     """Run the Leaflet Finder on a membrane system.
 
     Parameters
@@ -146,6 +161,10 @@ def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
         Spill watermark for the shm store when constructing by name.
     spill_dir : str, optional
         Directory for the spill tier.
+    spill_async : bool, optional
+        Write-behind spilling (default ``True``; see :func:`psa`).
+    spill_queue_depth : int, optional
+        Write-behind queue bound before eviction applies backpressure.
 
     Returns
     -------
@@ -165,7 +184,8 @@ def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
     fw = _resolve_framework(framework, executor=executor, workers=workers,
                             data_plane=data_plane or "pickle",
                             store_capacity_bytes=store_capacity_bytes,
-                            spill_dir=spill_dir) \
+                            spill_dir=spill_dir, spill_async=spill_async,
+                            spill_queue_depth=spill_queue_depth) \
         if created else framework
     try:
         return run_leaflet_finder(positions, cutoff, fw, approach=approach,

@@ -84,6 +84,13 @@ class RunMetrics:
         Cumulative bytes the framework's store moved to its disk tier
         (non-zero only when a ``store_capacity_bytes`` watermark is
         configured and exceeded).
+    spill_wait_seconds / spill_hidden_seconds:
+        The write-behind split of the spill cost: seconds eviction
+        stalled the task/result hot path (the whole file write for
+        synchronous stores, backpressure blocking for write-behind
+        stores) vs seconds the spill-writer thread spent writing in the
+        background.  Like ``bytes_spilled``, these mirror the store's
+        cumulative counters.
     events:
         Free-form ``(label, value)`` pairs recorded by substrates
         (e.g. per-stage timings, database round-trips).
@@ -102,6 +109,8 @@ class RunMetrics:
     bytes_results_pickled: int = 0
     bytes_shared_results: int = 0
     bytes_spilled: int = 0
+    spill_wait_seconds: float = 0.0
+    spill_hidden_seconds: float = 0.0
     events: List[tuple] = field(default_factory=list)
 
     def record_event(self, label: str, value: Any) -> None:
@@ -124,6 +133,9 @@ class RunMetrics:
             bytes_results_pickled=self.bytes_results_pickled + other.bytes_results_pickled,
             bytes_shared_results=self.bytes_shared_results + other.bytes_shared_results,
             bytes_spilled=max(self.bytes_spilled, other.bytes_spilled),
+            spill_wait_seconds=max(self.spill_wait_seconds, other.spill_wait_seconds),
+            spill_hidden_seconds=max(self.spill_hidden_seconds,
+                                     other.spill_hidden_seconds),
             events=self.events + other.events,
         )
         return merged
@@ -144,6 +156,8 @@ class RunMetrics:
             "bytes_results_pickled": self.bytes_results_pickled,
             "bytes_shared_results": self.bytes_shared_results,
             "bytes_spilled": self.bytes_spilled,
+            "spill_wait_seconds": self.spill_wait_seconds,
+            "spill_hidden_seconds": self.spill_hidden_seconds,
         }
 
 
@@ -197,6 +211,16 @@ class TaskFramework:
     spill_dir:
         Directory for the spill tier (a private temporary directory when
         omitted).
+    spill_async:
+        ``True`` (default) makes the spill tier write-behind: evictions
+        enqueue onto a dedicated spill-writer thread instead of writing
+        the file in the putting thread, and the metrics split the cost
+        into ``spill_wait_seconds`` (hot-path stall) vs
+        ``spill_hidden_seconds`` (background writes).  ``False``
+        restores synchronous spilling.
+    spill_queue_depth:
+        Bound on the write-behind queue before eviction applies
+        backpressure (default 4).
     """
 
     name = "base"
@@ -212,7 +236,9 @@ class TaskFramework:
                  workers: int | None = None,
                  data_plane: str = "pickle",
                  store_capacity_bytes: int | None = None,
-                 spill_dir: str | None = None) -> None:
+                 spill_dir: str | None = None,
+                 spill_async: bool = True,
+                 spill_queue_depth: int = 4) -> None:
         if data_plane not in DATA_PLANES:
             raise ValueError(
                 f"unknown data_plane {data_plane!r}; choose from {DATA_PLANES}"
@@ -222,7 +248,9 @@ class TaskFramework:
         else:
             self.executor = make_executor(executor, workers,
                                           store_capacity_bytes=store_capacity_bytes,
-                                          spill_dir=spill_dir)
+                                          spill_dir=spill_dir,
+                                          spill_async=spill_async,
+                                          spill_queue_depth=spill_queue_depth)
         self.cluster = cluster or local_cluster(cores=self.executor.workers)
         self.metrics = RunMetrics()
         self.data_plane = data_plane
@@ -232,7 +260,9 @@ class TaskFramework:
         self._owns_store = False
         if self.data_plane == "shm" and self.store is None:
             self.store = SharedMemoryStore(capacity_bytes=store_capacity_bytes,
-                                           spill_dir=spill_dir)
+                                           spill_dir=spill_dir,
+                                           spill_async=spill_async,
+                                           spill_queue_depth=spill_queue_depth)
             self._owns_store = True
 
     # ------------------------------------------------------------------ #
@@ -358,18 +388,27 @@ class TaskFramework:
                 results = [adopt_payload(r, self.store) for r in results]
             self.metrics.bytes_spilled = max(self.metrics.bytes_spilled,
                                              self.store.bytes_spilled)
+            self.metrics.spill_wait_seconds = max(self.metrics.spill_wait_seconds,
+                                                  self.store.spill_wait_seconds)
+            self.metrics.spill_hidden_seconds = max(self.metrics.spill_hidden_seconds,
+                                                    self.store.spill_hidden_seconds)
         elif not executor_measures:
             self.metrics.bytes_results_pickled += sum(nbytes_of(r) for r in results)
         return results
 
     # ------------------------------------------------------------------ #
     def _collect_executor_bytes(self) -> None:
-        """Fold the executor's per-task byte accounting into the metrics.
+        """Fold the executor's per-task byte and spill accounting into the metrics.
 
         ``_apply_data_plane`` estimates payload bytes driver-side and a
         process-based executor measures the same payloads as they cross;
         both describe one crossing, so take the larger rather than
-        summing them.
+        summing them.  The same applies to the spill split: the store's
+        cumulative counters and the executor's per-task attribution
+        describe the same stalls, and the executor totals are the only
+        source when a :class:`SharedMemoryExecutor` runs under a
+        framework whose own plane is ``"pickle"`` (its internal plane
+        still spills, but ``_finish_results`` never consults the store).
         """
         self.metrics.bytes_pickled = max(self.metrics.bytes_pickled,
                                          self.executor.total_bytes_pickled)
@@ -379,6 +418,10 @@ class TaskFramework:
                                                  self.executor.total_bytes_results_pickled)
         self.metrics.bytes_shared_results = max(self.metrics.bytes_shared_results,
                                                 self.executor.total_bytes_results_shared)
+        self.metrics.spill_wait_seconds = max(self.metrics.spill_wait_seconds,
+                                              self.executor.total_spill_wait_seconds)
+        self.metrics.spill_hidden_seconds = max(self.metrics.spill_hidden_seconds,
+                                                self.executor.total_spill_hidden_seconds)
 
     def _run_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Substrate-specific execution; default delegates to the executor."""

@@ -102,11 +102,14 @@ class DaskLiteClient(TaskFramework):
                  workers: int | None = None,
                  data_plane: str = "pickle",
                  store_capacity_bytes: int | None = None,
-                 spill_dir: str | None = None) -> None:
+                 spill_dir: str | None = None,
+                 spill_async: bool = True,
+                 spill_queue_depth: int = 4) -> None:
         super().__init__(cluster=cluster, executor=executor, workers=workers,
                          data_plane=data_plane,
                          store_capacity_bytes=store_capacity_bytes,
-                         spill_dir=spill_dir)
+                         spill_dir=spill_dir, spill_async=spill_async,
+                         spill_queue_depth=spill_queue_depth)
         if isinstance(executor, str) and executor == "serial":
             self.scheduler: SchedulerBase = SynchronousScheduler()
         else:

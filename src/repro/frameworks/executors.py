@@ -101,11 +101,20 @@ class TaskTiming:
     bytes_results_shared : int, optional
         Array bytes the task returned through shared memory instead of
         the result payload.
+    spill_wait_seconds : float, optional
+        Seconds the driver's store stalled the hot path on spill
+        eviction while staging this task's payload and adopting its
+        results (the full file write for synchronous stores,
+        backpressure blocking for write-behind stores).
+    spill_hidden_seconds : float, optional
+        Spill-writer seconds that elapsed in the background during the
+        same windows — file writes the write-behind pipeline hid from
+        the put path.
 
     Notes
     -----
-    All byte counters stay 0 for in-process executors, where no boundary
-    is crossed.
+    All byte and spill counters stay 0 for in-process executors, where
+    no boundary is crossed and the framework's store is driven directly.
     """
 
     index: int
@@ -115,6 +124,8 @@ class TaskTiming:
     bytes_shared: int = 0
     bytes_results_pickled: int = 0
     bytes_results_shared: int = 0
+    spill_wait_seconds: float = 0.0
+    spill_hidden_seconds: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -180,6 +191,16 @@ class ExecutorBase:
     def total_bytes_results_shared(self) -> int:
         """Array bytes returned through shared memory (last call)."""
         return sum(t.bytes_results_shared for t in self.timings)
+
+    @property
+    def total_spill_wait_seconds(self) -> float:
+        """Seconds spill eviction stalled the hot path (last call)."""
+        return sum(t.spill_wait_seconds for t in self.timings)
+
+    @property
+    def total_spill_hidden_seconds(self) -> float:
+        """Background spill-writer seconds observed during the last call."""
+        return sum(t.spill_hidden_seconds for t in self.timings)
 
     def shutdown(self) -> None:
         """Release any pooled resources (no-op for stateless executors)."""
@@ -338,18 +359,27 @@ class SharedMemoryExecutor(ExecutorBase):
         ``store`` is given); segments past it spill to disk.
     spill_dir : str, optional
         Spill directory for a privately owned store.
+    spill_async : bool, optional
+        Write-behind spilling for a privately owned store (default
+        ``True``; see :class:`~repro.frameworks.shm.SharedMemoryStore`).
+    spill_queue_depth : int, optional
+        Bounded spill-queue depth for a privately owned store.
     """
 
     def __init__(self, workers: int | None = None,
                  store: SharedMemoryStore | None = None,
                  store_capacity_bytes: int | None = None,
-                 spill_dir: str | None = None) -> None:
+                 spill_dir: str | None = None,
+                 spill_async: bool = True,
+                 spill_queue_depth: int = 4) -> None:
         super().__init__(workers=workers or default_worker_count())
         if store is not None:
             self.store = store
         else:
             self.store = SharedMemoryStore(capacity_bytes=store_capacity_bytes,
-                                           spill_dir=spill_dir)
+                                           spill_dir=spill_dir,
+                                           spill_async=spill_async,
+                                           spill_queue_depth=spill_queue_depth)
         self._owns_store = store is None
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
@@ -358,7 +388,18 @@ class SharedMemoryExecutor(ExecutorBase):
         items = list(items)
         if not items:
             return []
-        shared_items = [share_payload(item, self.store)[0] for item in items]
+        # staging payloads can trigger spill eviction; attribute each
+        # item's put-path stall (and background-writer progress) so the
+        # per-task timings carry the write-behind split
+        shared_items: List[Any] = []
+        stage_waits: List[float] = []
+        stage_hidden: List[float] = []
+        for item in items:
+            wait0 = self.store.spill_wait_seconds
+            hidden0 = self.store.spill_hidden_seconds
+            shared_items.append(share_payload(item, self.store)[0])
+            stage_waits.append(self.store.spill_wait_seconds - wait0)
+            stage_hidden.append(self.store.spill_hidden_seconds - hidden0)
         blobs = [pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
                  for item in shared_items]
         shared_sizes = [refs_nbytes(item) for item in shared_items]
@@ -369,12 +410,19 @@ class SharedMemoryExecutor(ExecutorBase):
             for index, out, start, stop, shared in pool.map(_shm_timed_call, payloads):
                 # adopt while the pool is alive: the worker that created
                 # the segments keeps them mapped until the driver owns them
+                wait0 = self.store.spill_wait_seconds
+                hidden0 = self.store.spill_hidden_seconds
                 results[index] = adopt_payload(pickle.loads(out), self.store)
-                timings.append(TaskTiming(index, start, stop,
-                                          bytes_pickled=len(blobs[index]),
-                                          bytes_shared=shared_sizes[index],
-                                          bytes_results_pickled=len(out),
-                                          bytes_results_shared=shared))
+                timings.append(TaskTiming(
+                    index, start, stop,
+                    bytes_pickled=len(blobs[index]),
+                    bytes_shared=shared_sizes[index],
+                    bytes_results_pickled=len(out),
+                    bytes_results_shared=shared,
+                    spill_wait_seconds=stage_waits[index]
+                    + self.store.spill_wait_seconds - wait0,
+                    spill_hidden_seconds=stage_hidden[index]
+                    + self.store.spill_hidden_seconds - hidden0))
         timings.sort(key=lambda t: t.index)
         self.timings = timings
         return results
@@ -387,7 +435,9 @@ class SharedMemoryExecutor(ExecutorBase):
 
 def make_executor(kind: str = "serial", workers: int | None = None,
                   store_capacity_bytes: int | None = None,
-                  spill_dir: str | None = None) -> ExecutorBase:
+                  spill_dir: str | None = None,
+                  spill_async: bool = True,
+                  spill_queue_depth: int = 4) -> ExecutorBase:
     """Build an executor by name.
 
     Parameters
@@ -396,8 +446,8 @@ def make_executor(kind: str = "serial", workers: int | None = None,
         ``"serial"``, ``"threads"``, ``"processes"`` or ``"shm"``.
     workers : int, optional
         Pool size for the pooled kinds.
-    store_capacity_bytes, spill_dir : optional
-        Store configuration, forwarded to
+    store_capacity_bytes, spill_dir, spill_async, spill_queue_depth : optional
+        Store and spill-pipeline configuration, forwarded to
         :class:`SharedMemoryExecutor` (ignored by the other kinds).
 
     Returns
@@ -413,5 +463,6 @@ def make_executor(kind: str = "serial", workers: int | None = None,
         return ProcessExecutor(workers)
     if kind in ("shm", "sharedmem", "shared-memory"):
         return SharedMemoryExecutor(workers, store_capacity_bytes=store_capacity_bytes,
-                                    spill_dir=spill_dir)
+                                    spill_dir=spill_dir, spill_async=spill_async,
+                                    spill_queue_depth=spill_queue_depth)
     raise ValueError(f"unknown executor kind {kind!r}")

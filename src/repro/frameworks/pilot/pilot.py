@@ -191,8 +191,9 @@ class PilotFramework(TaskFramework):
         removes both the file write and the payload pickling.  Unit
         *results* ride the same plane: output arrays are staged as
         shared segments and the driver resolves them zero-copy.
-    store_capacity_bytes, spill_dir:
-        Spill-tier configuration for the shm store (see
+    store_capacity_bytes, spill_dir, spill_async, spill_queue_depth:
+        Spill-tier configuration for the shm store, including the
+        write-behind pipeline (see
         :class:`~repro.frameworks.base.TaskFramework`).
     """
 
@@ -205,11 +206,14 @@ class PilotFramework(TaskFramework):
                  staging_dir: str | None = None,
                  data_plane: str = "pickle",
                  store_capacity_bytes: int | None = None,
-                 spill_dir: str | None = None) -> None:
+                 spill_dir: str | None = None,
+                 spill_async: bool = True,
+                 spill_queue_depth: int = 4) -> None:
         super().__init__(cluster=cluster, executor=executor, workers=workers,
                          data_plane=data_plane,
                          store_capacity_bytes=store_capacity_bytes,
-                         spill_dir=spill_dir)
+                         spill_dir=spill_dir, spill_async=spill_async,
+                         spill_queue_depth=spill_queue_depth)
         self._staged_refs: Dict[str, BlockRef] = {}
         self.session = Session(StateDatabase(latency_s=database_latency_s))
         self.pilot_manager = PilotManager(self.session, executor=self.executor)

@@ -31,6 +31,23 @@ cost for NumPy payloads — on the inbound *task* path and on the outbound
   resolving — through the page cache instead of ``/dev/shm`` — so
   ensembles larger than shared memory degrade gracefully instead of
   crashing.
+* Spilling is **write-behind** by default (``spill_async=True``): the
+  evicting ``put`` hands the victim to a dedicated spill-writer thread
+  and returns after the enqueue instead of after the file write.  An
+  evicted block moves through ``resident → enqueued → spilling →
+  spilled``; in the middle two states it is still readable from shared
+  memory, and only once its file is atomically in place is the shm
+  name unlinked.  The queue is bounded (``spill_queue_depth``), so
+  eviction cannot outrun the disk unboundedly — a full queue blocks the
+  putter, and that blocked time (the only put-path stall left) is
+  recorded as ``spill_wait_seconds``, while the writer's background
+  time is recorded as ``spill_hidden_seconds``.
+  :meth:`SharedMemoryStore.flush_spill` is the barrier that waits for
+  the queue to drain.
+* The resolve side pipelines reads the same way:
+  :func:`resolve_payload` issues :func:`prefetch_refs` hints for the
+  sibling refs of a multi-block payload, so file-tier blocks stream
+  into the page cache while the first block is being consumed.
 
 Every framework substrate accepts ``data_plane="pickle"|"shm"``; with
 ``"shm"`` the payloads that cross the (real or accounted) process
@@ -59,13 +76,15 @@ import dataclasses
 import itertools
 import mmap
 import os
+import queue
 import sys
 import tempfile
 import threading
+import time
 import uuid
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,6 +97,7 @@ __all__ = [
     "FileBackedStore",
     "share_payload",
     "resolve_payload",
+    "prefetch_refs",
     "publish_payload",
     "mark_handed_off",
     "adopt_payload",
@@ -264,6 +284,120 @@ def _attach_file(spill_dir: str, name: str) -> Optional[mmap.mmap]:
         # keep the first mapping if another thread raced us here
         mapped = _MAPPED.setdefault(path, mapped)
     return mapped
+
+
+# Fork safety for the background threads.  The spill writer and the
+# prefetcher take _REGISTRY_LOCK — and, through the shm create/unlink
+# calls, the resource tracker's internal lock — for short critical
+# sections.  A process pool that forks in exactly such a window would
+# inherit a lock no surviving thread can ever release, deadlocking the
+# worker's first resolve or publish (observed as a hang inside
+# ``resource_tracker.ensure_running``).  Holding the locks across the
+# fork closes the window; the child additionally drops the prefetch
+# queue — its serving thread did not survive the fork, so a fresh one
+# is started on demand.
+def _fork_critical_locks() -> List[Any]:
+    """The locks that must not be mid-acquisition while forking."""
+    locks: List[Any] = [_REGISTRY_LOCK, _prefetch_lock]
+    tracker_lock = getattr(resource_tracker._resource_tracker, "_lock", None)  # noqa: SLF001
+    if tracker_lock is not None:
+        locks.append(tracker_lock)
+    return locks
+
+
+def _hold_module_locks_before_fork() -> None:
+    for lock in _fork_critical_locks():
+        lock.acquire()
+
+
+def _release_module_locks_after_fork() -> None:
+    for lock in reversed(_fork_critical_locks()):
+        lock.release()
+
+
+def _reset_prefetcher_in_child() -> None:
+    global _prefetch_queue
+    _release_module_locks_after_fork()
+    _prefetch_queue = None
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only, like fork itself
+    os.register_at_fork(before=_hold_module_locks_before_fork,
+                        after_in_parent=_release_module_locks_after_fork,
+                        after_in_child=_reset_prefetcher_in_child)
+
+
+# Read-ahead for the file tier.  resolve_payload hints the sibling refs
+# of a multi-block payload so their spill files are mapped (and madvised)
+# by a background thread while the first block is being consumed.  Purely
+# best-effort: hints are dropped when the queue is full and every failure
+# is swallowed — prefetch must never change semantics, only warm the page
+# cache.
+_PREFETCH_DEPTH = 64
+_prefetch_queue: Optional["queue.Queue[Tuple[str, str]]"] = None
+_prefetch_lock = threading.Lock()
+
+
+def _prefetch_worker() -> None:
+    """Serve read-ahead hints: map the spill file and advise the kernel."""
+    while True:
+        spill_dir, name = _prefetch_queue.get()
+        try:
+            with _REGISTRY_LOCK:
+                if name in _OWNED or name in _ATTACHED:
+                    continue  # resident again (or never left): nothing to warm
+            mapped = _attach_file(spill_dir, name)
+            if mapped is not None and hasattr(mapped, "madvise"):
+                mapped.madvise(mmap.MADV_WILLNEED)
+        except Exception:
+            pass
+
+
+def prefetch_refs(refs: Sequence["BlockRef"]) -> int:
+    """Issue read-ahead hints for refs that may live in the file tier.
+
+    Each hint asks a background thread to memory-map the ref's spill
+    file (populating the per-process mapping cache that
+    :meth:`BlockRef.resolve` consults) and to ``madvise(WILLNEED)`` it,
+    so the kernel starts paging the block in before the first access.
+    Refs that are resident in shared memory, already mapped, or carry no
+    spill directory are skipped; when the hint queue is full the rest of
+    the batch is dropped rather than blocking the caller.
+
+    Parameters
+    ----------
+    refs : sequence of BlockRef
+        Candidate refs, usually the siblings of the block about to be
+        consumed (see :func:`resolve_payload`).
+
+    Returns
+    -------
+    int
+        Number of hints actually enqueued.
+    """
+    global _prefetch_queue
+    hints = 0
+    for ref in refs:
+        if not isinstance(ref, BlockRef) or ref.spill_dir is None:
+            continue
+        name = ref.segment
+        path = os.path.join(ref.spill_dir, name + ".blk")
+        with _REGISTRY_LOCK:
+            if name in _OWNED or name in _ATTACHED or path in _MAPPED:
+                continue  # already resolvable without touching the disk
+        if _prefetch_queue is None:
+            with _prefetch_lock:
+                if _prefetch_queue is None:
+                    _prefetch_queue = queue.Queue(maxsize=_PREFETCH_DEPTH)
+                    threading.Thread(target=_prefetch_worker,
+                                     name="repro-spill-prefetch",
+                                     daemon=True).start()
+        try:
+            _prefetch_queue.put_nowait((ref.spill_dir, name))
+        except queue.Full:
+            break
+        hints += 1
+    return hints
 
 
 def _copy_into_segment(array: np.ndarray,
@@ -474,10 +608,23 @@ class SharedMemoryStore:
     in ``spill_dir`` (largest-cold-first — see :meth:`_choose_victim`)
     and their refs keep resolving bit-identically through the file tier.
 
+    Spilling is write-behind by default (``spill_async=True``): the
+    evicting put hands the victim block to a dedicated spill-writer
+    thread through a bounded queue and returns immediately, so the hot
+    path no longer stalls for the file write.  An evicted block moves
+    through ``resident → enqueued → spilling → spilled``; until the
+    writer demotes it, it stays readable from shared memory.  A full
+    queue blocks the evicting put (backpressure), which bounds how far
+    shared-memory usage can overrun the watermark.
+    :meth:`flush_spill` is the barrier that drains the queue;
+    ``spill_async=False`` restores the synchronous in-line write.
+
     ``cleanup`` closes and unlinks every owned segment and removes the
     spill files; it also runs at interpreter exit (``atexit``) and at
     worker-process exit (``multiprocessing.util.Finalize``) as a
-    backstop against leaked ``/dev/shm`` entries.
+    backstop against leaked ``/dev/shm`` entries.  Pending write-behind
+    work is discarded at cleanup, never leaked: blocks still in flight
+    are unlinked straight from shared memory.
 
     Parameters
     ----------
@@ -488,6 +635,13 @@ class SharedMemoryStore:
         Directory for the disk tier.  Created on demand; when omitted
         and a capacity is set, a private temporary directory is used
         (and removed by :meth:`cleanup`).
+    spill_async : bool, optional
+        ``True`` (default) spills write-behind on the spill-writer
+        thread; ``False`` writes spill files synchronously in the
+        evicting thread.
+    spill_queue_depth : int, optional
+        Maximum number of blocks queued for the writer before eviction
+        applies backpressure (default 4; must be positive).
 
     Attributes
     ----------
@@ -497,15 +651,30 @@ class SharedMemoryStore:
         Cumulative segment bytes adopted from other processes.
     bytes_resident : int
         Segment bytes currently resident in shared memory (grows on
-        put/adopt, shrinks on spill).
+        put/adopt, shrinks when a block is evicted — for write-behind
+        spills that is enqueue time, when the block is committed to
+        leaving).
     bytes_spilled : int
-        Cumulative bytes written to the disk tier.
+        Cumulative bytes evicted to the disk tier (accounted when the
+        eviction is decided, so the counter is deterministic under
+        write-behind).
+    spill_wait_seconds : float
+        Cumulative seconds eviction stalled the putting thread: full
+        file-write time when ``spill_async=False``, backpressure
+        blocking only when ``True``.
+    spill_hidden_seconds : float
+        Cumulative seconds the write-behind thread spent writing spill
+        files in the background (always 0 for synchronous stores).
     """
 
     def __init__(self, capacity_bytes: int | None = None,
-                 spill_dir: str | None = None) -> None:
+                 spill_dir: str | None = None,
+                 spill_async: bool = True,
+                 spill_queue_depth: int = 4) -> None:
         if capacity_bytes is not None and capacity_bytes < 0:
             raise ValueError("capacity_bytes must be non-negative")
+        if spill_queue_depth < 1:
+            raise ValueError("spill_queue_depth must be positive")
         self._segments: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
         self._sizes: Dict[str, int] = {}
         # id(array) -> (array, ref); the array reference keeps the id stable
@@ -514,10 +683,23 @@ class SharedMemoryStore:
         self._lock = threading.RLock()
         self._closed = False
         self.capacity_bytes = capacity_bytes
+        self.spill_async = bool(spill_async)
+        self.spill_queue_depth = int(spill_queue_depth)
         self.bytes_shared = 0
         self.bytes_adopted = 0
         self.bytes_resident = 0
         self.bytes_spilled = 0
+        self.spill_wait_seconds = 0.0
+        self.spill_hidden_seconds = 0.0
+        # write-behind state: blocks in the enqueued/spilling states live
+        # in _spilling (name -> (segment, nbytes)) so their segments stay
+        # mapped and resolvable until the writer demotes them
+        self._spilling: Dict[str, Tuple[shared_memory.SharedMemory, int]] = {}
+        self._spill_queue: "deque[str]" = deque()
+        self._spill_cv = threading.Condition(self._lock)
+        self._spill_thread: threading.Thread | None = None
+        self._spill_stop = False
+        self._spill_error: BaseException | None = None
         self._owns_spill_dir = capacity_bytes is not None and spill_dir is None
         if self._owns_spill_dir:
             self.spill_dir: str | None = tempfile.mkdtemp(prefix="repro-spill-")
@@ -559,6 +741,10 @@ class SharedMemoryStore:
         key = id(array)
         _sweep_retired()
         with self._lock:
+            # re-checked under the lock: a concurrent cleanup() that beat
+            # us here must not gain a segment after its teardown sweep
+            if self._closed:
+                raise RuntimeError("SharedMemoryStore is closed")
             if dedup:
                 hit = self._registered.get(key)
                 if hit is not None:
@@ -607,7 +793,7 @@ class SharedMemoryStore:
             if name in self._segments:
                 self._touch(name)
                 return out
-            if name in self._spilled:
+            if name in self._spilled or name in self._spilling:
                 return out
             with _REGISTRY_LOCK:
                 segment = _ATTACHED.pop(name, None)
@@ -651,7 +837,8 @@ class SharedMemoryStore:
     def __contains__(self, ref: BlockRef) -> bool:
         """Whether ``ref`` points at a segment this store owns (any tier)."""
         return isinstance(ref, BlockRef) and (ref.segment in self._segments
-                                              or ref.segment in self._spilled)
+                                              or ref.segment in self._spilled
+                                              or ref.segment in self._spilling)
 
     @property
     def closed(self) -> bool:
@@ -665,11 +852,25 @@ class SharedMemoryStore:
             self._segments.move_to_end(name)
 
     def _maybe_spill(self) -> None:
-        """Spill cold segments, largest first, until under the watermark."""
+        """Evict cold segments, largest first, until under the watermark.
+
+        Synchronous stores write the spill file in line (the full write
+        lands in ``spill_wait_seconds``); write-behind stores enqueue the
+        victim for the spill-writer thread and return immediately.  A
+        store closed while an eviction waits on backpressure stops
+        evicting — cleanup owns every remaining segment from that point.
+        """
         if self.capacity_bytes is None:
             return
-        while self.bytes_resident > self.capacity_bytes and self._segments:
-            self._spill_segment(self._choose_victim())
+        while (self.bytes_resident > self.capacity_bytes and self._segments
+               and not self._closed):
+            victim = self._choose_victim()
+            if self.spill_async:
+                self._enqueue_spill(victim)
+            else:
+                start = time.perf_counter()
+                self._spill_segment(victim)
+                self.spill_wait_seconds += time.perf_counter() - start
 
     def _choose_victim(self) -> str:
         """Size-aware LRU eviction choice.
@@ -690,17 +891,26 @@ class SharedMemoryStore:
         # max() keeps the first (= least recently used) of equal sizes
         return max(cold, key=self._sizes.__getitem__)
 
-    def _spill_segment(self, name: str) -> None:
-        """Move one resident segment to the disk tier."""
-        segment = self._segments.pop(name)
-        nbytes = self._sizes.pop(name)
+    def _write_block(self, name: str, segment: shared_memory.SharedMemory) -> None:
+        """Write one segment's bytes to its spill file, atomically.
+
+        Readers must never observe a partial block: the bytes go to a
+        ``.tmp`` sibling first and are published with ``os.replace``.
+        """
         path = os.path.join(self.spill_dir, name + ".blk")
         tmp = path + ".tmp"
         with open(tmp, "wb") as fh:
             fh.write(segment.buf)
-        # readers must never observe a partial block: publish atomically,
-        # and only unlink the shm name once the file is in place
         os.replace(tmp, path)
+
+    def _demote_segment(self, name: str, segment: shared_memory.SharedMemory,
+                        nbytes: int) -> None:
+        """Retire a written-out segment from shared memory to the file tier.
+
+        Only called once the block's spill file is in place, so refs can
+        always resolve through one tier or the other.  Runs under the
+        store lock.
+        """
         with _REGISTRY_LOCK:
             _OWNED.pop(name, None)
         _quiet_unlink(segment)
@@ -708,41 +918,177 @@ class SharedMemoryStore:
         # closing under them (swept once the views are gone)
         _retire_or_close(segment)
         self._spilled[name] = nbytes
+
+    def _spill_segment(self, name: str) -> None:
+        """Move one resident segment to the disk tier, synchronously."""
+        segment = self._segments.pop(name)
+        nbytes = self._sizes.pop(name)
+        self._write_block(name, segment)
+        self._demote_segment(name, segment, nbytes)
         self.bytes_resident -= nbytes
         self.bytes_spilled += nbytes
 
     # ------------------------------------------------------------------ #
+    # write-behind machinery
+    # ------------------------------------------------------------------ #
+    def _raise_spill_error(self) -> None:
+        """Re-raise a failure recorded by the spill-writer thread.
+
+        The error is sticky: once the writer has failed, every flush and
+        every further eviction surfaces it instead of hanging on a queue
+        nobody drains.  Blocks the dead writer left in the ``spilling``
+        state stay readable from shared memory and are unlinked by
+        :meth:`cleanup`.
+        """
+        if self._spill_error is not None:
+            raise RuntimeError("async spill writer failed") from self._spill_error
+
+    def _enqueue_spill(self, name: str) -> None:
+        """Hand one resident segment to the spill-writer thread.
+
+        Runs under the store lock.  The block leaves the resident set
+        immediately — ``bytes_resident`` and ``bytes_spilled`` account
+        the eviction decision, not the file write, so the counters are
+        deterministic — and enters the ``enqueued`` state, where its ref
+        keeps resolving from shared memory.  A full queue blocks until
+        the writer takes a block (backpressure); that blocked time is
+        the put path's only remaining stall and is recorded in
+        ``spill_wait_seconds``.
+        """
+        self._raise_spill_error()
+        if self._spill_thread is None:
+            self._spill_thread = threading.Thread(
+                target=self._spill_writer, name="repro-spill-writer", daemon=True)
+            self._spill_thread.start()
+        segment = self._segments.pop(name)
+        nbytes = self._sizes.pop(name)
+        self._spilling[name] = (segment, nbytes)
+        self.bytes_resident -= nbytes
+        self.bytes_spilled += nbytes
+        start = time.perf_counter()
+        while (len(self._spill_queue) >= self.spill_queue_depth
+               and not self._spill_stop and self._spill_error is None):
+            self._spill_cv.wait()
+        self.spill_wait_seconds += time.perf_counter() - start
+        if self._spill_stop:
+            return  # racing close: cleanup owns the spilling set now
+        self._spill_queue.append(name)
+        self._spill_cv.notify_all()
+
+    def _spill_writer(self) -> None:
+        """Drain the eviction queue: write each block, then demote it.
+
+        The file write runs outside the store lock, so putters only ever
+        contend on the (cheap) enqueue.  Taking a block off the queue
+        immediately frees its backpressure slot — a putter blocked on a
+        full queue resumes while the write is still in flight.
+        """
+        while True:
+            with self._spill_cv:
+                while not self._spill_queue and not self._spill_stop:
+                    self._spill_cv.wait()
+                if self._spill_stop:
+                    return
+                name = self._spill_queue.popleft()
+                segment, nbytes = self._spilling[name]
+                self._spill_cv.notify_all()  # slot freed: unblock putters
+            start = time.perf_counter()
+            try:
+                self._write_block(name, segment)
+            except BaseException as exc:  # noqa: BLE001 - surfaced on flush/put
+                with self._spill_cv:
+                    self._spill_error = exc
+                    self._spill_cv.notify_all()
+                return
+            elapsed = time.perf_counter() - start
+            with self._spill_cv:
+                self.spill_hidden_seconds += elapsed
+                if self._spill_stop:
+                    return  # cleanup tears the spilling set down itself
+                self._spilling.pop(name, None)
+                self._demote_segment(name, segment, nbytes)
+                self._spill_cv.notify_all()
+
+    def flush_spill(self) -> None:
+        """Barrier: block until every enqueued spill reached the disk tier.
+
+        After it returns, no block is left in the ``enqueued`` or
+        ``spilling`` state — every evicted ref resolves through its
+        ``.blk`` file and the corresponding shm names are unlinked.
+        Returns immediately on stores with no pending write-behind work
+        (synchronous stores, stores that never spilled); re-raises a
+        spill-writer failure instead of hanging on it.
+        """
+        with self._spill_cv:
+            while ((self._spill_queue or self._spilling)
+                   and self._spill_error is None and not self._spill_stop):
+                self._spill_cv.wait()
+            self._raise_spill_error()
+
+    # ------------------------------------------------------------------ #
     def cleanup(self) -> None:
-        """Close and unlink every owned segment and spill file (idempotent)."""
+        """Close and unlink every owned segment and spill file (idempotent).
+
+        Pending write-behind work is discarded, not flushed: the spill
+        writer is stopped, blocks still in the ``enqueued`` / ``spilling``
+        states are unlinked straight from shared memory, and any block
+        files they already produced are removed with the rest of the
+        disk tier — so a store closed (or a worker that dies) with a
+        non-empty spill queue leaks neither ``/dev/shm`` names nor
+        ``.blk`` files.
+        """
         if self._closed:
             return
-        self._closed = True
-        for name, segment in self._segments.items():
-            with _REGISTRY_LOCK:
-                _OWNED.pop(name, None)
-            # unlink unconditionally so the name never outlives the
-            # store, but only unmap when no caller still holds views
-            # (result arrays are views into these segments)
-            _quiet_unlink(segment)
-            _retire_or_close(segment)
-        self._segments.clear()
-        self._sizes.clear()
-        self._registered.clear()
-        self.bytes_resident = 0
-        for name in self._spilled:
-            path = os.path.join(self.spill_dir, name + ".blk")
-            with _REGISTRY_LOCK:
-                mapped = _MAPPED.pop(path, None)
-            if mapped is not None:
-                try:
-                    mapped.close()
-                except Exception:
-                    pass
-            try:
-                os.remove(path)
-            except OSError:
-                pass
-        self._spilled.clear()
+        with self._spill_cv:
+            if self._closed:  # lost the race to another closer
+                return
+            self._closed = True
+            self._spill_stop = True
+            self._spill_queue.clear()
+            thread = self._spill_thread
+            self._spill_cv.notify_all()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=30.0)
+        # the teardown sweep runs under the store lock: a put (or an
+        # eviction loop) that raced the close either finished before
+        # the sweep — and is swept with everything else — or observes
+        # the closed flag under the same lock and backs out
+        with self._lock:
+            # blocks the writer never demoted go straight from shm to gone
+            for name, (segment, _nbytes) in self._spilling.items():
+                with _REGISTRY_LOCK:
+                    _OWNED.pop(name, None)
+                _quiet_unlink(segment)
+                _retire_or_close(segment)
+            doomed_files = set(self._spilled) | set(self._spilling)
+            self._spilling.clear()
+            for name, segment in self._segments.items():
+                with _REGISTRY_LOCK:
+                    _OWNED.pop(name, None)
+                # unlink unconditionally so the name never outlives the
+                # store, but only unmap when no caller still holds views
+                # (result arrays are views into these segments)
+                _quiet_unlink(segment)
+                _retire_or_close(segment)
+            self._segments.clear()
+            self._sizes.clear()
+            self._registered.clear()
+            self.bytes_resident = 0
+            for name in doomed_files:
+                path = os.path.join(self.spill_dir, name + ".blk")
+                with _REGISTRY_LOCK:
+                    mapped = _MAPPED.pop(path, None)
+                if mapped is not None:
+                    try:
+                        mapped.close()
+                    except Exception:
+                        pass
+                for leftover in (path, path + ".tmp"):
+                    try:
+                        os.remove(leftover)
+                    except OSError:
+                        pass
+            self._spilled.clear()
         if self._owns_spill_dir and self.spill_dir is not None:
             try:
                 os.rmdir(self.spill_dir)
@@ -970,7 +1316,24 @@ def share_payload(obj: Any, store: SharedMemoryStore) -> Tuple[Any, int]:
 
 
 def resolve_payload(obj: Any) -> Any:
-    """Swap every :class:`BlockRef` in ``obj`` back to a NumPy view."""
+    """Swap every :class:`BlockRef` in ``obj`` back to a NumPy view.
+
+    Payloads carrying more than one ref get read-ahead: before the
+    first block is resolved, :func:`prefetch_refs` hints are issued for
+    its siblings, so blocks that were spilled to the file tier stream
+    into the page cache while the earlier blocks are being consumed —
+    the resolve-side half of the write-behind spill pipeline.
+    """
+    refs: List[BlockRef] = []
+
+    def collect(x: Any) -> Any:
+        if isinstance(x, BlockRef):
+            refs.append(x)
+        return x
+
+    _walk(obj, collect)
+    if len(refs) > 1:
+        prefetch_refs(refs[1:])
 
     def leaf(x: Any) -> Any:
         if isinstance(x, BlockRef):

@@ -40,8 +40,9 @@ class SparkLiteContext(TaskFramework):
         ``map_tasks`` payloads *and collected results* carry
         shared-memory refs instead of array bytes (see
         :mod:`repro.frameworks.shm`).
-    store_capacity_bytes, spill_dir:
-        Spill-tier configuration for the shm store (see
+    store_capacity_bytes, spill_dir, spill_async, spill_queue_depth:
+        Spill-tier configuration for the shm store, including the
+        write-behind pipeline (see
         :class:`~repro.frameworks.base.TaskFramework`).
     """
 
@@ -53,11 +54,14 @@ class SparkLiteContext(TaskFramework):
                  default_parallelism: int | None = None,
                  data_plane: str = "pickle",
                  store_capacity_bytes: int | None = None,
-                 spill_dir: str | None = None) -> None:
+                 spill_dir: str | None = None,
+                 spill_async: bool = True,
+                 spill_queue_depth: int = 4) -> None:
         super().__init__(cluster=cluster, executor=executor, workers=workers,
                          data_plane=data_plane,
                          store_capacity_bytes=store_capacity_bytes,
-                         spill_dir=spill_dir)
+                         spill_dir=spill_dir, spill_async=spill_async,
+                         spill_queue_depth=spill_queue_depth)
         self.default_parallelism = default_parallelism or max(2, self.executor.workers)
         self._scheduler = DAGScheduler(self, self.executor)
         self._rdd_counter = 0

@@ -10,6 +10,8 @@ the algorithms use.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 from dataclasses import dataclass
 
@@ -102,6 +104,21 @@ def calibrate_kernels(*, n_frames: int = 64, n_atoms: int = 512,
     passes = max(1.0, np.log2(max(n_points, 2)) / 2.0)
     cc_label = (n_points + edges.shape[0]) * passes / max(t, 1e-9)
 
+    # spill-file write bandwidth: what one synchronous eviction of a
+    # ~4 MB block costs on this machine's local storage (the async
+    # pipeline hides most of it, but the model needs the denominator)
+    block = rng.normal(size=(4 * 1024 * 1024 // 8,))
+    with tempfile.TemporaryDirectory(prefix="repro-calib-spill-") as tmpdir:
+        path = os.path.join(tmpdir, "calib.blk")
+
+        def _write() -> None:
+            with open(path, "wb") as fh:
+                fh.write(block.data)
+
+        t = _time(_write, repeats)
+    timings["spill_write"] = t
+    spill_bw = block.nbytes / max(t, 1e-9)
+
     rates = KernelRates(
         gemm_flops=gemm_flops,
         cdist_evals=cdist_evals,
@@ -111,5 +128,6 @@ def calibrate_kernels(*, n_frames: int = 64, n_atoms: int = 512,
         cc_label_ops=cc_label,
         tree_batch_candidates=tree_batch,
         io_bandwidth=DEFAULT_RATES.io_bandwidth,
+        spill_bandwidth=spill_bw,
     )
     return CalibrationResult(rates=rates, timings=timings)

@@ -53,6 +53,9 @@ class KernelRates:
     tree_batch_candidates: float = 2.0e7
     #: trajectory file read bandwidth (bytes/s) from the parallel filesystem
     io_bandwidth: float = 5.0e8
+    #: spill-file write bandwidth (bytes/s) to node-local storage — the
+    #: denominator of the data plane's spill-to-disk cost
+    spill_bandwidth: float = 1.0e9
 
     def scaled(self, factor: float) -> "KernelRates":
         """All rates multiplied by ``factor`` (e.g. a faster/slower core)."""
@@ -112,6 +115,39 @@ class KernelCosts:
         """Reading one trajectory from the filesystem (float32 on disk)."""
         nbytes = n_frames * n_atoms * 3 * 4
         return nbytes / self.rates.io_bandwidth
+
+    def spill_write(self, nbytes: int, spill_async: bool = True,
+                    hidden_fraction: float = 0.9) -> float:
+        """Critical-path cost of spilling ``nbytes`` to the disk tier.
+
+        A synchronous spill stalls the putting thread for the whole file
+        write (``nbytes / spill_bandwidth``).  The write-behind pipeline
+        moves the write onto a background thread; only the fraction the
+        writer cannot hide — enqueue overhead plus backpressure when
+        eviction outruns the disk — stays on the critical path.
+
+        Parameters
+        ----------
+        nbytes : int
+            Bytes evicted to the disk tier.
+        spill_async : bool, optional
+            Model the write-behind pipeline (default) or the
+            synchronous in-line write.
+        hidden_fraction : float, optional
+            Fraction of the write the background thread overlaps with
+            useful work, in ``[0, 1]``.  The default 0.9 reflects a
+            compute-bound workload whose spill queue rarely fills;
+            workloads that evict faster than the disk drains push it
+            toward 0 (pure backpressure = a synchronous write).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if not 0.0 <= hidden_fraction <= 1.0:
+            raise ValueError("hidden_fraction must be in [0, 1]")
+        full = nbytes / self.rates.spill_bandwidth
+        if not spill_async:
+            return full
+        return (1.0 - hidden_fraction) * full
 
     # ------------------------------------------------------------------ #
     def cdist_block(self, n_rows: int, n_cols: int) -> float:

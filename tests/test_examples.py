@@ -22,7 +22,8 @@ class TestExamples:
     def test_examples_exist(self):
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert {"quickstart.py", "psa_ensemble.py", "leaflet_membrane.py",
-                "framework_comparison.py", "paper_scale_projection.py"} <= names
+                "framework_comparison.py", "paper_scale_projection.py",
+                "spill_tier.py"} <= names
 
     def test_psa_ensemble_small(self):
         out = run_example("psa_ensemble.py", "--trajectories", "6", "--frames", "10",
@@ -40,3 +41,10 @@ class TestExamples:
         out = run_example("framework_comparison.py")
         assert "recommendations" in out
         assert "Spark" in out and "Dask" in out and "RADICAL-Pilot" in out
+
+    def test_spill_tier_small(self):
+        out = run_example("spill_tier.py", "--trajectories", "6", "--frames", "12",
+                          "--atoms", "64", "--workers", "2", "--tasks", "4")
+        assert "bytes_spilled" in out
+        assert "spill_hidden_seconds" in out
+        assert "bit-identical distance matrices" in out

@@ -147,6 +147,25 @@ class TestKernels:
         with pytest.raises(ValueError):
             kern.hausdorff_earlybreak_pair(256, 64, visit_fraction=0.0)
 
+    def test_spill_write_cost(self):
+        """The write-behind spill term: async only pays the unhidden tail."""
+        kern = KernelCosts()
+        nbytes = 64 * 1024 * 1024
+        sync = kern.spill_write(nbytes, spill_async=False)
+        assert sync == pytest.approx(nbytes / DEFAULT_RATES.spill_bandwidth)
+        behind = kern.spill_write(nbytes, spill_async=True)
+        assert behind < sync
+        assert behind == pytest.approx(0.1 * sync)      # default hides 90%
+        # the limits bracket it: fully hidden is free, fully backpressured
+        # is a synchronous write
+        assert kern.spill_write(nbytes, hidden_fraction=1.0) == 0.0
+        assert kern.spill_write(nbytes, hidden_fraction=0.0) == pytest.approx(sync)
+        assert kern.spill_write(0) == 0.0
+        with pytest.raises(ValueError):
+            kern.spill_write(-1)
+        with pytest.raises(ValueError):
+            kern.spill_write(nbytes, hidden_fraction=1.5)
+
 
 class TestThroughputModel:
     def test_figure2_shape(self):

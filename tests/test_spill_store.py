@@ -6,6 +6,13 @@ files, refs keep resolving bit-identically across the tier change,
 ``bytes_spilled`` is reported, a PSA run sized beyond a configured store
 cap completes with bit-identical output — and no ``/dev/shm`` segments
 leak across runs (the worker-crash cleanup fix).
+
+The write-behind pipeline (PR 4) is covered by ``TestWriteBehind``:
+enqueued/spilling blocks stay readable from shared memory, ``flush_spill``
+is a real barrier, backpressure bounds the queue, concurrent
+put/resolve races stay bit-identical, ``spill_async=False`` is an exact
+behavioural twin, and closing (or crashing a worker) with a non-empty
+queue leaks neither ``/dev/shm`` names nor spill files.
 """
 
 from __future__ import annotations
@@ -52,7 +59,9 @@ class TestSpillToDisk:
             assert store.bytes_resident <= 10_000
             # LRU: the most recently put block is still resident
             assert refs[-1].segment in store._segments
-            # the first block went to disk, as a .blk file in the spill dir
+            # after the write-behind barrier the first block is on disk,
+            # as a .blk file in the spill dir
+            store.flush_spill()
             assert os.path.exists(
                 os.path.join(store.spill_dir, refs[0].segment + ".blk"))
         finally:
@@ -143,6 +152,7 @@ class TestSpillToDisk:
     def test_cleanup_removes_spill_files(self, arrays):
         store = SharedMemoryStore(capacity_bytes=4_000)
         refs = [store.put(a) for a in arrays[:3]]
+        store.flush_spill()
         spill_dir = store.spill_dir
         assert os.listdir(spill_dir)
         store.cleanup()
@@ -162,6 +172,151 @@ class TestSpillToDisk:
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             SharedMemoryStore(capacity_bytes=-1)
+
+    def test_bad_queue_depth_rejected(self):
+        with pytest.raises(ValueError):
+            SharedMemoryStore(capacity_bytes=100, spill_queue_depth=0)
+
+
+class TestWriteBehind:
+    """The async spill pipeline: enqueue/spilling states, barrier, races."""
+
+    def test_flush_spill_is_a_noop_without_pending_work(self, arrays):
+        store = SharedMemoryStore()  # no capacity: nothing ever spills
+        try:
+            store.put(arrays[0])
+            store.flush_spill()
+        finally:
+            store.cleanup()
+
+    def test_spilling_blocks_resolve_from_shm_until_demoted(self, arrays):
+        """In the enqueued/spilling states the shm mapping still serves
+        reads; after the barrier the same ref resolves via the file."""
+        store = SharedMemoryStore(capacity_bytes=0, spill_queue_depth=1)
+        try:
+            ref = store.put(arrays[0])
+            # whichever state the block is in right now, reads are exact
+            assert np.array_equal(ref.resolve(), arrays[0])
+            store.flush_spill()
+            assert ref.segment in store._spilled
+            assert os.path.exists(
+                os.path.join(store.spill_dir, ref.segment + ".blk"))
+            assert np.array_equal(ref.resolve(), arrays[0])
+        finally:
+            store.cleanup()
+
+    def test_async_matches_sync_bit_for_bit(self, arrays):
+        """spill_async=False equivalence: same evictions, same counters,
+        same bytes back — only where the write time lands differs."""
+        sync = SharedMemoryStore(capacity_bytes=8_000, spill_async=False)
+        behind = SharedMemoryStore(capacity_bytes=8_000, spill_async=True)
+        try:
+            sync_refs = [sync.put(a) for a in arrays]
+            async_refs = [behind.put(a) for a in arrays]
+            behind.flush_spill()
+            assert sync.bytes_spilled == behind.bytes_spilled > 0
+            assert sync.bytes_resident == behind.bytes_resident
+            assert set(sync._spilled) != set()  # both really hit the disk tier
+            for array, s_ref, a_ref in zip(arrays, sync_refs, async_refs):
+                assert np.array_equal(s_ref.resolve(), array)
+                assert np.array_equal(a_ref.resolve(), array)
+            # the split: sync stalls the putter, write-behind hides it
+            assert sync.spill_wait_seconds > 0.0
+            assert sync.spill_hidden_seconds == 0.0
+            assert behind.spill_hidden_seconds > 0.0
+        finally:
+            sync.cleanup()
+            behind.cleanup()
+
+    def test_backpressure_bounds_the_queue(self):
+        """A depth-1 queue forces eviction to wait for the writer; the
+        store still ends up exactly at its watermark."""
+        rng = np.random.default_rng(21)
+        arrays = [rng.random((500, 100)) for _ in range(8)]  # 400k each
+        store = SharedMemoryStore(capacity_bytes=400_000, spill_queue_depth=1)
+        try:
+            refs = [store.put(a) for a in arrays]
+            store.flush_spill()
+            assert store.bytes_resident <= 400_000
+            assert store.bytes_spilled == 7 * arrays[0].nbytes
+            for array, ref in zip(arrays, refs):
+                assert np.array_equal(ref.resolve(), array)
+        finally:
+            store.cleanup()
+
+    def test_concurrent_put_resolve_during_spill(self):
+        """Putters and resolvers race the spill writer; every read is
+        bit-identical whichever tier serves it."""
+        rng = np.random.default_rng(12)
+        arrays = [rng.random((100, 20)) for _ in range(32)]  # 16k each
+        store = SharedMemoryStore(capacity_bytes=48_000, spill_queue_depth=2)
+        refs: dict = {}
+        failures: list = []
+
+        def putter(indices):
+            try:
+                for i in indices:
+                    refs[i] = store.put(arrays[i])
+            except Exception as exc:  # pragma: no cover - failure reporting
+                failures.append(exc)
+
+        def resolver():
+            try:
+                for _ in range(50):
+                    for i, ref in list(refs.items()):
+                        if not np.array_equal(ref.resolve(), arrays[i]):
+                            failures.append(f"mismatch on block {i}")
+            except Exception as exc:  # pragma: no cover - failure reporting
+                failures.append(exc)
+
+        import threading
+        threads = [threading.Thread(target=putter, args=(range(0, 32, 2),)),
+                   threading.Thread(target=putter, args=(range(1, 32, 2),)),
+                   threading.Thread(target=resolver),
+                   threading.Thread(target=resolver)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not failures
+            store.flush_spill()
+            for i, ref in refs.items():
+                assert np.array_equal(ref.resolve(), arrays[i])
+        finally:
+            store.cleanup()
+
+    def test_adopt_while_block_is_spilling(self, arrays):
+        """Adopting a ref whose segment is mid-spill neither duplicates
+        ownership nor breaks resolution."""
+        store = SharedMemoryStore(capacity_bytes=0, spill_queue_depth=1)
+        try:
+            ref = store.put(arrays[0])  # immediately enqueued (capacity 0)
+            out = store.adopt(ref)
+            assert out.spill_dir == store.spill_dir
+            store.flush_spill()
+            assert np.array_equal(out.resolve(), arrays[0])
+        finally:
+            store.cleanup()
+
+    def test_close_with_nonempty_queue_leaks_nothing(self):
+        """flush-on-close: cleanup with blocks still enqueued/in flight
+        leaves neither /dev/shm names nor spill files behind."""
+        before = shm_entries()
+        rng = np.random.default_rng(3)
+        store = SharedMemoryStore(capacity_bytes=0, spill_queue_depth=1)
+        spill_dir = store.spill_dir
+        for _ in range(6):
+            store.put(rng.random((200, 50)))
+        store.cleanup()  # no flush first: the queue is likely non-empty
+        assert shm_entries() <= before
+        assert not os.path.exists(spill_dir)
+
+    def test_put_after_close_still_raises(self, arrays):
+        store = SharedMemoryStore(capacity_bytes=1_000)
+        store.cleanup()
+        with pytest.raises(RuntimeError):
+            store.put(arrays[0])
 
 
 class TestFileBackedStore:
@@ -201,6 +356,88 @@ class TestFileBackedStore:
 
 
 class TestMetricsAndAcceptance:
+    def test_psa_spill_async_ablation_bit_identical(self):
+        """PR 4 acceptance: the write-behind pipeline changes where the
+        spill time lands, never the results."""
+        ensemble = make_clustered_ensemble(
+            EnsembleSpec(n_trajectories=8, n_frames=16, n_atoms=64, seed=3))
+        total = sum(t.as_array().nbytes for t in ensemble)
+        reference = psa_serial(ensemble).values
+        reports = {}
+        for spill_async in (False, True):
+            fw = make_framework("dasklite", executor="threads", workers=2,
+                                data_plane="shm",
+                                store_capacity_bytes=total // 4,
+                                spill_async=spill_async)
+            try:
+                matrix, report = run_psa(ensemble, fw, n_tasks=8)
+                assert np.array_equal(matrix.values, reference)  # bit-identical
+                assert report.metrics.bytes_spilled > 0
+                reports[spill_async] = report
+            finally:
+                fw.close()
+        sync_metrics = reports[False].metrics
+        async_metrics = reports[True].metrics
+        # the new split reaches the run report on both paths
+        assert sync_metrics.spill_wait_seconds > 0.0
+        assert sync_metrics.spill_hidden_seconds == 0.0
+        assert async_metrics.spill_hidden_seconds >= 0.0
+        assert "spill_wait_seconds" in async_metrics.as_dict()
+        assert "spill_hidden_seconds" in async_metrics.as_dict()
+
+    def test_shm_executor_attributes_per_task_spill_stall(self):
+        """Synchronous spilling during payload staging lands on the
+        staged task's TaskTiming and rolls up through the executor
+        totals into RunMetrics — even on a pickle-plane framework."""
+        from repro.frameworks.base import TaskFramework
+
+        ex = SharedMemoryExecutor(workers=2, store_capacity_bytes=2_000,
+                                  spill_async=False)
+        fw = TaskFramework(executor=ex)  # data_plane defaults to "pickle"
+        try:
+            items = [np.full((30, 10), i, dtype=np.float64) for i in range(4)]
+            results = fw.map_tasks(_double, items)
+            for i, out in enumerate(results):
+                assert np.array_equal(out, items[i] * 2)
+            assert any(t.spill_wait_seconds > 0.0 for t in ex.timings)
+            assert ex.total_spill_wait_seconds > 0.0
+            assert ex.total_spill_hidden_seconds == 0.0  # synchronous store
+            assert fw.metrics.spill_wait_seconds >= ex.total_spill_wait_seconds
+        finally:
+            fw.close()
+
+    def test_cleanup_racing_concurrent_puts_leaks_nothing(self):
+        """Closing a store out from under putter threads (including ones
+        parked on spill backpressure) neither crashes nor leaks."""
+        import threading
+
+        before = shm_entries()
+        rng = np.random.default_rng(17)
+        arrays = [rng.random((200, 50)) for _ in range(16)]  # 80k each
+        store = SharedMemoryStore(capacity_bytes=80_000, spill_queue_depth=1)
+        spill_dir = store.spill_dir
+        failures: list = []
+
+        def hammer(sub):
+            try:
+                for i in sub:
+                    store.put(arrays[i], dedup=False)
+            except RuntimeError:
+                pass  # closed under us: the documented outcome
+            except Exception as exc:  # pragma: no cover - failure reporting
+                failures.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(range(0, 16, 2),)),
+                   threading.Thread(target=hammer, args=(range(1, 16, 2),))]
+        for t in threads:
+            t.start()
+        store.cleanup()  # race the putters deliberately
+        for t in threads:
+            t.join()
+        assert not failures
+        assert shm_entries() <= before
+        assert not os.path.exists(spill_dir)
+
     def test_psa_beyond_store_cap_completes_bit_identical(self):
         """PR 2 acceptance: a PSA run sized beyond the configured store
         cap completes via spill with bit-identical output."""
@@ -269,6 +506,21 @@ class TestNoSegmentLeaks:
         fw.close()
         assert shm_entries() <= before
 
+    def test_worker_crash_with_nonempty_spill_queue_leaks_nothing(self, tmp_path):
+        """A pool worker that dies mid-pipeline — store created, blocks
+        enqueued for write-behind, task raises — must leave /dev/shm and
+        the spill directory clean (the worker-exit finalizer drains)."""
+        before = shm_entries()
+        spill_dir = str(tmp_path / "crash-spill")
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            with pytest.raises(ValueError, match="crashed with a non-empty"):
+                pool.submit(_crash_with_pending_spills, spill_dir).result()
+        # the pool has joined its workers: finalizers have run
+        assert shm_entries() <= before
+        leftovers = os.listdir(spill_dir) if os.path.exists(spill_dir) else []
+        assert leftovers == []
+
     def test_store_registers_exit_finalizers(self):
         """cleanup is wired to both atexit and the multiprocessing
         finalizer registry (workers skip atexit), and cleanup cancels
@@ -283,3 +535,13 @@ class TestNoSegmentLeaks:
 
 def _explode(array):
     raise ValueError("boom")
+
+
+def _crash_with_pending_spills(spill_dir):
+    """Worker-side: build a write-behind store, keep its queue busy, die."""
+    rng = np.random.default_rng(0)
+    store = SharedMemoryStore(capacity_bytes=0, spill_dir=spill_dir,
+                              spill_async=True, spill_queue_depth=1)
+    for _ in range(8):
+        store.put(rng.random((200, 64)), dedup=False)
+    raise ValueError("crashed with a non-empty spill queue")
