@@ -44,7 +44,9 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
         store_capacity_bytes: int | None = None,
         spill_dir: str | None = None,
         spill_async: bool = True,
-        spill_queue_depth: int = 4) -> Tuple[DistanceMatrix, RunReport]:
+        spill_queue_depth: int = 4,
+        fault_policy=None,
+        faults=None) -> Tuple[DistanceMatrix, RunReport]:
     """Run Path Similarity Analysis on an ensemble.
 
     Parameters
@@ -93,6 +95,15 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
         ``spill_hidden_seconds``.
     spill_queue_depth : int, optional
         Write-behind queue bound before eviction applies backpressure.
+    fault_policy : FaultPolicy, optional
+        Resilience policy when constructing a framework by name: failed
+        tasks are retried deterministically, dead pool workers are
+        replaced and their in-flight tasks resubmitted, and lost data
+        blocks are healed or re-computed; the report's ``tasks_retried``
+        / ``tasks_lost`` / ``recovery_seconds`` metrics quantify the
+        overhead (see :mod:`repro.frameworks.faults`).
+    faults : FaultInjector or FaultSpec or sequence, optional
+        Deterministic fault injection for chaos runs (testing only).
 
     Returns
     -------
@@ -106,7 +117,8 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
                             data_plane=data_plane or "pickle",
                             store_capacity_bytes=store_capacity_bytes,
                             spill_dir=spill_dir, spill_async=spill_async,
-                            spill_queue_depth=spill_queue_depth) \
+                            spill_queue_depth=spill_queue_depth,
+                            fault_policy=fault_policy, faults=faults) \
         if created else framework
     try:
         return run_psa(ensemble, fw, metric=metric, n_tasks=n_tasks,
@@ -128,7 +140,9 @@ def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
                    store_capacity_bytes: int | None = None,
                    spill_dir: str | None = None,
                    spill_async: bool = True,
-                   spill_queue_depth: int = 4) -> Tuple[LeafletResult, RunReport]:
+                   spill_queue_depth: int = 4,
+                   fault_policy=None,
+                   faults=None) -> Tuple[LeafletResult, RunReport]:
     """Run the Leaflet Finder on a membrane system.
 
     Parameters
@@ -165,6 +179,10 @@ def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
         Write-behind spilling (default ``True``; see :func:`psa`).
     spill_queue_depth : int, optional
         Write-behind queue bound before eviction applies backpressure.
+    fault_policy : FaultPolicy, optional
+        Resilience policy when constructing by name (see :func:`psa`).
+    faults : FaultInjector or FaultSpec or sequence, optional
+        Deterministic fault injection for chaos runs (testing only).
 
     Returns
     -------
@@ -185,7 +203,8 @@ def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
                             data_plane=data_plane or "pickle",
                             store_capacity_bytes=store_capacity_bytes,
                             spill_dir=spill_dir, spill_async=spill_async,
-                            spill_queue_depth=spill_queue_depth) \
+                            spill_queue_depth=spill_queue_depth,
+                            fault_policy=fault_policy, faults=faults) \
         if created else framework
     try:
         return run_leaflet_finder(positions, cutoff, fw, approach=approach,

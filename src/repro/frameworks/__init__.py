@@ -26,8 +26,16 @@ from .executors import (
     default_worker_count,
     make_executor,
 )
+from .faults import (
+    DEFAULT_POLICY,
+    FaultInjector,
+    FaultPolicy,
+    FaultSpec,
+    InjectedFault,
+    WorkerLost,
+)
 from .serialization import estimate_transfer_time, nbytes_of, serialized_size
-from .shm import DATA_PLANES, BlockRef, FileBackedStore, SharedMemoryStore
+from .shm import DATA_PLANES, BlockLost, BlockRef, FileBackedStore, SharedMemoryStore
 from .sparklite import SparkLiteContext
 from .dasklite import DaskLiteClient
 from .pilot import PilotFramework
@@ -50,9 +58,16 @@ __all__ = [
     "nbytes_of",
     "estimate_transfer_time",
     "DATA_PLANES",
+    "BlockLost",
     "BlockRef",
     "FileBackedStore",
     "SharedMemoryStore",
+    "FaultPolicy",
+    "FaultSpec",
+    "FaultInjector",
+    "DEFAULT_POLICY",
+    "InjectedFault",
+    "WorkerLost",
     "SparkLiteContext",
     "DaskLiteClient",
     "PilotFramework",

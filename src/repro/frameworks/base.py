@@ -34,6 +34,14 @@ from .executors import (
     SharedMemoryExecutor,
     make_executor,
 )
+from .faults import (
+    NO_RETRIES,
+    FaultCounters,
+    FaultInjector,
+    FaultPolicy,
+    RetryingCall,
+    as_injector,
+)
 from .serialization import nbytes_of, serialized_size
 from .shm import (
     DATA_PLANES,
@@ -91,6 +99,16 @@ class RunMetrics:
         stores) vs seconds the spill-writer thread spent writing in the
         background.  Like ``bytes_spilled``, these mirror the store's
         cumulative counters.
+    tasks_retried / tasks_lost:
+        Resilience counters: task re-executions performed by the fault
+        policy, and how many failures were worker deaths or lost data
+        blocks (as opposed to in-task exceptions).  A fault-free run
+        reports 0 / 0.
+    recovery_seconds:
+        Driver-observed time spent recovering: retry backoffs, block
+        healing, orphan-segment sweeps and process-pool rebuilds — the
+        resilience overhead an experiment subtracts to compare against
+        a fault-free run.
     events:
         Free-form ``(label, value)`` pairs recorded by substrates
         (e.g. per-stage timings, database round-trips).
@@ -111,6 +129,9 @@ class RunMetrics:
     bytes_spilled: int = 0
     spill_wait_seconds: float = 0.0
     spill_hidden_seconds: float = 0.0
+    tasks_retried: int = 0
+    tasks_lost: int = 0
+    recovery_seconds: float = 0.0
     events: List[tuple] = field(default_factory=list)
 
     def record_event(self, label: str, value: Any) -> None:
@@ -136,6 +157,9 @@ class RunMetrics:
             spill_wait_seconds=max(self.spill_wait_seconds, other.spill_wait_seconds),
             spill_hidden_seconds=max(self.spill_hidden_seconds,
                                      other.spill_hidden_seconds),
+            tasks_retried=self.tasks_retried + other.tasks_retried,
+            tasks_lost=self.tasks_lost + other.tasks_lost,
+            recovery_seconds=self.recovery_seconds + other.recovery_seconds,
             events=self.events + other.events,
         )
         return merged
@@ -158,6 +182,9 @@ class RunMetrics:
             "bytes_spilled": self.bytes_spilled,
             "spill_wait_seconds": self.spill_wait_seconds,
             "spill_hidden_seconds": self.spill_hidden_seconds,
+            "tasks_retried": self.tasks_retried,
+            "tasks_lost": self.tasks_lost,
+            "recovery_seconds": self.recovery_seconds,
         }
 
 
@@ -221,6 +248,18 @@ class TaskFramework:
     spill_queue_depth:
         Bound on the write-behind queue before eviction applies
         backpressure (default 4).
+    fault_policy:
+        A :class:`~repro.frameworks.faults.FaultPolicy` opting the
+        substrate into the resilience layer: failed tasks are retried
+        deterministically, dead pool workers are replaced and their
+        in-flight tasks resubmitted, and lost data blocks are healed or
+        re-computed.  ``None`` (default) keeps fail-fast behaviour.
+    faults:
+        Deterministic fault injection for chaos runs: a
+        :class:`~repro.frameworks.faults.FaultInjector`, a single
+        :class:`~repro.frameworks.faults.FaultSpec`, or a sequence of
+        specs.  Faults are consumed at first-attempt dispatch, so a
+        recovered run continues fault-free.
     """
 
     name = "base"
@@ -238,19 +277,39 @@ class TaskFramework:
                  store_capacity_bytes: int | None = None,
                  spill_dir: str | None = None,
                  spill_async: bool = True,
-                 spill_queue_depth: int = 4) -> None:
+                 spill_queue_depth: int = 4,
+                 fault_policy: FaultPolicy | None = None,
+                 faults: FaultInjector | Any = None) -> None:
         if data_plane not in DATA_PLANES:
             raise ValueError(
                 f"unknown data_plane {data_plane!r}; choose from {DATA_PLANES}"
             )
+        self.fault_policy = fault_policy
+        self.fault_injector = as_injector(faults)
+        self._fault_counters = FaultCounters()
         if isinstance(executor, ExecutorBase):
             self.executor = executor
+            # framework-level settings win where given, but a pre-built
+            # executor's own fault configuration is never wiped by an
+            # absent one
+            if fault_policy is not None:
+                self.executor.fault_policy = fault_policy
+            if self.fault_injector is not None:
+                self.executor.fault_injector = self.fault_injector
+            # ...and an executor-only configuration reaches the
+            # substrates that wrap tasks driver-side instead
+            if self.fault_policy is None:
+                self.fault_policy = self.executor.fault_policy
+            if self.fault_injector is None:
+                self.fault_injector = self.executor.fault_injector
         else:
             self.executor = make_executor(executor, workers,
                                           store_capacity_bytes=store_capacity_bytes,
                                           spill_dir=spill_dir,
                                           spill_async=spill_async,
-                                          spill_queue_depth=spill_queue_depth)
+                                          spill_queue_depth=spill_queue_depth,
+                                          fault_policy=fault_policy,
+                                          fault_injector=self.fault_injector)
         self.cluster = cluster or local_cluster(cores=self.executor.workers)
         self.metrics = RunMetrics()
         self.data_plane = data_plane
@@ -264,6 +323,9 @@ class TaskFramework:
                                            spill_async=spill_async,
                                            spill_queue_depth=spill_queue_depth)
             self._owns_store = True
+        # lost-block healing must reach the store the payload refs came
+        # from, wherever the retry loop runs
+        self.executor.fault_store = self.store
 
     # ------------------------------------------------------------------ #
     # the uniform surface used by repro.core
@@ -322,6 +384,25 @@ class TaskFramework:
         return (self._executor_runs_tasks
                 and isinstance(self.executor,
                                (ProcessExecutor, SharedMemoryExecutor)))
+
+    def _fault_wrap(self, fn: Callable[[Any], Any]) -> Callable[[Any], Any]:
+        """Wrap a task function with the in-process retry loop if needed.
+
+        Substrates whose tasks do not run on ``self.executor`` (dasklite's
+        graph scheduler, mpilite's rank threads) call this after the
+        data-plane conversion, so the retry wrapper covers payload
+        resolution, the kernel, and result conversion; substrates that
+        run on the executor get the equivalent loop from the executor
+        itself and must not double-wrap.  Returns ``fn`` unchanged when
+        no policy or injector is configured.
+        """
+        if self.fault_policy is None and self.fault_injector is None:
+            return fn
+        self._fault_counters.reset()
+        return RetryingCall(fn, self.fault_policy or NO_RETRIES,
+                            injector=self.fault_injector,
+                            counters=self._fault_counters,
+                            store=self.store)
 
     def _share_value(self, value: Any):
         """Store ``value`` on the shm plane if eligible; the ref or None."""
@@ -422,6 +503,18 @@ class TaskFramework:
                                               self.executor.total_spill_wait_seconds)
         self.metrics.spill_hidden_seconds = max(self.metrics.spill_hidden_seconds,
                                                 self.executor.total_spill_hidden_seconds)
+        # resilience counters: executor-run substrates record retries in
+        # the per-task timings, wrapping substrates (and pilot's unit
+        # rescheduling) in the framework-side counters — the two sources
+        # describe disjoint events, so they sum
+        self.metrics.tasks_retried += (self.executor.total_tasks_retried
+                                       + self._fault_counters.tasks_retried)
+        self.metrics.tasks_lost += (self.executor.total_tasks_lost
+                                    + self._fault_counters.tasks_lost)
+        self.metrics.recovery_seconds += (self.executor.total_recovery_seconds
+                                          + self._fault_counters.recovery_seconds)
+        # folded into this operation's metrics: start the next one clean
+        self._fault_counters.reset()
 
     def _run_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Substrate-specific execution; default delegates to the executor."""

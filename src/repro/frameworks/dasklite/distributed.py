@@ -104,12 +104,14 @@ class DaskLiteClient(TaskFramework):
                  store_capacity_bytes: int | None = None,
                  spill_dir: str | None = None,
                  spill_async: bool = True,
-                 spill_queue_depth: int = 4) -> None:
+                 spill_queue_depth: int = 4,
+                 fault_policy=None, faults=None) -> None:
         super().__init__(cluster=cluster, executor=executor, workers=workers,
                          data_plane=data_plane,
                          store_capacity_bytes=store_capacity_bytes,
                          spill_dir=spill_dir, spill_async=spill_async,
-                         spill_queue_depth=spill_queue_depth)
+                         spill_queue_depth=spill_queue_depth,
+                         fault_policy=fault_policy, faults=faults)
         if isinstance(executor, str) and executor == "serial":
             self.scheduler: SchedulerBase = SynchronousScheduler()
         else:
@@ -205,10 +207,18 @@ class DaskLiteClient(TaskFramework):
     # uniform TaskFramework surface
     # ------------------------------------------------------------------ #
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
-        """Run independent tasks as one delayed graph (one node per task)."""
+        """Run independent tasks as one delayed graph (one node per task).
+
+        Tasks execute on the graph scheduler, not on ``self.executor``,
+        so the resilience layer's retry loop wraps the task function
+        here — a failing node is re-executed in place and the graph
+        never sees the failure, the equivalent of Dask replaying the
+        upstream of a lost key.
+        """
         items = list(items)
         self.metrics = RunMetrics(tasks_submitted=len(items))
         fn, items = self._apply_data_plane(fn, items)
+        fn = self._fault_wrap(fn)
         start = time.perf_counter()
         if not items:
             return []

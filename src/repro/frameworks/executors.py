@@ -28,17 +28,58 @@ executors additionally record, per task, ``bytes_pickled`` /
 boundary serialized, in each direction) and ``bytes_shared`` /
 ``bytes_results_shared`` (array bytes the task accessed or returned
 through shared memory instead).
+
+Fault tolerance
+---------------
+Every executor honours an optional
+:class:`~repro.frameworks.faults.FaultPolicy` (plus a deterministic
+:class:`~repro.frameworks.faults.FaultInjector` for chaos testing).
+The in-process executors retry failing tasks in place; the process-pool
+executors run a full recovery loop: tasks are fed to the pool with at
+most ``workers`` in flight, a worker death (detected by the pool's
+broken sentinel, or by the driver killing a worker whose heartbeat went
+stale) marks the in-flight tasks lost, the orphaned result segments of
+the dead worker are swept, the pool is rebuilt, and the lost tasks are
+resubmitted — so one killed worker costs one task re-execution instead
+of the whole run.  Per-task ``retries`` / ``lost`` /
+``recovery_seconds`` land in the :class:`TaskTiming` records and roll
+up into :class:`~repro.frameworks.base.RunMetrics`.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import shutil
+import signal
+import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .faults import (
+    NO_RETRIES,
+    BlockLost,
+    FaultInjector,
+    FaultPolicy,
+    FaultSpec,
+    WorkerLost,
+    apply_block_fault,
+    clear_heartbeat,
+    execute_worker_fault,
+    kill_stale_workers,
+    simulate_in_process_fault,
+    unlink_result_refs,
+    write_heartbeat,
+)
 from .shm import (
     SharedMemoryStore,
     adopt_payload,
@@ -47,6 +88,7 @@ from .shm import (
     refs_nbytes,
     resolve_payload,
     share_payload,
+    sweep_orphan_segments,
 )
 
 __all__ = [
@@ -110,6 +152,16 @@ class TaskTiming:
         Spill-writer seconds that elapsed in the background during the
         same windows — file writes the write-behind pipeline hid from
         the put path.
+    retries : int, optional
+        Times this task was re-executed before the recorded (successful)
+        attempt; ``start``/``stop`` bracket the final attempt only.
+    lost : int, optional
+        How many of those failures were worker deaths or lost blocks
+        (the resilience layer's ``tasks_lost`` events).
+    recovery_seconds : float, optional
+        Driver-observed recovery time attributed to this task: backoff
+        pauses, block healing, and (for the task that triggered it) the
+        process-pool rebuild after a worker death.
 
     Notes
     -----
@@ -126,6 +178,9 @@ class TaskTiming:
     bytes_results_shared: int = 0
     spill_wait_seconds: float = 0.0
     spill_hidden_seconds: float = 0.0
+    retries: int = 0
+    lost: int = 0
+    recovery_seconds: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -139,10 +194,19 @@ class ExecutorBase:
 
     Results are always returned in input order.  ``timings`` holds the
     per-task wall clock of the most recent ``map_tasks`` call.
+
+    ``fault_policy`` / ``fault_injector`` opt the executor into the
+    resilience layer (``None`` keeps the fail-fast behaviour); a
+    framework running on the shm data plane also points ``fault_store``
+    at its store so lost-block healing can reach the registered source
+    arrays.
     """
 
     workers: int = 1
     timings: List[TaskTiming] = field(default_factory=list, repr=False)
+    fault_policy: Optional[FaultPolicy] = field(default=None, repr=False)
+    fault_injector: Optional[FaultInjector] = field(default=None, repr=False)
+    fault_store: Optional[SharedMemoryStore] = field(default=None, repr=False)
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Run ``fn`` over ``items`` and return results in order.
@@ -202,6 +266,92 @@ class ExecutorBase:
         """Background spill-writer seconds observed during the last call."""
         return sum(t.spill_hidden_seconds for t in self.timings)
 
+    @property
+    def total_tasks_retried(self) -> int:
+        """Task re-executions performed during the last call."""
+        return sum(t.retries for t in self.timings)
+
+    @property
+    def total_tasks_lost(self) -> int:
+        """Worker-death / lost-block failures recovered during the last call."""
+        return sum(t.lost for t in self.timings)
+
+    @property
+    def total_recovery_seconds(self) -> float:
+        """Driver-observed recovery time spent during the last call."""
+        return sum(t.recovery_seconds for t in self.timings)
+
+    def _fault_context(self) -> Tuple[FaultPolicy, Optional[FaultInjector],
+                                      Optional[SharedMemoryStore]]:
+        """The (policy, injector, store) triple the retry loops consult."""
+        store = getattr(self, "store", None) or self.fault_store
+        return self.fault_policy or NO_RETRIES, self.fault_injector, store
+
+    def _call_retrying(self, fn: Callable[[Any], Any], index: int,
+                       item: Any) -> Tuple[Any, TaskTiming]:
+        """Run one task in-process under the executor's fault policy.
+
+        Claims the dispatch's fault from the injector (simulating
+        ``kill_worker`` as :class:`~repro.frameworks.faults.WorkerLost`,
+        since a real kill would take the driver down), re-executes per
+        the policy, and heals lost payload blocks from their registered
+        source arrays between attempts.
+
+        Parameters
+        ----------
+        fn : callable
+            Task function.
+        index : int
+            Task position in the submitted batch.
+        item : Any
+            Task payload.
+
+        Returns
+        -------
+        result : Any
+            The successful attempt's return value.
+        timing : TaskTiming
+            Timing of the final attempt, carrying the retry counters.
+        """
+        policy, injector, store = self._fault_context()
+        retries = lost = 0
+        recovery = 0.0
+        attempt = 0
+        while True:
+            spec = injector.claim(attempt) if injector is not None else None
+            start = time.perf_counter()
+            try:
+                if spec is not None:
+                    if spec.is_block_fault:
+                        apply_block_fault(spec, store)
+                    else:
+                        simulate_in_process_fault(spec)
+                result = fn(item)
+                return result, TaskTiming(index, start, time.perf_counter(),
+                                          retries=retries, lost=lost,
+                                          recovery_seconds=recovery)
+            except Exception as exc:  # noqa: BLE001 - the policy decides
+                if not policy.should_retry(exc, attempt):
+                    raise
+                recover_start = time.perf_counter()
+                if isinstance(exc, BlockLost) and store is not None:
+                    store.recover_spilled_block(exc.segment)
+                pause = policy.backoff_for(attempt)
+                if pause:
+                    time.sleep(pause)
+                attempt += 1
+                retries += 1
+                lost += int(isinstance(exc, (WorkerLost, BlockLost)))
+                recovery += time.perf_counter() - recover_start
+
+    def _after_pool_break(self) -> None:
+        """Hook run between reaping a broken pool and rebuilding it.
+
+        The shm executor sweeps the dead workers' orphaned result
+        segments and settles the spill pipeline here; the base hook does
+        nothing.
+        """
+
     def shutdown(self) -> None:
         """Release any pooled resources (no-op for stateless executors)."""
 
@@ -209,17 +359,19 @@ class ExecutorBase:
 class SerialExecutor(ExecutorBase):
     """Run every task in the calling thread, in order."""
 
-    def __init__(self) -> None:
-        super().__init__(workers=1)
+    def __init__(self, fault_policy: FaultPolicy | None = None,
+                 fault_injector: FaultInjector | None = None) -> None:
+        super().__init__(workers=1, fault_policy=fault_policy,
+                         fault_injector=fault_injector)
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Run the tasks one after another in the calling thread."""
         self.timings = []
         results: List[Any] = []
         for i, item in enumerate(items):
-            start = time.perf_counter()
-            results.append(fn(item))
-            self.timings.append(TaskTiming(i, start, time.perf_counter()))
+            result, timing = self._call_retrying(fn, i, item)
+            results.append(result)
+            self.timings.append(timing)
         return results
 
 
@@ -230,10 +382,17 @@ class ThreadExecutor(ExecutorBase):
     ----------
     workers : int, optional
         Pool size; defaults to :func:`default_worker_count`.
+    fault_policy : FaultPolicy, optional
+        Per-task retry policy (``None`` keeps fail-fast behaviour).
+    fault_injector : FaultInjector, optional
+        Deterministic chaos source consumed at dispatch time.
     """
 
-    def __init__(self, workers: int | None = None) -> None:
-        super().__init__(workers=workers or default_worker_count())
+    def __init__(self, workers: int | None = None,
+                 fault_policy: FaultPolicy | None = None,
+                 fault_injector: FaultInjector | None = None) -> None:
+        super().__init__(workers=workers or default_worker_count(),
+                         fault_policy=fault_policy, fault_injector=fault_injector)
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Run the tasks on the thread pool, preserving input order."""
@@ -243,9 +402,7 @@ class ThreadExecutor(ExecutorBase):
         timings: List[TaskTiming] = [None] * len(items)  # type: ignore[list-item]
 
         def run(index: int, item: Any) -> None:
-            start = time.perf_counter()
-            results[index] = fn(item)
-            timings[index] = TaskTiming(index, start, time.perf_counter())
+            results[index], timings[index] = self._call_retrying(fn, index, item)
 
         if not items:
             return []
@@ -265,12 +422,209 @@ def _timed_call(payload: tuple) -> tuple:
     the result's serialization both run inside the timed region, where a
     real deployment pays them.  The result returns as a pickle blob so
     the driver can account the exact bytes that crossed back.
+
+    ``spec`` carries a claimed task-side fault to execute here (a real
+    SIGKILL for ``kill_worker``), and ``hb_dir`` the heartbeat directory
+    this worker stamps for the driver's hung-worker monitor.
     """
-    index, fn, blob = payload
-    start = time.perf_counter()
-    result = fn(pickle.loads(blob))
-    out = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-    return index, out, start, time.perf_counter()
+    index, fn, blob, spec, hb_dir = payload
+    write_heartbeat(hb_dir)
+    try:
+        if spec is not None:
+            execute_worker_fault(spec)
+        start = time.perf_counter()
+        result = fn(pickle.loads(blob))
+        out = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        stop = time.perf_counter()
+        if (spec is not None and spec.kind == "kill_worker"
+                and spec.when == "after_publish"):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return index, out, start, stop
+    finally:
+        clear_heartbeat(hb_dir)
+
+
+class _PoolBroke(Exception):
+    """Internal: the process pool died under the current in-flight set."""
+
+
+class _PooledMapEngine:
+    """Fault-tolerant task feeder shared by the two process-pool executors.
+
+    Feeds at most ``workers`` tasks into a :class:`ProcessPoolExecutor`
+    at a time (so worker death loses at most one task per worker) and
+    implements the whole recovery protocol:
+
+    * a *task exception* returned by a worker is retried per the policy
+      (lost payload blocks are healed from their registered sources
+      between attempts);
+    * a *broken pool* (worker SIGKILLed, OOM-killed, or killed by the
+      heartbeat monitor below) marks the in-flight tasks lost, reaps
+      the pool, runs the owner's :meth:`ExecutorBase._after_pool_break`
+      hook (the shm executor sweeps the dead workers' orphaned result
+      segments there), rebuilds the pool and resubmits;
+    * with ``heartbeat_timeout_s`` set, the driver checks worker
+      heartbeat files while waiting and SIGKILLs any worker whose
+      current task overran the timeout — converting a hang into the
+      broken-pool path above;
+    * a result whose blocks cannot be adopted (``on_result`` raises
+      :class:`~repro.frameworks.shm.BlockLost`) is treated as lost and
+      the task re-executed.
+
+    Faults are claimed from the injector once per first-attempt dispatch
+    in dispatch order; task-side faults ship to the worker inside the
+    payload, driver-side block faults are applied at dispatch (or, for
+    ``target="result"``, remembered and applied to the returned refs
+    before adoption).
+    """
+
+    def __init__(self, owner: "ExecutorBase", worker_fn: Callable[[tuple], tuple],
+                 payload_for: Callable[[int, Optional[FaultSpec], Optional[str]], tuple],
+                 on_result: Callable[[int, tuple, Optional[FaultSpec], tuple], None],
+                 n_tasks: int) -> None:
+        self.owner = owner
+        self.worker_fn = worker_fn
+        self.payload_for = payload_for
+        self.on_result = on_result
+        self.n_tasks = n_tasks
+        policy, injector, store = owner._fault_context()
+        self.policy = policy
+        self.injector = injector
+        self.store = store
+        self.attempts = [0] * n_tasks
+        self.retries = [0] * n_tasks
+        self.lost = [0] * n_tasks
+        self.recovery = [0.0] * n_tasks
+        self.result_faults: Dict[int, FaultSpec] = {}
+
+    # ------------------------------------------------------------------ #
+    def _fail(self, index: int, exc: BaseException, pending: "deque[int]",
+              front: bool = False) -> None:
+        """Handle one task failure: schedule a retry or re-raise."""
+        if not self.policy.should_retry(exc, self.attempts[index]):
+            raise exc
+        recover_start = time.perf_counter()
+        is_lost = isinstance(exc, (WorkerLost, BlockLost))
+        if isinstance(exc, BlockLost) and self.store is not None:
+            self.store.recover_spilled_block(exc.segment)
+        pause = self.policy.backoff_for(self.attempts[index])
+        if pause:
+            time.sleep(pause)
+        self.attempts[index] += 1
+        self.retries[index] += 1
+        self.lost[index] += int(is_lost)
+        self.recovery[index] += time.perf_counter() - recover_start
+        if front:
+            pending.appendleft(index)
+        else:
+            pending.append(index)
+
+    def _dispatch_spec(self, index: int) -> Optional[FaultSpec]:
+        """Claim and pre-process this dispatch's fault; the worker-side part."""
+        if self.injector is None:
+            return None
+        spec = self.injector.claim(self.attempts[index])
+        if spec is None:
+            return None
+        if spec.is_block_fault:
+            if spec.target == "result":
+                self.result_faults[index] = spec
+            else:
+                apply_block_fault(spec, self.store)
+            return None
+        return spec
+
+    def stats_for(self, index: int) -> tuple:
+        """(retries, lost, recovery_seconds) recorded for one task."""
+        return self.retries[index], self.lost[index], self.recovery[index]
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        """Execute every task to completion (or raise the fatal failure)."""
+        hb_dir: Optional[str] = None
+        if self.policy.heartbeat_timeout_s is not None:
+            hb_dir = tempfile.mkdtemp(prefix="repro-hb-")
+        pending: "deque[int]" = deque(range(self.n_tasks))
+        in_flight: Dict[Any, int] = {}
+        pool = ProcessPoolExecutor(max_workers=self.owner.workers)
+        try:
+            while pending or in_flight:
+                try:
+                    self._pump(pool, pending, in_flight, hb_dir)
+                except _PoolBroke:
+                    pool = self._recover(pool, pending, in_flight)
+        finally:
+            pool.shutdown(wait=True)
+            if hb_dir is not None:
+                shutil.rmtree(hb_dir, ignore_errors=True)
+
+    def _pump(self, pool: ProcessPoolExecutor, pending: "deque[int]",
+              in_flight: Dict[Any, int], hb_dir: Optional[str]) -> None:
+        """Fill free slots, wait for completions, and process them."""
+        while pending and len(in_flight) < self.owner.workers:
+            index = pending.popleft()
+            first_attempt = self.attempts[index] == 0
+            spec = self._dispatch_spec(index)
+            try:
+                future = pool.submit(self.worker_fn,
+                                     self.payload_for(index, spec, hb_dir))
+            except BrokenProcessPool:
+                # the pool died under a previous task; this dispatch never
+                # started, so it goes back un-penalized — and the claim it
+                # made is rolled back so the injector's dispatch counter
+                # (and any claimed-but-unexecuted spec) stays exact
+                if self.injector is not None and first_attempt:
+                    self.injector.unclaim(spec or self.result_faults.pop(index, None))
+                pending.appendleft(index)
+                raise _PoolBroke() from None
+            in_flight[future] = index
+        if not in_flight:
+            return
+        timeout = self.policy.heartbeat_interval_s if hb_dir is not None else None
+        done, _ = futures_wait(set(in_flight), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+        if not done:
+            if hb_dir is not None:
+                kill_stale_workers(hb_dir, self.policy.heartbeat_timeout_s)
+            return
+        broke = False
+        for future in done:
+            index = in_flight.pop(future)
+            try:
+                out = future.result()
+            except BrokenProcessPool:
+                in_flight[future] = index  # counted lost by the recovery
+                broke = True
+                continue
+            except Exception as exc:  # noqa: BLE001 - policy decides below
+                self._fail(index, exc, pending)
+                continue
+            try:
+                self.on_result(index, out, self.result_faults.pop(index, None),
+                               self.stats_for(index))
+            except BlockLost as exc:
+                # the result's segments vanished before adoption:
+                # re-execute the producing task
+                self._fail(index, exc, pending)
+        if broke:
+            raise _PoolBroke()
+
+    def _recover(self, pool: ProcessPoolExecutor, pending: "deque[int]",
+                 in_flight: Dict[Any, int]) -> ProcessPoolExecutor:
+        """Broken-pool path: account lost tasks, sweep, rebuild, resubmit."""
+        recover_start = time.perf_counter()
+        doomed = sorted(set(in_flight.values()))
+        in_flight.clear()
+        pool.shutdown(wait=True)  # reap the dead workers first
+        self.owner._after_pool_break()
+        for index in reversed(doomed):
+            self._fail(index, WorkerLost(
+                f"worker died while task {index} was in flight"),
+                pending, front=True)
+        replacement = ProcessPoolExecutor(max_workers=self.owner.workers)
+        if doomed:
+            self.recovery[doomed[0]] += time.perf_counter() - recover_start
+        return replacement
 
 
 class ProcessExecutor(ExecutorBase):
@@ -280,10 +634,18 @@ class ProcessExecutor(ExecutorBase):
     ----------
     workers : int, optional
         Pool size; defaults to :func:`default_worker_count`.
+    fault_policy : FaultPolicy, optional
+        Opt into worker-death recovery and task retries (see the module
+        docstring); ``None`` keeps the fail-fast behaviour.
+    fault_injector : FaultInjector, optional
+        Deterministic chaos source consumed at dispatch time.
     """
 
-    def __init__(self, workers: int | None = None) -> None:
-        super().__init__(workers=workers or default_worker_count())
+    def __init__(self, workers: int | None = None,
+                 fault_policy: FaultPolicy | None = None,
+                 fault_injector: FaultInjector | None = None) -> None:
+        super().__init__(workers=workers or default_worker_count(),
+                         fault_policy=fault_policy, fault_injector=fault_injector)
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Run the tasks on a process pool, measuring both crossings."""
@@ -296,16 +658,28 @@ class ProcessExecutor(ExecutorBase):
         blobs = [pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
                  for item in items]
         results: List[Any] = [None] * len(items)
-        timings: List[TaskTiming] = []
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            payloads = [(i, fn, blob) for i, blob in enumerate(blobs)]
-            for index, out, start, stop in pool.map(_timed_call, payloads):
-                results[index] = pickle.loads(out)
-                timings.append(TaskTiming(index, start, stop,
-                                          bytes_pickled=len(blobs[index]),
-                                          bytes_results_pickled=len(out)))
-        timings.sort(key=lambda t: t.index)
-        self.timings = timings
+        timings: List[Optional[TaskTiming]] = [None] * len(items)
+
+        def payload_for(i: int, spec: Optional[FaultSpec],
+                        hb_dir: Optional[str]) -> tuple:
+            return (i, fn, blobs[i], spec, hb_dir)
+
+        def on_result(i: int, out_tuple: tuple, result_fault: Optional[FaultSpec],
+                      stats: tuple) -> None:
+            _, out, start, stop = out_tuple
+            # result-target block faults act on shm segments; the pickle
+            # plane has none, so they are inert here
+            results[i] = pickle.loads(out)
+            retries, lost, recovery = stats
+            timings[i] = TaskTiming(i, start, stop,
+                                    bytes_pickled=len(blobs[i]),
+                                    bytes_results_pickled=len(out),
+                                    retries=retries, lost=lost,
+                                    recovery_seconds=recovery)
+
+        _PooledMapEngine(self, _timed_call, payload_for, on_result,
+                         len(items)).run()
+        self.timings = [t for t in timings if t is not None]
         return results
 
 
@@ -318,17 +692,33 @@ def _shm_timed_call(payload: tuple) -> tuple:
     run inside the timed region, exactly where pickling/unpickling shows
     up for :class:`ProcessExecutor`.  Only the published refs travel
     back through the pickle channel.
+
+    ``spec`` carries a claimed task-side fault: a ``kill_worker`` with
+    ``when="after_publish"`` SIGKILLs *between* publishing and the
+    hand-off — the crash window whose pid-keyed orphan segments the
+    driver's recovery sweep reclaims.
     """
-    index, fn, blob = payload
-    start = time.perf_counter()
-    result = fn(resolve_payload(pickle.loads(blob)))
-    published, shared = publish_payload(result)
-    out = pickle.dumps(published, protocol=pickle.HIGHEST_PROTOCOL)
-    stop = time.perf_counter()
-    # the blob is on its way to the driver, whose store adopts the
-    # segments; this worker's crash-cleanup hook must leave them alone
-    mark_handed_off(published)
-    return index, out, start, stop, shared
+    index, fn, blob, spec, hb_dir = payload
+    write_heartbeat(hb_dir)
+    try:
+        if spec is not None:
+            execute_worker_fault(spec)
+        start = time.perf_counter()
+        result = fn(resolve_payload(pickle.loads(blob)))
+        published, shared = publish_payload(result)
+        out = pickle.dumps(published, protocol=pickle.HIGHEST_PROTOCOL)
+        stop = time.perf_counter()
+        if (spec is not None and spec.kind == "kill_worker"
+                and spec.when == "after_publish"):
+            # die with the refs unreturned: the segments are orphans only
+            # the pid-keyed sweep can reclaim (SIGKILL skips every hook)
+            os.kill(os.getpid(), signal.SIGKILL)
+        # the blob is on its way to the driver, whose store adopts the
+        # segments; this worker's crash-cleanup hook must leave them alone
+        mark_handed_off(published)
+        return index, out, start, stop, shared
+    finally:
+        clear_heartbeat(hb_dir)
 
 
 class SharedMemoryExecutor(ExecutorBase):
@@ -364,6 +754,11 @@ class SharedMemoryExecutor(ExecutorBase):
         ``True``; see :class:`~repro.frameworks.shm.SharedMemoryStore`).
     spill_queue_depth : int, optional
         Bounded spill-queue depth for a privately owned store.
+    fault_policy : FaultPolicy, optional
+        Opt into worker-death recovery, retries, the heartbeat monitor
+        and lost-block handling; ``None`` keeps fail-fast behaviour.
+    fault_injector : FaultInjector, optional
+        Deterministic chaos source consumed at dispatch time.
     """
 
     def __init__(self, workers: int | None = None,
@@ -371,8 +766,11 @@ class SharedMemoryExecutor(ExecutorBase):
                  store_capacity_bytes: int | None = None,
                  spill_dir: str | None = None,
                  spill_async: bool = True,
-                 spill_queue_depth: int = 4) -> None:
-        super().__init__(workers=workers or default_worker_count())
+                 spill_queue_depth: int = 4,
+                 fault_policy: FaultPolicy | None = None,
+                 fault_injector: FaultInjector | None = None) -> None:
+        super().__init__(workers=workers or default_worker_count(),
+                         fault_policy=fault_policy, fault_injector=fault_injector)
         if store is not None:
             self.store = store
         else:
@@ -381,6 +779,26 @@ class SharedMemoryExecutor(ExecutorBase):
                                            spill_async=spill_async,
                                            spill_queue_depth=spill_queue_depth)
         self._owns_store = store is None
+
+    def _after_pool_break(self) -> None:
+        """Reclaim what a dead worker left behind before resubmitting.
+
+        A SIGKILLed worker runs neither ``atexit`` nor its
+        ``multiprocessing.util.Finalize`` hooks, so result segments it
+        published but never handed off would outlive the run —
+        :func:`~repro.frameworks.shm.sweep_orphan_segments` reclaims
+        them by their pid-keyed names now that the pool's processes are
+        reaped.  The spill pipeline is settled too, so resubmitted tasks
+        resolve through a consistent tier state; a sticky spill-writer
+        failure is tolerated here — the flush reinstates the enqueued
+        blocks as resident (no names leak) and the recovery proceeds
+        with spilling disabled.
+        """
+        sweep_orphan_segments()
+        try:
+            self.store.flush_spill()
+        except RuntimeError:
+            pass
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Run the tasks on a process pool with zero-copy payloads and results."""
@@ -404,27 +822,41 @@ class SharedMemoryExecutor(ExecutorBase):
                  for item in shared_items]
         shared_sizes = [refs_nbytes(item) for item in shared_items]
         results: List[Any] = [None] * len(items)
-        timings: List[TaskTiming] = []
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            payloads = [(i, fn, blob) for i, blob in enumerate(blobs)]
-            for index, out, start, stop, shared in pool.map(_shm_timed_call, payloads):
-                # adopt while the pool is alive: the worker that created
-                # the segments keeps them mapped until the driver owns them
-                wait0 = self.store.spill_wait_seconds
-                hidden0 = self.store.spill_hidden_seconds
-                results[index] = adopt_payload(pickle.loads(out), self.store)
-                timings.append(TaskTiming(
-                    index, start, stop,
-                    bytes_pickled=len(blobs[index]),
-                    bytes_shared=shared_sizes[index],
-                    bytes_results_pickled=len(out),
-                    bytes_results_shared=shared,
-                    spill_wait_seconds=stage_waits[index]
-                    + self.store.spill_wait_seconds - wait0,
-                    spill_hidden_seconds=stage_hidden[index]
-                    + self.store.spill_hidden_seconds - hidden0))
-        timings.sort(key=lambda t: t.index)
-        self.timings = timings
+        timings: List[Optional[TaskTiming]] = [None] * len(items)
+
+        def payload_for(i: int, spec: Optional[FaultSpec],
+                        hb_dir: Optional[str]) -> tuple:
+            return (i, fn, blobs[i], spec, hb_dir)
+
+        def on_result(i: int, out_tuple: tuple, result_fault: Optional[FaultSpec],
+                      stats: tuple) -> None:
+            _, out, start, stop, shared = out_tuple
+            payload = pickle.loads(out)
+            if result_fault is not None:
+                # injected handoff crash: the refs' segments vanish before
+                # adoption, which must surface as BlockLost → re-execution
+                unlink_result_refs(payload)
+            # adopt while the pool is alive: the worker that created the
+            # segments keeps them mapped until the driver owns them
+            wait0 = self.store.spill_wait_seconds
+            hidden0 = self.store.spill_hidden_seconds
+            results[i] = adopt_payload(payload, self.store)
+            retries, lost, recovery = stats
+            timings[i] = TaskTiming(
+                i, start, stop,
+                bytes_pickled=len(blobs[i]),
+                bytes_shared=shared_sizes[i],
+                bytes_results_pickled=len(out),
+                bytes_results_shared=shared,
+                spill_wait_seconds=stage_waits[i]
+                + self.store.spill_wait_seconds - wait0,
+                spill_hidden_seconds=stage_hidden[i]
+                + self.store.spill_hidden_seconds - hidden0,
+                retries=retries, lost=lost, recovery_seconds=recovery)
+
+        _PooledMapEngine(self, _shm_timed_call, payload_for, on_result,
+                         len(items)).run()
+        self.timings = [t for t in timings if t is not None]
         return results
 
     def shutdown(self) -> None:
@@ -437,7 +869,9 @@ def make_executor(kind: str = "serial", workers: int | None = None,
                   store_capacity_bytes: int | None = None,
                   spill_dir: str | None = None,
                   spill_async: bool = True,
-                  spill_queue_depth: int = 4) -> ExecutorBase:
+                  spill_queue_depth: int = 4,
+                  fault_policy: FaultPolicy | None = None,
+                  fault_injector: FaultInjector | None = None) -> ExecutorBase:
     """Build an executor by name.
 
     Parameters
@@ -449,6 +883,10 @@ def make_executor(kind: str = "serial", workers: int | None = None,
     store_capacity_bytes, spill_dir, spill_async, spill_queue_depth : optional
         Store and spill-pipeline configuration, forwarded to
         :class:`SharedMemoryExecutor` (ignored by the other kinds).
+    fault_policy : FaultPolicy, optional
+        Retry/recovery policy for the resilience layer (all kinds).
+    fault_injector : FaultInjector, optional
+        Deterministic chaos source for fault-injection runs (all kinds).
 
     Returns
     -------
@@ -456,13 +894,19 @@ def make_executor(kind: str = "serial", workers: int | None = None,
         The requested executor.
     """
     if kind == "serial":
-        return SerialExecutor()
+        return SerialExecutor(fault_policy=fault_policy,
+                              fault_injector=fault_injector)
     if kind in ("threads", "thread"):
-        return ThreadExecutor(workers)
+        return ThreadExecutor(workers, fault_policy=fault_policy,
+                              fault_injector=fault_injector)
     if kind in ("processes", "process"):
-        return ProcessExecutor(workers)
+        return ProcessExecutor(workers, fault_policy=fault_policy,
+                               fault_injector=fault_injector)
     if kind in ("shm", "sharedmem", "shared-memory"):
-        return SharedMemoryExecutor(workers, store_capacity_bytes=store_capacity_bytes,
+        return SharedMemoryExecutor(workers,
+                                    store_capacity_bytes=store_capacity_bytes,
                                     spill_dir=spill_dir, spill_async=spill_async,
-                                    spill_queue_depth=spill_queue_depth)
+                                    spill_queue_depth=spill_queue_depth,
+                                    fault_policy=fault_policy,
+                                    fault_injector=fault_injector)
     raise ValueError(f"unknown executor kind {kind!r}")

@@ -103,12 +103,14 @@ class MPIFramework(TaskFramework):
                  store_capacity_bytes: int | None = None,
                  spill_dir: str | None = None,
                  spill_async: bool = True,
-                 spill_queue_depth: int = 4) -> None:
+                 spill_queue_depth: int = 4,
+                 fault_policy=None, faults=None) -> None:
         super().__init__(cluster=cluster, executor=executor, workers=workers,
                          data_plane=data_plane,
                          store_capacity_bytes=store_capacity_bytes,
                          spill_dir=spill_dir, spill_async=spill_async,
-                         spill_queue_depth=spill_queue_depth)
+                         spill_queue_depth=spill_queue_depth,
+                         fault_policy=fault_policy, faults=faults)
         self.ranks = ranks or max(1, self.executor.workers)
         self.last_context: Optional[WorldContext] = None
 
@@ -143,10 +145,18 @@ class MPIFramework(TaskFramework):
     # uniform TaskFramework surface
     # ------------------------------------------------------------------ #
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
-        """Statically partition tasks over ranks and gather the results."""
+        """Statically partition tasks over ranks and gather the results.
+
+        Tasks run inside the SPMD rank threads, where one raising task
+        aborts the whole job (the MPI failure model) — so the resilience
+        layer's retry wrapper runs *inside* the rank: a failing task is
+        re-executed in place and the collective never aborts, the
+        closest analogue MPI has to task replay.
+        """
         items = list(items)
         self.metrics = RunMetrics(tasks_submitted=len(items))
         fn, items = self._apply_data_plane(fn, items)
+        fn = self._fault_wrap(fn)
         start = time.perf_counter()
         if not items:
             return []

@@ -23,12 +23,20 @@ __all__ = ["AgentStats", "PilotAgent"]
 
 @dataclass
 class AgentStats:
-    """Counters describing one agent's activity."""
+    """Counters describing one agent's activity.
+
+    The three resilience counters accumulate the executor's per-batch
+    retry accounting across the whole drain (the executor itself only
+    reports its most recent ``map_tasks`` call).
+    """
 
     units_executed: int = 0
     batches_pulled: int = 0
     execution_time_s: float = 0.0
     scheduling_time_s: float = 0.0
+    tasks_retried: int = 0
+    tasks_lost: int = 0
+    recovery_seconds: float = 0.0
 
     def as_dict(self) -> dict:
         """Plain-dict view for metric events."""
@@ -37,6 +45,9 @@ class AgentStats:
             "batches_pulled": self.batches_pulled,
             "execution_time_s": self.execution_time_s,
             "scheduling_time_s": self.scheduling_time_s,
+            "tasks_retried": self.tasks_retried,
+            "tasks_lost": self.tasks_lost,
+            "recovery_seconds": self.recovery_seconds,
         }
 
 
@@ -96,6 +107,11 @@ class PilotAgent:
             exec_start = time.perf_counter()
             outcomes = self.executor.map_tasks(_run_unit, batch_units)
             self.stats.execution_time_s += time.perf_counter() - exec_start
+            # the executor's fault accounting is per-call; roll it up so
+            # retries in early batches survive the later ones
+            self.stats.tasks_retried += self.executor.total_tasks_retried
+            self.stats.tasks_lost += self.executor.total_tasks_lost
+            self.stats.recovery_seconds += self.executor.total_recovery_seconds
             final_states: Dict[str, dict] = {}
             for unit, (ok, payload) in zip(batch_units, outcomes):
                 if ok:

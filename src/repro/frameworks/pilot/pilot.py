@@ -208,12 +208,14 @@ class PilotFramework(TaskFramework):
                  store_capacity_bytes: int | None = None,
                  spill_dir: str | None = None,
                  spill_async: bool = True,
-                 spill_queue_depth: int = 4) -> None:
+                 spill_queue_depth: int = 4,
+                 fault_policy=None, faults=None) -> None:
         super().__init__(cluster=cluster, executor=executor, workers=workers,
                          data_plane=data_plane,
                          store_capacity_bytes=store_capacity_bytes,
                          spill_dir=spill_dir, spill_async=spill_async,
-                         spill_queue_depth=spill_queue_depth)
+                         spill_queue_depth=spill_queue_depth,
+                         fault_policy=fault_policy, faults=faults)
         self._staged_refs: Dict[str, BlockRef] = {}
         self.session = Session(StateDatabase(latency_s=database_latency_s))
         self.pilot_manager = PilotManager(self.session, executor=self.executor)
@@ -239,8 +241,22 @@ class PilotFramework(TaskFramework):
             ComputeUnitDescription(callable_=fn, args=(item,), name=f"task-{i}")
             for i, item in enumerate(items)
         ]
-        units = self.unit_manager.submit_units(descriptions)
+        stats = self.pilot.agent.stats
+        base_retried = stats.tasks_retried
+        base_lost = stats.tasks_lost
+        base_recovery = stats.recovery_seconds
+        units = list(self.unit_manager.submit_units(descriptions))
         self.unit_manager.wait_units(units)
+        self._reschedule_failed_units(units)
+        # the agent accumulated the executor's per-batch retry counts;
+        # _collect_executor_bytes will add the *last* batch's totals
+        # again, so record only the earlier batches here
+        self._fault_counters.record(
+            retried=(stats.tasks_retried - base_retried
+                     - self.executor.total_tasks_retried),
+            lost=(stats.tasks_lost - base_lost - self.executor.total_tasks_lost),
+            seconds=(stats.recovery_seconds - base_recovery
+                     - self.executor.total_recovery_seconds))
         failed = [u for u in units if u.state == UnitState.FAILED]
         if failed:
             raise failed[0].exception  # surface the first task failure
@@ -258,6 +274,53 @@ class PilotFramework(TaskFramework):
         self.metrics.record_event("agent", self.pilot.agent.stats.as_dict())
         self._collect_executor_bytes()
         return results
+
+    def _reschedule_failed_units(self, units: List[ComputeUnit]) -> None:
+        """Resubmit FAILED units as fresh Compute Units per the fault policy.
+
+        RADICAL-Pilot's late binding means a failed unit is simply
+        rescheduled onto the pilot — units are terminal once FAILED, so
+        each retry is a *new* unit wrapping the same callable, walked
+        through the full state model (and billed the same database round
+        trips).  ``units`` is updated in place so the caller collects
+        results positionally; exhausted retries leave the unit FAILED
+        for the caller to surface.  Retry and loss counts land in the
+        framework's fault counters, which ``_collect_executor_bytes``
+        folds into the run metrics.
+        """
+        from ..faults import NO_RETRIES, WorkerLost
+        from ..shm import BlockLost
+
+        policy = self.fault_policy or NO_RETRIES
+        attempts: Dict[int, int] = {}
+        while True:
+            failed = [(i, unit) for i, unit in enumerate(units)
+                      if unit.state == UnitState.FAILED
+                      and policy.should_retry(unit.exception, attempts.get(i, 0))]
+            if not failed:
+                return
+            recover_start = time.perf_counter()
+            lost = 0
+            redo: List[ComputeUnitDescription] = []
+            for i, unit in failed:
+                exc = unit.exception
+                lost += int(isinstance(exc, (WorkerLost, BlockLost)))
+                if isinstance(exc, BlockLost) and self.store is not None:
+                    self.store.recover_spilled_block(exc.segment)
+                pause = policy.backoff_for(attempts.get(i, 0))
+                if pause:
+                    time.sleep(pause)
+                attempts[i] = attempts.get(i, 0) + 1
+                desc = unit.description
+                redo.append(ComputeUnitDescription(
+                    callable_=desc.callable_, args=desc.args, kwargs=desc.kwargs,
+                    cores=desc.cores, name=f"{desc.name}~retry{attempts[i]}"))
+            replacements = self.unit_manager.submit_units(redo)
+            self._fault_counters.record(retried=len(redo), lost=lost,
+                                        seconds=time.perf_counter() - recover_start)
+            self.unit_manager.wait_units(replacements)
+            for (i, _), replacement in zip(failed, replacements):
+                units[i] = replacement
 
     def broadcast(self, value: Any) -> BroadcastHandle:
         """RP has no broadcast: data is staged to the shared filesystem.

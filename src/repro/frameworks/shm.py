@@ -92,6 +92,7 @@ from multiprocessing import resource_tracker, shared_memory, util as mp_util
 
 __all__ = [
     "DATA_PLANES",
+    "BlockLost",
     "BlockRef",
     "SharedMemoryStore",
     "FileBackedStore",
@@ -104,10 +105,51 @@ __all__ = [
     "refs_nbytes",
     "maybe_resolve",
     "ResolvingTask",
+    "sweep_orphan_segments",
+    "unlink_segment_by_name",
 ]
 
 #: Valid values for the ``data_plane`` option on frameworks and the public API.
 DATA_PLANES = ("pickle", "shm")
+
+#: Name prefix of worker-published result segments.  The worker pid is
+#: embedded right after it (``rpub-<pid>-<nonce>``) so a driver can sweep
+#: the orphans a SIGKILLed worker left behind — a worker killed between
+#: ``publish_payload`` and the driver's adopt runs neither its ``atexit``
+#: handlers nor its ``multiprocessing.util.Finalize`` hooks, so name-keyed
+#: crash cleanup is the only path that reclaims those segments.
+PUBLISH_PREFIX = "rpub"
+
+
+class BlockLost(FileNotFoundError):
+    """A :class:`BlockRef` resolved through no tier: the block is lost.
+
+    Raised by :meth:`BlockRef.resolve` when neither a live shared-memory
+    segment nor a readable spill file exists for the ref — the block was
+    unlinked, corrupted, or belonged to a worker that crashed before
+    handing it off.  Subclasses :class:`FileNotFoundError` so callers
+    that treated the old error keep working; the resilience layer
+    (:mod:`repro.frameworks.faults`) catches it specifically to heal the
+    block from its registered source array or to re-execute the
+    producing task.
+
+    Parameters
+    ----------
+    segment : str
+        Segment name of the lost block.
+    spill_dir : str, optional
+        Spill directory the ref would have fallen back to.
+    """
+
+    def __init__(self, segment: str, spill_dir: Optional[str] = None) -> None:
+        self.segment = segment
+        self.spill_dir = spill_dir
+        super().__init__(f"block {segment!r} is lost: no shared-memory segment "
+                         f"and no spill file under {spill_dir!r}")
+
+    def __reduce__(self):
+        """Pickle by (segment, spill_dir) so the error crosses process pools."""
+        return (type(self), (self.segment, self.spill_dir))
 
 # Process-local segment registries.  ``_OWNED`` holds segments created by
 # stores in this process (resolving a ref to an owned segment is a pure
@@ -286,6 +328,116 @@ def _attach_file(spill_dir: str, name: str) -> Optional[mmap.mmap]:
     return mapped
 
 
+def _invalidate_mapping(path: str) -> None:
+    """Drop a cached spill-file mapping (after a rewrite or corruption).
+
+    The next :func:`_attach_file` call re-opens the file fresh, so a
+    block healed by :meth:`SharedMemoryStore.recover_spilled_block` is
+    not read through a stale mapping of the old inode.  The old mapping
+    is left unclosed if live views may still pin it — the process exit
+    reclaims it, which is the same policy :data:`_RETIRED` applies to
+    shared-memory segments.
+    """
+    with _REGISTRY_LOCK:
+        mapped = _MAPPED.pop(path, None)
+    if mapped is not None:
+        try:
+            if sys.getrefcount(mapped) <= 3:  # pop local + argument + temp
+                mapped.close()
+        except Exception:
+            pass
+
+
+def unlink_segment_by_name(name: str) -> bool:
+    """Unlink a shared-memory segment by name; whether one was removed.
+
+    Used by the fault injector (simulating a segment that vanished
+    before adoption) and by the orphan sweep.  Attaching just to unlink
+    would register the name with the resource tracker, so the ``/dev/shm``
+    file is removed directly where that directory exists, falling back
+    to an attach-and-unlink elsewhere.
+
+    Parameters
+    ----------
+    name : str
+        Shared-memory segment name.
+
+    Returns
+    -------
+    bool
+        ``True`` when a segment with that name existed and was removed.
+    """
+    path = os.path.join("/dev/shm", name)
+    if os.path.isdir("/dev/shm"):
+        try:
+            os.remove(path)
+            return True
+        except OSError:
+            return False
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    _quiet_unlink(segment)
+    try:
+        segment.close()
+    except Exception:
+        pass
+    return True
+
+
+def sweep_orphan_segments(live_pids: Sequence[int] = ()) -> int:
+    """Unlink published result segments whose worker process is dead.
+
+    Worker-published segments are named ``rpub-<pid>-<nonce>``
+    (:data:`PUBLISH_PREFIX`), and a worker killed between
+    ``publish_payload`` and the driver's adopt runs no exit hooks — its
+    segments would outlive the run.  This sweep walks ``/dev/shm`` for
+    publish-prefixed names, checks whether the embedded pid is still
+    alive, and unlinks the segments of dead publishers.  Callers run it
+    from a pool-recovery path, after the broken pool's workers have been
+    reaped.
+
+    Parameters
+    ----------
+    live_pids : sequence of int, optional
+        Pids to leave alone even if the liveness probe cannot see them
+        (e.g. freshly spawned replacement workers).
+
+    Returns
+    -------
+    int
+        Number of segments unlinked.  0 on platforms without a
+        ``/dev/shm`` directory, where orphan names cannot be enumerated.
+    """
+    if not os.path.isdir("/dev/shm"):
+        return 0
+    keep = {int(pid) for pid in live_pids}
+    keep.add(os.getpid())
+    swept = 0
+    prefix = PUBLISH_PREFIX + "-"
+    for entry in os.listdir("/dev/shm"):
+        if not entry.startswith(prefix):
+            continue
+        parts = entry.split("-")
+        try:
+            pid = int(parts[1])
+        except (IndexError, ValueError):
+            continue
+        if pid in keep:
+            continue
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            pass  # publisher is gone: the segment is an orphan
+        except PermissionError:
+            continue  # alive, owned by someone else
+        else:
+            continue  # publisher still alive: adoption may be in flight
+        swept += int(unlink_segment_by_name(entry))
+    return swept
+
+
 # Fork safety for the background threads.  The spill writer and the
 # prefetcher take _REGISTRY_LOCK — and, through the shm create/unlink
 # calls, the resource tracker's internal lock — for short critical
@@ -401,7 +553,8 @@ def prefetch_refs(refs: Sequence["BlockRef"]) -> int:
 
 
 def _copy_into_segment(array: np.ndarray,
-                       spill_dir: Optional[str] = None
+                       spill_dir: Optional[str] = None,
+                       name_prefix: Optional[str] = None
                        ) -> Tuple[shared_memory.SharedMemory, "BlockRef"]:
     """Copy an array into a fresh shm segment and build its ref.
 
@@ -416,6 +569,11 @@ def _copy_into_segment(array: np.ndarray,
         Array to copy (made C-contiguous; zero-byte arrays rejected).
     spill_dir : str, optional
         Spill directory to embed in the returned ref.
+    name_prefix : str, optional
+        When given, the segment is created under an explicit name
+        ``<prefix>-<nonce>`` instead of a platform-chosen one — how
+        :func:`publish_payload` keys result segments by worker pid so
+        crashed publishers can be swept.
 
     Returns
     -------
@@ -427,7 +585,17 @@ def _copy_into_segment(array: np.ndarray,
     data = np.ascontiguousarray(array)
     if data.nbytes == 0:
         raise ValueError("cannot share a zero-byte array")
-    segment = shared_memory.SharedMemory(create=True, size=data.nbytes)
+    if name_prefix is None:
+        segment = shared_memory.SharedMemory(create=True, size=data.nbytes)
+    else:
+        while True:
+            name = f"{name_prefix}-{uuid.uuid4().hex[:12]}"
+            try:
+                segment = shared_memory.SharedMemory(name=name, create=True,
+                                                     size=data.nbytes)
+                break
+            except FileExistsError:  # nonce collision: draw again
+                continue
     view = np.ndarray(data.shape, dtype=data.dtype, buffer=segment.buf)
     np.copyto(view, data)
     del view
@@ -529,9 +697,12 @@ class BlockRef:
 
         Raises
         ------
-        FileNotFoundError
-            If neither a live segment nor a spill file exists for this
-            ref's segment name.
+        BlockLost
+            If neither a live segment nor a readable spill file exists
+            for this ref's segment name (a :class:`FileNotFoundError`
+            subclass, so pre-resilience callers keep working).  A spill
+            file too short for the ref's shape — a corrupted or
+            truncated block — counts as missing.
         """
         name = self.segment
         with _REGISTRY_LOCK:
@@ -544,20 +715,37 @@ class BlockRef:
                     return self._view(segment.buf)
                 except (ValueError, TypeError):
                     pass  # segment retired (spilled) under us; fall through
-        if self.spill_dir is not None:
-            mapped = _attach_file(self.spill_dir, name)
-            if mapped is not None:
-                return self._view(mapped)
+        view = self._file_view()
+        if view is not None:
+            return view
         try:
             segment = _attach(name)
         except FileNotFoundError:
-            if self.spill_dir is not None:
-                # the owning store may have spilled it while we attached
-                mapped = _attach_file(self.spill_dir, name)
-                if mapped is not None:
-                    return self._view(mapped)
-            raise
+            # the owning store may have spilled it while we attached
+            view = self._file_view()
+            if view is not None:
+                return view
+            raise BlockLost(name, self.spill_dir) from None
         return self._view(segment.buf)
+
+    def _file_view(self) -> Optional[np.ndarray]:
+        """Try the spill-file tier; ``None`` when absent or unreadable.
+
+        A mapping too small for the ref's shape (a truncated or
+        corrupted block file) is dropped from the per-process cache and
+        treated as missing, so the resilience layer sees one uniform
+        :class:`BlockLost` signal for every flavour of lost block.
+        """
+        if self.spill_dir is None:
+            return None
+        mapped = _attach_file(self.spill_dir, self.segment)
+        if mapped is None:
+            return None
+        try:
+            return self._view(mapped)
+        except (ValueError, TypeError):
+            _invalidate_mapping(os.path.join(self.spill_dir, self.segment + ".blk"))
+            return None
 
     def slice_rows(self, start: int, stop: int) -> "BlockRef":
         """Return a sub-ref covering rows ``start:stop`` along the first axis.
@@ -936,11 +1124,17 @@ class SharedMemoryStore:
 
         The error is sticky: once the writer has failed, every flush and
         every further eviction surfaces it instead of hanging on a queue
-        nobody drains.  Blocks the dead writer left in the ``spilling``
-        state stay readable from shared memory and are unlinked by
-        :meth:`cleanup`.
+        nobody drains.  Before raising, every block still in the
+        ``enqueued``/``spilling`` states is reinstated into the resident
+        set — the dead writer will never demote them, so leaving their
+        names in the registry would pin shared memory for the life of
+        the store while ``bytes_resident`` claims they left (the leak a
+        broken pool's recovery flush used to trip over).  Runs under the
+        store lock.
         """
         if self._spill_error is not None:
+            for name in list(self._spilling):
+                self._reinstate_pending(name)
             raise RuntimeError("async spill writer failed") from self._spill_error
 
     def _enqueue_spill(self, name: str) -> None:
@@ -972,8 +1166,45 @@ class SharedMemoryStore:
         self.spill_wait_seconds += time.perf_counter() - start
         if self._spill_stop:
             return  # racing close: cleanup owns the spilling set now
+        if self._spill_error is not None:
+            # the writer died while we waited on backpressure: appending
+            # to its queue would leak the name into the enqueued state
+            # forever (nobody drains it), with bytes_resident already
+            # decremented — the block would pin /dev/shm for the life of
+            # the store while the accounting claims it left.  Reinstate
+            # the victim (and every other pending block) and surface the
+            # sticky error.
+            self._raise_spill_error()
         self._spill_queue.append(name)
         self._spill_cv.notify_all()
+
+    def _reinstate_pending(self, name: str) -> None:
+        """Move an enqueued-but-unspilled block back to the resident set.
+
+        Runs under the store lock.  Used when the spill writer has
+        failed: the block never reached (and will never reach) the disk
+        tier, so residency accounting and the LRU order must reflect
+        that it is still in shared memory.
+        """
+        entry = self._spilling.pop(name, None)
+        if entry is None:
+            return
+        segment, nbytes = entry
+        self._segments[name] = segment
+        self._segments.move_to_end(name, last=False)  # coldest: evict first later
+        self._sizes[name] = nbytes
+        self.bytes_resident += nbytes
+        self.bytes_spilled -= nbytes
+        try:
+            self._spill_queue.remove(name)
+        except ValueError:
+            pass
+        if self.spill_dir is not None:
+            # a half-written .tmp from the failed write is garbage now
+            try:
+                os.remove(os.path.join(self.spill_dir, name + ".blk.tmp"))
+            except OSError:
+                pass
 
     def _spill_writer(self) -> None:
         """Drain the eviction queue: write each block, then demote it.
@@ -1017,13 +1248,65 @@ class SharedMemoryStore:
         ``.blk`` file and the corresponding shm names are unlinked.
         Returns immediately on stores with no pending write-behind work
         (synchronous stores, stores that never spilled); re-raises a
-        spill-writer failure instead of hanging on it.
+        spill-writer failure instead of hanging on it.  On such a
+        failure every enqueued-but-unspilled block is first reinstated
+        into the resident set — their names must not linger in the
+        registry's ``enqueued``/``spilling`` states with residency
+        already discounted (the leak a broken pool's recovery flush used
+        to trip over).
         """
         with self._spill_cv:
             while ((self._spill_queue or self._spilling)
                    and self._spill_error is None and not self._spill_stop):
                 self._spill_cv.wait()
             self._raise_spill_error()
+
+    def recover_spilled_block(self, name: str) -> bool:
+        """Rewrite a lost or corrupted spill file from its source array.
+
+        Task-payload blocks enter the store through deduplicating
+        :meth:`put` calls, which pin the source array driver-side — so a
+        spilled block whose ``.blk`` file was unlinked or truncated
+        under a live run can be healed in place: the bytes are written
+        again under the same segment name and every outstanding
+        :class:`BlockRef` resolves bit-identically once more.  Blocks
+        with no registered source (adopted worker results, ``dedup=False``
+        puts) cannot be healed this way; the resilience layer falls back
+        to re-executing the producing task for those.
+
+        Parameters
+        ----------
+        name : str
+            Segment name of the lost block.
+
+        Returns
+        -------
+        bool
+            ``True`` when the block was rewritten; ``False`` when it is
+            resident anyway, unknown, or has no registered source array.
+        """
+        with self._lock:
+            if self._closed or self.spill_dir is None:
+                return False
+            if name in self._segments or name in self._spilling:
+                return False  # still resident: nothing to heal
+            source = None
+            for array, ref in self._registered.values():
+                if ref.segment == name:
+                    source = array
+                    break
+            if source is None or name not in self._spilled:
+                return False
+            data = np.ascontiguousarray(source)
+            path = os.path.join(self.spill_dir, name + ".blk")
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(data.data)
+            os.replace(tmp, path)
+        # stale cached mappings (of the unlinked or truncated inode) must
+        # not shadow the healed file
+        _invalidate_mapping(path)
+        return True
 
     # ------------------------------------------------------------------ #
     def cleanup(self) -> None:
@@ -1372,7 +1655,10 @@ def publish_payload(obj: Any) -> Tuple[Any, int]:
     def leaf(x: Any) -> Any:
         nonlocal published
         if isinstance(x, np.ndarray) and x.nbytes > 0:
-            segment, ref = _copy_into_segment(x)
+            # pid-keyed name: a publisher that dies before hand-off can
+            # be identified and its segments swept by the driver
+            segment, ref = _copy_into_segment(
+                x, name_prefix=f"{PUBLISH_PREFIX}-{os.getpid()}")
             # the driver's store owns the lifetime once it adopts the
             # ref; drop the tracker registration so this process's exit
             # does not tear the segment down underneath it

@@ -44,6 +44,11 @@ class SparkLiteContext(TaskFramework):
         Spill-tier configuration for the shm store, including the
         write-behind pipeline (see
         :class:`~repro.frameworks.base.TaskFramework`).
+    fault_policy, faults:
+        Resilience configuration (see
+        :class:`~repro.frameworks.base.TaskFramework`); stage tasks run
+        on the executor, whose retry loop re-executes lost partitions —
+        Spark's lost-task replay at the same granularity.
     """
 
     name = "sparklite"
@@ -56,12 +61,14 @@ class SparkLiteContext(TaskFramework):
                  store_capacity_bytes: int | None = None,
                  spill_dir: str | None = None,
                  spill_async: bool = True,
-                 spill_queue_depth: int = 4) -> None:
+                 spill_queue_depth: int = 4,
+                 fault_policy=None, faults=None) -> None:
         super().__init__(cluster=cluster, executor=executor, workers=workers,
                          data_plane=data_plane,
                          store_capacity_bytes=store_capacity_bytes,
                          spill_dir=spill_dir, spill_async=spill_async,
-                         spill_queue_depth=spill_queue_depth)
+                         spill_queue_depth=spill_queue_depth,
+                         fault_policy=fault_policy, faults=faults)
         self.default_parallelism = default_parallelism or max(2, self.executor.workers)
         self._scheduler = DAGScheduler(self, self.executor)
         self._rdd_counter = 0

@@ -149,6 +149,41 @@ class KernelCosts:
             return full
         return (1.0 - hidden_fraction) * full
 
+    def retry_overhead(self, task_seconds: float, retries: int = 1,
+                       backoff_s: float = 0.0, backoff_factor: float = 2.0,
+                       redispatch_s: float = 0.0) -> float:
+        """Critical-path cost of re-executing a task ``retries`` times.
+
+        Task-granular recovery (the resilience layer of
+        :mod:`repro.frameworks.faults`) pays, per retry, the task's own
+        runtime again, the framework's redispatch latency, and the
+        policy's deterministic backoff (``backoff_s * backoff_factor**n``
+        before the n-th retry) — but never the rest of the run, which is
+        the point of task-level replay over job-level restart.  The
+        experiments subtract this from a faulty run's wall time to check
+        the measured ``recovery_seconds`` against the model.
+
+        Parameters
+        ----------
+        task_seconds : float
+            Runtime of one attempt of the task.
+        retries : int, optional
+            Number of re-executions (default 1: one fault, one replay).
+        backoff_s : float, optional
+            First retry's backoff pause (default 0, the local-substrate
+            default of :class:`~repro.frameworks.faults.FaultPolicy`).
+        backoff_factor : float, optional
+            Multiplier between successive backoffs.
+        redispatch_s : float, optional
+            Per-retry scheduling cost (e.g. a framework's
+            ``task_overhead_s``, or the pool-rebuild time for a worker
+            death).
+        """
+        if task_seconds < 0 or retries < 0 or backoff_s < 0 or redispatch_s < 0:
+            raise ValueError("retry_overhead arguments must be non-negative")
+        backoff_total = sum(backoff_s * backoff_factor ** n for n in range(retries))
+        return retries * (task_seconds + redispatch_s) + backoff_total
+
     # ------------------------------------------------------------------ #
     def cdist_block(self, n_rows: int, n_cols: int) -> float:
         """A dense pairwise-distance block (Leaflet Finder approaches 1-3)."""

@@ -1,0 +1,674 @@
+"""Chaos suite: injected faults across every substrate and data plane.
+
+The resilience layer's acceptance criteria live here.  For each of the
+four substrates × both data planes, a worker is killed (really, for the
+process pools; simulated as :class:`WorkerLost` for in-process
+executors) or a kernel made to raise mid-run, and the run must finish
+with results *bit-identical* to a fault-free run, exact
+``tasks_retried`` / ``tasks_lost`` metrics, and no ``/dev/shm`` or
+spill-file leaks.  The pool executors additionally cover the real
+failure machinery: SIGKILL mid-task and between publish and adoption
+(the orphan-segment sweep), hung workers reaped by the heartbeat
+monitor, unresolvable result blocks re-executed, and spilled payload
+blocks unlinked or corrupted under a live run and healed from their
+registered sources.
+
+The spill-writer failure tests reproduce (and pin the fix for) the
+latent leak where an eviction waiting on backpressure when the writer
+died would enqueue its victim into a queue nobody drains — leaving the
+block name in the registry's ``enqueued`` state forever with residency
+accounting already discounted.
+
+Everything here is deterministic: faults are claimed at first-attempt
+dispatch in dispatch order and consumed when they fire, so a recovered
+run continues fault-free and re-runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.api import leaflet_finder, psa
+from repro.frameworks import make_framework
+from repro.frameworks.executors import ProcessExecutor, SharedMemoryExecutor
+from repro.frameworks.faults import (
+    BlockLost,
+    FaultInjector,
+    FaultPolicy,
+    FaultSpec,
+    InjectedFault,
+    WorkerLost,
+    as_injector,
+)
+from repro.frameworks.shm import (
+    PUBLISH_PREFIX,
+    SharedMemoryStore,
+    sweep_orphan_segments,
+)
+from repro.trajectory import BilayerSpec, EnsembleSpec, make_bilayer, make_clustered_ensemble
+
+pytestmark = pytest.mark.faults
+
+FRAMEWORK_NAMES = ("sparklite", "dasklite", "pilot", "mpilite")
+DATA_PLANES = ("pickle", "shm")
+
+
+def shm_entries():
+    """Current /dev/shm segment names (empty set if the dir is absent)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # non-Linux fallback: nothing to compare
+        return set()
+
+
+@pytest.fixture(scope="module")
+def chaos_ensemble():
+    """A tiny PSA ensemble: enough tasks for mid-run faults, fast to run."""
+    return make_clustered_ensemble(
+        EnsembleSpec(n_trajectories=5, n_frames=8, n_atoms=16, n_clusters=2, seed=42)
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_matrix(chaos_ensemble):
+    """The fault-free PSA matrix every chaos run must reproduce exactly."""
+    matrix, _ = psa(chaos_ensemble, "dasklite", executor="serial")
+    return matrix.values.copy()
+
+
+@pytest.fixture(scope="module")
+def chaos_bilayer():
+    """A small bilayer plus its fault-free leaflet component sizes."""
+    positions, _ = make_bilayer(BilayerSpec(n_atoms=240, seed=9))
+    result, _ = leaflet_finder(positions, "dasklite", executor="serial",
+                               approach="tree-search", n_tasks=6)
+    return positions, result.sizes
+
+
+def square(x):
+    return x * x
+
+
+def make_block(x):
+    """A task returning an ndarray (rides the result plane on shm)."""
+    return np.full((12, 12), float(x))
+
+
+def flaky_once(marker_dir):
+    """A task function that fails its first invocation per marker dir."""
+    def task(x):
+        marker = os.path.join(marker_dir, "fired")
+        if not os.path.exists(marker):
+            with open(marker, "w") as fh:
+                fh.write("x")
+            raise OSError("transient failure")
+        return x * x
+    return task
+
+
+# --------------------------------------------------------------------------- #
+# fault-spec / injector / policy plumbing
+# --------------------------------------------------------------------------- #
+class TestFaultPlumbing:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec("explode")
+        with pytest.raises(ValueError, match="at_task"):
+            FaultSpec("raise", at_task=-1)
+        with pytest.raises(ValueError, match="when"):
+            FaultSpec("kill_worker", when="later")
+        with pytest.raises(ValueError, match="target"):
+            FaultSpec("unlink_block", target="everything")
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultSpec("delay", delay_s=-1.0)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            FaultPolicy(heartbeat_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            FaultPolicy(on_lost_block="ignore")
+
+    def test_policy_backoff_is_deterministic(self):
+        policy = FaultPolicy(backoff_s=0.5, backoff_factor=3.0)
+        assert policy.backoff_for(0) == 0.5
+        assert policy.backoff_for(1) == 1.5
+        assert policy.backoff_for(2) == 4.5
+        assert FaultPolicy().backoff_for(5) == 0.0
+
+    def test_policy_should_retry_taxonomy(self):
+        policy = FaultPolicy(max_retries=1, retry_on=(OSError,))
+        assert policy.should_retry(WorkerLost("x"), 0)          # always transient
+        assert policy.should_retry(OSError("x"), 0)
+        assert not policy.should_retry(ValueError("x"), 0)      # not in retry_on
+        assert not policy.should_retry(OSError("x"), 1)         # budget exhausted
+        assert policy.should_retry(BlockLost("seg"), 0)
+        strict = FaultPolicy(on_lost_block="raise")
+        assert not strict.should_retry(BlockLost("seg"), 0)
+
+    def test_injector_claims_first_attempts_in_dispatch_order(self):
+        injector = FaultInjector(FaultSpec("raise", at_task=2),
+                                 FaultSpec("delay", at_task=0))
+        assert injector.claim(0).kind == "delay"       # dispatch 0
+        assert injector.claim(1) is None               # retries never claim
+        assert injector.claim(0) is None               # dispatch 1
+        assert injector.claim(0).kind == "raise"       # dispatch 2
+        assert injector.claim(0) is None               # consumed
+        assert [s.kind for s in injector.fired] == ["delay", "raise"]
+        injector.reset()
+        assert len(injector.pending) == 2
+
+    def test_unclaim_rolls_back_a_dispatch(self):
+        injector = FaultInjector(FaultSpec("raise", at_task=1))
+        assert injector.claim(0) is None                  # dispatch 0
+        spec = injector.claim(0)                          # dispatch 1 fires
+        assert spec is not None
+        injector.unclaim(spec)                            # dispatch never ran
+        assert injector.fired == []
+        assert injector.claim(0).kind == "raise"          # dispatch 1, again
+        # rolling back a no-fault claim only rewinds the counter
+        injector2 = FaultInjector(FaultSpec("raise", at_task=1))
+        assert injector2.claim(0) is None
+        injector2.unclaim(None)
+        assert injector2.claim(0) is None                 # still dispatch 0
+        assert injector2.claim(0).kind == "raise"
+
+    def test_framework_preserves_prebuilt_executor_config(self):
+        from repro.frameworks.executors import SerialExecutor
+
+        ex = SerialExecutor(fault_policy=FaultPolicy(max_retries=5))
+        fw = make_framework("dasklite", executor=ex,
+                            faults=FaultSpec("raise", at_task=0))
+        try:
+            # the executor's policy survives a framework that only added
+            # an injector — and reaches the framework's own retry wrapper
+            assert ex.fault_policy is not None
+            assert ex.fault_policy.max_retries == 5
+            assert fw.fault_policy is ex.fault_policy
+            results = fw.map_tasks(square, list(range(3)))
+            assert results == [0, 1, 4]
+            assert fw.metrics.tasks_retried == 1
+        finally:
+            fw.close()
+
+    def test_as_injector_coercions(self):
+        assert as_injector(None) is None
+        spec = FaultSpec("raise")
+        assert as_injector(spec).pending == (spec,)
+        injector = FaultInjector(spec)
+        assert as_injector(injector) is injector
+        assert len(as_injector([spec, FaultSpec("delay", at_task=1)]).pending) == 2
+        with pytest.raises(TypeError):
+            FaultInjector("raise")
+
+
+# --------------------------------------------------------------------------- #
+# the substrate x plane chaos matrix (acceptance criterion)
+# --------------------------------------------------------------------------- #
+class TestChaosMatrix:
+    """One injected fault per run; results bit-identical, metrics exact."""
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    @pytest.mark.parametrize("name", FRAMEWORK_NAMES)
+    def test_worker_kill_mid_psa(self, name, plane, chaos_ensemble,
+                                 reference_matrix, tmp_path):
+        before = shm_entries()
+        matrix, report = psa(
+            chaos_ensemble, name, executor="serial", data_plane=plane,
+            spill_dir=str(tmp_path), fault_policy=FaultPolicy(),
+            faults=FaultSpec("kill_worker", at_task=2))
+        assert np.array_equal(matrix.values, reference_matrix)
+        assert report.metrics.tasks_retried == 1
+        assert report.metrics.tasks_lost == 1
+        assert shm_entries() == before
+        assert os.listdir(tmp_path) == []
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    @pytest.mark.parametrize("name", FRAMEWORK_NAMES)
+    def test_kernel_raise_mid_psa(self, name, plane, chaos_ensemble,
+                                  reference_matrix, tmp_path):
+        before = shm_entries()
+        matrix, report = psa(
+            chaos_ensemble, name, executor="serial", data_plane=plane,
+            spill_dir=str(tmp_path), fault_policy=FaultPolicy(),
+            faults=FaultSpec("raise", at_task=1))
+        assert np.array_equal(matrix.values, reference_matrix)
+        assert report.metrics.tasks_retried == 1
+        assert report.metrics.tasks_lost == 0    # an in-task raise is not a loss
+        assert shm_entries() == before
+        assert os.listdir(tmp_path) == []
+
+    @pytest.mark.parametrize("name", FRAMEWORK_NAMES)
+    def test_spilled_block_unlinked_under_live_run(self, name, chaos_ensemble,
+                                                   reference_matrix, tmp_path):
+        """Unlink a spilled payload .blk mid-run: healed from its source."""
+        before = shm_entries()
+        matrix, report = psa(
+            chaos_ensemble, name, executor="serial", data_plane="shm",
+            store_capacity_bytes=4096, spill_dir=str(tmp_path),
+            fault_policy=FaultPolicy(),
+            faults=FaultSpec("unlink_block", at_task=0))
+        assert np.array_equal(matrix.values, reference_matrix)
+        assert report.metrics.tasks_retried >= 1
+        assert report.metrics.tasks_lost >= 1
+        assert shm_entries() == before
+        assert os.listdir(tmp_path) == []
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    @pytest.mark.parametrize("name", FRAMEWORK_NAMES)
+    def test_worker_kill_mid_leaflet(self, name, plane, chaos_bilayer):
+        positions, expected_sizes = chaos_bilayer
+        before = shm_entries()
+        result, report = leaflet_finder(
+            positions, name, executor="serial", data_plane=plane,
+            approach="tree-search", n_tasks=6, fault_policy=FaultPolicy(),
+            faults=FaultSpec("kill_worker", at_task=3))
+        assert result.sizes == expected_sizes
+        assert report.metrics.tasks_retried >= 1
+        assert report.metrics.tasks_lost >= 1
+        assert shm_entries() == before
+
+    def test_fault_free_run_reports_zero_retries(self, chaos_ensemble,
+                                                 reference_matrix):
+        matrix, report = psa(chaos_ensemble, "dasklite", executor="serial",
+                             fault_policy=FaultPolicy())
+        assert np.array_equal(matrix.values, reference_matrix)
+        assert report.metrics.tasks_retried == 0
+        assert report.metrics.tasks_lost == 0
+        assert report.metrics.recovery_seconds == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# policy gating
+# --------------------------------------------------------------------------- #
+class TestPolicyGating:
+    def test_without_policy_faults_are_fatal(self):
+        fw = make_framework("dasklite", executor="serial",
+                            faults=FaultSpec("raise", at_task=1))
+        try:
+            with pytest.raises(InjectedFault):
+                fw.map_tasks(square, list(range(4)))
+        finally:
+            fw.close()
+
+    def test_retry_on_excludes_the_exception(self):
+        fw = make_framework("dasklite", executor="serial",
+                            fault_policy=FaultPolicy(retry_on=(OSError,)),
+                            faults=FaultSpec("raise", at_task=0))
+        try:
+            with pytest.raises(InjectedFault):
+                fw.map_tasks(square, list(range(3)))
+        finally:
+            fw.close()
+
+    def test_exhausted_budget_surfaces_the_failure(self, tmp_path):
+        fw = make_framework("mpilite", executor="serial",
+                            fault_policy=FaultPolicy(max_retries=0),
+                            faults=FaultSpec("kill_worker", at_task=0))
+        try:
+            with pytest.raises(Exception) as info:
+                fw.map_tasks(square, list(range(3)))
+        finally:
+            fw.close()
+        assert "injected worker kill" in str(info.value)
+
+    def test_user_code_failures_retry_on_every_substrate(self, tmp_path):
+        """A genuinely flaky task (no injector) recovers everywhere."""
+        for name in FRAMEWORK_NAMES:
+            marker = tmp_path / name
+            marker.mkdir()
+            fw = make_framework(name, executor="serial",
+                                fault_policy=FaultPolicy(retry_on=(OSError,)))
+            try:
+                results = fw.map_tasks(flaky_once(str(marker)), list(range(4)))
+                assert results == [0, 1, 4, 9]
+                assert fw.metrics.tasks_retried == 1
+                assert fw.metrics.tasks_lost == 0
+            finally:
+                fw.close()
+
+    def test_deterministic_backoff_lands_in_recovery_seconds(self):
+        fw = make_framework("dasklite", executor="serial",
+                            fault_policy=FaultPolicy(backoff_s=0.05),
+                            faults=FaultSpec("raise", at_task=0))
+        try:
+            fw.map_tasks(square, list(range(2)))
+            assert fw.metrics.recovery_seconds >= 0.05
+        finally:
+            fw.close()
+
+
+# --------------------------------------------------------------------------- #
+# real process-pool failures
+# --------------------------------------------------------------------------- #
+class TestRealWorkerDeath:
+    def test_process_pool_sigkill_recovers_exactly(self):
+        ex = ProcessExecutor(workers=1, fault_policy=FaultPolicy(),
+                             fault_injector=FaultInjector(
+                                 FaultSpec("kill_worker", at_task=2)))
+        try:
+            results = ex.map_tasks(square, list(range(6)))
+            assert results == [0, 1, 4, 9, 16, 25]
+            assert ex.total_tasks_lost == 1
+            assert ex.total_tasks_retried == 1
+            assert ex.total_recovery_seconds > 0.0
+        finally:
+            ex.shutdown()
+
+    def test_process_pool_sigkill_with_spare_workers(self):
+        ex = ProcessExecutor(workers=2, fault_policy=FaultPolicy(),
+                             fault_injector=FaultInjector(
+                                 FaultSpec("kill_worker", at_task=3)))
+        try:
+            results = ex.map_tasks(square, list(range(10)))
+            assert results == [x * x for x in range(10)]
+            assert ex.total_tasks_lost >= 1
+            assert ex.total_tasks_retried >= 1
+        finally:
+            ex.shutdown()
+
+    def test_unrecoverable_worker_death_raises_worker_lost(self):
+        ex = ProcessExecutor(workers=1, fault_policy=FaultPolicy(max_retries=0),
+                             fault_injector=FaultInjector(
+                                 FaultSpec("kill_worker", at_task=1)))
+        try:
+            with pytest.raises(WorkerLost):
+                ex.map_tasks(square, list(range(4)))
+        finally:
+            ex.shutdown()
+
+    def test_shm_pool_kill_before_task(self):
+        before = shm_entries()
+        ex = SharedMemoryExecutor(workers=1, fault_policy=FaultPolicy(),
+                                  fault_injector=FaultInjector(
+                                      FaultSpec("kill_worker", at_task=1)))
+        try:
+            results = ex.map_tasks(make_block, list(range(4)))
+            for i, block in enumerate(results):
+                assert np.array_equal(block, make_block(i))
+            assert ex.total_tasks_lost == 1
+        finally:
+            ex.shutdown()
+        assert shm_entries() == before
+
+    def test_shm_pool_kill_between_publish_and_adoption(self):
+        """The crash window SIGKILL leaves: pid-keyed orphans get swept."""
+        before = shm_entries()
+        ex = SharedMemoryExecutor(workers=1, fault_policy=FaultPolicy(),
+                                  fault_injector=FaultInjector(
+                                      FaultSpec("kill_worker", at_task=1,
+                                                when="after_publish")))
+        try:
+            results = ex.map_tasks(make_block, list(range(4)))
+            for i, block in enumerate(results):
+                assert np.array_equal(block, make_block(i))
+            assert ex.total_tasks_lost == 1
+            assert ex.total_tasks_retried == 1
+        finally:
+            ex.shutdown()
+        leaked = {name for name in shm_entries() - before
+                  if name.startswith(PUBLISH_PREFIX)}
+        assert not leaked
+        assert shm_entries() == before
+
+    def test_heartbeat_monitor_reaps_hung_worker(self):
+        start = time.monotonic()
+        ex = SharedMemoryExecutor(
+            workers=1,
+            fault_policy=FaultPolicy(heartbeat_timeout_s=0.5,
+                                     heartbeat_interval_s=0.05),
+            fault_injector=FaultInjector(
+                FaultSpec("delay", at_task=1, delay_s=60.0)))
+        try:
+            results = ex.map_tasks(square, list(range(3)))
+            assert results == [0, 1, 4]
+            assert ex.total_tasks_lost == 1
+            assert time.monotonic() - start < 30.0  # nowhere near the 60s hang
+        finally:
+            ex.shutdown()
+
+    def test_psa_on_shm_executor_survives_sigkill(self, chaos_ensemble,
+                                                  reference_matrix):
+        # pilot physically executes its units on the pool (sparklite and
+        # dasklite schedule on closures that do not pickle into workers)
+        before = shm_entries()
+        matrix, report = psa(chaos_ensemble, "pilot", executor="shm",
+                             workers=2, data_plane="shm",
+                             fault_policy=FaultPolicy(),
+                             faults=FaultSpec("kill_worker", at_task=2))
+        assert np.array_equal(matrix.values, reference_matrix)
+        assert report.metrics.tasks_retried >= 1
+        assert report.metrics.tasks_lost >= 1
+        assert shm_entries() == before
+
+
+# --------------------------------------------------------------------------- #
+# lost and corrupted blocks
+# --------------------------------------------------------------------------- #
+class TestLostBlocks:
+    def test_lost_result_segment_reexecutes_task(self):
+        before = shm_entries()
+        ex = SharedMemoryExecutor(workers=1, fault_policy=FaultPolicy(),
+                                  fault_injector=FaultInjector(
+                                      FaultSpec("unlink_block", at_task=1,
+                                                target="result")))
+        try:
+            results = ex.map_tasks(make_block, list(range(3)))
+            for i, block in enumerate(results):
+                assert np.array_equal(block, make_block(i))
+            assert ex.total_tasks_lost == 1
+            assert ex.total_tasks_retried == 1
+        finally:
+            ex.shutdown()
+        assert shm_entries() == before
+
+    def test_corrupted_spill_file_heals_from_source(self, chaos_ensemble,
+                                                    reference_matrix, tmp_path):
+        before = shm_entries()
+        matrix, report = psa(
+            chaos_ensemble, "dasklite", executor="serial", data_plane="shm",
+            store_capacity_bytes=4096, spill_dir=str(tmp_path),
+            fault_policy=FaultPolicy(),
+            faults=FaultSpec("corrupt_block", at_task=0))
+        assert np.array_equal(matrix.values, reference_matrix)
+        assert report.metrics.tasks_retried >= 1
+        assert shm_entries() == before
+        assert os.listdir(tmp_path) == []
+
+    def test_on_lost_block_raise_propagates(self, chaos_ensemble, tmp_path):
+        with pytest.raises(BlockLost):
+            psa(chaos_ensemble, "dasklite", executor="serial", data_plane="shm",
+                store_capacity_bytes=4096, spill_dir=str(tmp_path),
+                fault_policy=FaultPolicy(on_lost_block="raise"),
+                faults=FaultSpec("unlink_block", at_task=0))
+
+    def test_recover_spilled_block_contract(self, tmp_path):
+        rng = np.random.default_rng(3)
+        store = SharedMemoryStore(capacity_bytes=4000, spill_dir=str(tmp_path),
+                                  spill_async=False)
+        try:
+            arrays = [rng.random((25, 20)) for _ in range(3)]  # 4000 bytes each
+            refs = [store.put(a) for a in arrays]
+            spilled = [r for r in refs
+                       if os.path.exists(os.path.join(str(tmp_path),
+                                                      r.segment + ".blk"))]
+            assert spilled, "capacity 4000 must have spilled at least one block"
+            victim = spilled[0]
+            os.remove(os.path.join(str(tmp_path), victim.segment + ".blk"))
+            assert store.recover_spilled_block(victim.segment)
+            expected = arrays[refs.index(victim)]
+            assert np.array_equal(victim.resolve(), expected)
+            # unknown or resident names cannot be healed
+            assert not store.recover_spilled_block("no-such-block")
+            resident = [r for r in refs if r not in spilled]
+            if resident:
+                assert not store.recover_spilled_block(resident[0].segment)
+        finally:
+            store.cleanup()
+
+    def test_block_lost_error_pickles_with_context(self):
+        import pickle
+
+        err = BlockLost("seg-1", "/tmp/spill")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.segment == "seg-1"
+        assert clone.spill_dir == "/tmp/spill"
+        assert isinstance(clone, FileNotFoundError)
+
+
+# --------------------------------------------------------------------------- #
+# the spill-writer backpressure leak (latent bug, now fixed)
+# --------------------------------------------------------------------------- #
+class TestSpillWriterFailure:
+    def _failing_store(self, tmp_path, release, entered):
+        """A write-behind store whose first spill write blocks, then fails."""
+        store = SharedMemoryStore(capacity_bytes=4000, spill_dir=str(tmp_path),
+                                  spill_async=True, spill_queue_depth=1)
+
+        def broken_write(name, segment):
+            entered.set()
+            release.wait(timeout=30.0)
+            raise OSError("spill device gone")
+
+        store._write_block = broken_write
+        return store
+
+    def test_backpressure_eviction_does_not_leak_into_dead_queue(self, tmp_path):
+        """The reproduced leak: an eviction that was waiting on backpressure
+        when the writer died must reinstate its victim, not enqueue it."""
+        release = threading.Event()
+        entered = threading.Event()
+        store = self._failing_store(tmp_path, release, entered)
+        rng = np.random.default_rng(11)
+        arrays = [rng.random((25, 20)) for _ in range(5)]  # 4000 bytes each
+        refs = []
+        errors = []
+
+        def put_all():
+            try:
+                for a in arrays:
+                    refs.append(store.put(a))
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        try:
+            putter = threading.Thread(target=put_all)
+            putter.start()
+            assert entered.wait(timeout=10.0)  # writer is busy dying
+            time.sleep(0.2)                    # let a put block on backpressure
+            release.set()                      # writer now fails
+            putter.join(timeout=10.0)
+            assert not putter.is_alive()
+            # the evicting put surfaced the sticky writer failure...
+            assert errors and "spill writer" in str(errors[0])
+            # ...and nothing lingers in the enqueued/spilling states
+            # (pre-fix: the waiting evictor appended its victim to the
+            # dead queue, leaking the name with residency discounted)
+            with store._lock:
+                assert store._spilling == {}
+                assert list(store._spill_queue) == []
+                resident = sum(store._sizes.values())
+                assert store.bytes_resident == resident
+            # every block that made it into the store still resolves
+            for ref, array in zip(refs, arrays):
+                assert np.array_equal(ref.resolve(), array)
+        finally:
+            store.cleanup()
+        assert os.listdir(tmp_path) == []
+
+    def test_flush_spill_reinstates_after_writer_death(self, tmp_path):
+        release = threading.Event()
+        entered = threading.Event()
+        store = self._failing_store(tmp_path, release, entered)
+        rng = np.random.default_rng(12)
+        arrays = [rng.random((25, 20)) for _ in range(3)]
+        try:
+            refs = [store.put(a) for a in arrays]
+            assert entered.wait(timeout=10.0)
+            release.set()
+            with pytest.raises(RuntimeError, match="spill writer"):
+                store.flush_spill()
+            # the failed write's block is resident again and resolvable
+            with store._lock:
+                assert store._spilling == {}
+            for ref, array in zip(refs, arrays):
+                assert np.array_equal(ref.resolve(), array)
+            # later evictions keep surfacing the sticky error instead of
+            # silently queueing to a dead writer
+            with pytest.raises(RuntimeError, match="spill writer"):
+                store.put(rng.random((25, 20)))
+        finally:
+            store.cleanup()
+        assert os.listdir(tmp_path) == []
+
+    def test_pool_recovery_tolerates_dead_spill_writer(self, tmp_path):
+        """BrokenProcessPool recovery flushes the spill pipeline; a dead
+        writer must not abort the recovery (blocks are reinstated)."""
+        store = SharedMemoryStore(capacity_bytes=1 << 20, spill_dir=str(tmp_path))
+        ex = SharedMemoryExecutor(
+            workers=1, store=store, fault_policy=FaultPolicy(),
+            fault_injector=FaultInjector(FaultSpec("kill_worker", at_task=1)))
+        # poison the writer exactly like a vanished spill device would
+        store._spill_error = OSError("spill device gone")
+        try:
+            results = ex.map_tasks(make_block, list(range(3)))
+            for i, block in enumerate(results):
+                assert np.array_equal(block, make_block(i))
+            assert ex.total_tasks_lost == 1
+        finally:
+            ex.shutdown()
+            store.cleanup()
+
+
+# --------------------------------------------------------------------------- #
+# metrics plumbing
+# --------------------------------------------------------------------------- #
+class TestResilienceMetrics:
+    def test_exact_counts_for_multiple_faults(self):
+        fw = make_framework("dasklite", executor="serial",
+                            fault_policy=FaultPolicy(),
+                            faults=[FaultSpec("raise", at_task=1),
+                                    FaultSpec("raise", at_task=3),
+                                    FaultSpec("kill_worker", at_task=5)])
+        try:
+            results = fw.map_tasks(square, list(range(8)))
+            assert results == [x * x for x in range(8)]
+            assert fw.metrics.tasks_retried == 3
+            assert fw.metrics.tasks_lost == 1
+        finally:
+            fw.close()
+
+    def test_metrics_merge_and_dict_carry_resilience_fields(self):
+        from repro.frameworks.base import RunMetrics
+
+        a = RunMetrics(tasks_retried=2, tasks_lost=1, recovery_seconds=0.25)
+        b = RunMetrics(tasks_retried=1, tasks_lost=0, recovery_seconds=0.5)
+        merged = a.merge(b)
+        assert merged.tasks_retried == 3
+        assert merged.tasks_lost == 1
+        assert merged.recovery_seconds == 0.75
+        for key in ("tasks_retried", "tasks_lost", "recovery_seconds"):
+            assert key in merged.as_dict()
+
+    def test_orphan_sweep_is_a_noop_without_orphans(self):
+        assert sweep_orphan_segments() == 0
+
+    def test_timings_carry_retry_attribution(self):
+        ex = ProcessExecutor(workers=1, fault_policy=FaultPolicy(),
+                             fault_injector=FaultInjector(
+                                 FaultSpec("kill_worker", at_task=1)))
+        try:
+            ex.map_tasks(square, list(range(3)))
+            timing = ex.timings[1]
+            assert timing.retries == 1
+            assert timing.lost == 1
+            assert timing.recovery_seconds > 0.0
+            assert ex.timings[0].retries == 0
+        finally:
+            ex.shutdown()

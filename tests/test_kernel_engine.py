@@ -168,6 +168,90 @@ class TestNeighborSearchEquivalence:
         assert np.array_equal(edges, radius_edges(points, 0.5, method="brute"))
 
 
+class TestGridSubsetJoinEquivalence:
+    """The ``query_indices``-aware subset join of :class:`GridNeighborSearch`.
+
+    Large query subsets take the half-stencil self-join plus a
+    smaller-endpoint membership filter, small ones the per-query stencil
+    scan; both must be bit-identical to filtering the brute-force pairs
+    with ``p > q`` — grouped by the queries' order in ``query_indices``,
+    neighbor ascending — for every subset shape.
+    """
+
+    @pytest.mark.parametrize("kind", CLOUD_KINDS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_subsets_match_brute(self, kind, seed):
+        rng = np.random.default_rng(4200 + 10 * seed + hash(kind) % 83)
+        points = random_cloud(rng, kind)
+        n = points.shape[0]
+        cutoff = float(rng.uniform(0.5, 8.0))
+        for frac in (0.1, 0.5, 0.8, 1.0):
+            m = max(1, int(n * frac))
+            subset = rng.choice(n, size=m, replace=False)
+            if rng.random() < 0.5:
+                subset = np.sort(subset)
+            brute = radius_edges(points, cutoff, query_indices=subset,
+                                 method="brute")
+            grid = radius_edges(points, cutoff, query_indices=subset,
+                                method="grid")
+            assert grid.dtype == brute.dtype
+            assert np.array_equal(grid, brute)
+            assert np.array_equal(
+                radius_edges(points, cutoff, query_indices=subset,
+                             method="balltree"), brute)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_both_strategies_bit_identical(self, seed):
+        """The join+filter and query+filter branches agree exactly."""
+        rng = np.random.default_rng(5100 + seed)
+        points = random_cloud(rng, "clustered")
+        n = points.shape[0]
+        cutoff = float(rng.uniform(1.0, 6.0))
+        subset = rng.choice(n, size=max(1, int(0.75 * n)), replace=False)
+        grid = GridNeighborSearch(points, cell_size=cutoff)
+        q, p = grid.subset_join_pairs(subset, cutoff)
+        # force the opposite branch by moving the crossover threshold
+        flipped = GridNeighborSearch(points, cell_size=cutoff)
+        flipped._SUBSET_JOIN_FRACTION = 2.0 if 0.75 >= flipped._SUBSET_JOIN_FRACTION \
+            else 0.0
+        q2, p2 = flipped.subset_join_pairs(subset, cutoff)
+        assert np.array_equal(q, q2)
+        assert np.array_equal(p, p2)
+
+    def test_permuted_full_subset_matches_self_join(self):
+        rng = np.random.default_rng(6007)
+        points = rng.uniform(0, 12, size=(90, 3))
+        permuted = rng.permutation(90)
+        brute = radius_edges(points, 3.0, query_indices=permuted, method="brute")
+        assert np.array_equal(
+            radius_edges(points, 3.0, query_indices=permuted, method="grid"), brute)
+        # identity order reduces to the plain full-discovery fast path
+        ordered = radius_edges(points, 3.0, query_indices=np.arange(90),
+                               method="grid")
+        assert np.array_equal(ordered, radius_edges(points, 3.0, method="grid"))
+
+    def test_degenerate_subsets(self):
+        points = np.random.default_rng(7).uniform(0, 5, size=(40, 3))
+        grid = GridNeighborSearch(points, cell_size=2.0)
+        q, p = grid.subset_join_pairs(np.empty(0, dtype=np.int64), 2.0)
+        assert q.size == 0 and p.size == 0
+        single = radius_edges(points, 2.0, query_indices=np.array([17]),
+                              method="grid")
+        assert np.array_equal(
+            single, radius_edges(points, 2.0, query_indices=np.array([17]),
+                                 method="brute"))
+
+    def test_duplicate_indices_rejected_but_radius_edges_falls_back(self):
+        points = np.random.default_rng(8).uniform(0, 5, size=(30, 3))
+        grid = GridNeighborSearch(points, cell_size=2.0)
+        with pytest.raises(ValueError, match="unique"):
+            grid.subset_join_pairs(np.array([3, 3, 7]), 2.0)
+        dup = np.array([3, 3, 7])
+        assert np.array_equal(
+            radius_edges(points, 2.0, query_indices=dup, method="grid"),
+            radius_edges(points, 2.0, query_indices=dup, method="brute"))
+
+
 class TestConnectedComponentsEquivalence:
     @staticmethod
     def assert_same_components(left, right):

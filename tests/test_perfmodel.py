@@ -166,6 +166,23 @@ class TestKernels:
         with pytest.raises(ValueError):
             kern.spill_write(nbytes, hidden_fraction=1.5)
 
+    def test_retry_overhead_cost(self):
+        """Task-level replay pays the task again, never the rest of the run."""
+        kern = KernelCosts()
+        assert kern.retry_overhead(2.0) == pytest.approx(2.0)
+        assert kern.retry_overhead(2.0, retries=0) == 0.0
+        assert kern.retry_overhead(2.0, retries=3) == pytest.approx(6.0)
+        # deterministic backoff series: 0.5 + 1.0 for two retries (factor 2)
+        assert kern.retry_overhead(2.0, retries=2, backoff_s=0.5) \
+            == pytest.approx(2 * 2.0 + 0.5 + 1.0)
+        # a worker death also pays the pool rebuild as redispatch
+        assert kern.retry_overhead(2.0, retries=1, redispatch_s=0.3) \
+            == pytest.approx(2.3)
+        with pytest.raises(ValueError):
+            kern.retry_overhead(-1.0)
+        with pytest.raises(ValueError):
+            kern.retry_overhead(1.0, retries=-1)
+
 
 class TestThroughputModel:
     def test_figure2_shape(self):

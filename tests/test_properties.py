@@ -20,6 +20,8 @@ from repro.core.partitioning import (
     one_dimensional_partition,
     two_dimensional_partition,
 )
+from repro.frameworks import make_framework
+from repro.frameworks.faults import FaultPolicy, FaultSpec
 from repro.frameworks.sparklite.partitioner import split_into_partitions
 
 # keep example sizes small: these kernels are O(n^2)
@@ -151,6 +153,68 @@ class TestGraphProperties:
         groups = dsu.groups()
         assert sum(len(g) for g in groups) == 20
         assert all(dsu.find(int(g[0])) == dsu.find(int(x)) for g in groups for x in g)
+
+
+def _retry_task(x):
+    """A deterministic numeric task for the retry-determinism property."""
+    return float(np.sum(x * x) + np.sum(np.sort(x)[:3]))
+
+
+_RETRY_N_TASKS = 7
+_RETRY_BASELINE: dict = {}
+
+
+def _retry_workload():
+    """Fixed-seed task payloads (rebuilt per run so faults cannot mutate them)."""
+    rng = np.random.default_rng(2024)
+    return [rng.uniform(-5, 5, size=16) for _ in range(_RETRY_N_TASKS)]
+
+
+def _retry_results(framework_name, **kwargs):
+    fw = make_framework(framework_name, executor="serial", **kwargs)
+    try:
+        results = fw.map_tasks(_retry_task, _retry_workload())
+        return results, fw.metrics
+    finally:
+        fw.close()
+
+
+class TestRetryDeterminism:
+    """One injected fault at *any* task index leaves the results bit-identical.
+
+    The resilience layer's core contract: because faults are consumed at
+    first-attempt dispatch and tasks are deterministic, a run that loses
+    a worker (or hits a transient raise) at any position recovers to
+    exactly the fault-free answer, with the retry accounted.
+    """
+
+    @SETTINGS
+    @given(st.sampled_from(("sparklite", "dasklite", "pilot", "mpilite")),
+           st.integers(0, _RETRY_N_TASKS - 1),
+           st.sampled_from(("raise", "kill_worker", "delay")))
+    def test_single_fault_any_position_is_invisible(self, name, position, kind):
+        baseline = _RETRY_BASELINE.setdefault(
+            "results", _retry_results("dasklite")[0])
+        spec = FaultSpec(kind, at_task=position, delay_s=0.0)
+        results, metrics = _retry_results(name, fault_policy=FaultPolicy(),
+                                          faults=spec)
+        assert results == baseline          # bit-identical floats
+        expected_retries = 0 if kind == "delay" else 1
+        assert metrics.tasks_retried == expected_retries
+        assert metrics.tasks_lost == (1 if kind == "kill_worker" else 0)
+
+    @SETTINGS
+    @given(st.integers(0, _RETRY_N_TASKS - 1), st.integers(0, _RETRY_N_TASKS - 1))
+    def test_two_faults_any_positions_are_invisible(self, first, second):
+        baseline = _RETRY_BASELINE.setdefault(
+            "results", _retry_results("dasklite")[0])
+        specs = [FaultSpec("raise", at_task=first)]
+        if second != first:
+            specs.append(FaultSpec("kill_worker", at_task=second))
+        results, metrics = _retry_results("dasklite", fault_policy=FaultPolicy(),
+                                          faults=specs)
+        assert results == baseline
+        assert metrics.tasks_retried == len(specs)
 
 
 class TestPartitioningProperties:
