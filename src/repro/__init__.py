@@ -30,7 +30,10 @@ from .core import (
     psa_serial,
     recommend_framework,
     run_leaflet_finder,
+    run_leaflet_stream,
     run_psa,
+    run_psa_windows,
+    stream_windows,
 )
 from .frameworks import (
     DaskLiteClient,
@@ -41,12 +44,14 @@ from .frameworks import (
     make_framework,
 )
 from .trajectory import (
+    StreamingEnsemble,
     Trajectory,
     TrajectoryEnsemble,
     Universe,
     make_bilayer,
     make_bilayer_universe,
     paper_leaflet_system,
+    open_streaming_ensemble,
     paper_psa_ensemble,
 )
 
@@ -57,9 +62,12 @@ __all__ = [
     "psa",
     "psa_serial",
     "run_psa",
+    "run_psa_windows",
+    "stream_windows",
     "leaflet_finder",
     "leaflet_serial",
     "run_leaflet_finder",
+    "run_leaflet_stream",
     "LeafletFinder",
     "compare_frameworks",
     "compare_leaflet_approaches",
@@ -79,6 +87,8 @@ __all__ = [
     "TrajectoryEnsemble",
     "Universe",
     "paper_psa_ensemble",
+    "StreamingEnsemble",
+    "open_streaming_ensemble",
     "make_bilayer",
     "make_bilayer_universe",
     "paper_leaflet_system",

@@ -5,7 +5,13 @@ approaches, the 1-D/2-D partitioning schemes, result containers, the Big
 Data Ogres characterization and the framework decision framework.
 """
 
-from .api import compare_frameworks, compare_leaflet_approaches, leaflet_finder, psa
+from .api import (
+    compare_frameworks,
+    compare_leaflet_approaches,
+    leaflet_finder,
+    psa,
+    stream_windows,
+)
 from .characterization import (
     DECISION_FRAMEWORK,
     FRAMEWORK_COMPARISON,
@@ -29,6 +35,7 @@ from .leaflet import (
     leaflet_task_2d,
     leaflet_tree_search,
     run_leaflet_finder,
+    run_leaflet_stream,
 )
 from .partitioning import (
     BlockTask,
@@ -39,21 +46,36 @@ from .partitioning import (
     tasks_for_group_size,
     two_dimensional_partition,
 )
-from .psa import PSA_METRICS, PSABlockTask, execute_psa_block, make_psa_tasks, psa_serial, run_psa
+from .psa import (
+    PSA_METRICS,
+    PSABlockTask,
+    PSAWindowTask,
+    execute_psa_block,
+    execute_psa_window,
+    make_psa_tasks,
+    psa_serial,
+    run_psa,
+    run_psa_windows,
+)
 from .results import DistanceMatrix, LeafletResult, RunReport
 
 __all__ = [
     "psa",
+    "stream_windows",
     "leaflet_finder",
     "compare_frameworks",
     "compare_leaflet_approaches",
     "run_psa",
+    "run_psa_windows",
     "psa_serial",
     "make_psa_tasks",
     "execute_psa_block",
     "PSABlockTask",
+    "PSAWindowTask",
+    "execute_psa_window",
     "PSA_METRICS",
     "run_leaflet_finder",
+    "run_leaflet_stream",
     "leaflet_serial",
     "leaflet_broadcast_1d",
     "leaflet_task_2d",

@@ -22,11 +22,17 @@ import numpy as np
 from ..frameworks import TaskFramework, make_framework
 from ..trajectory.trajectory import TrajectoryEnsemble
 from ..trajectory.universe import Universe
-from .leaflet import LEAFLET_APPROACHES, run_leaflet_finder
-from .psa import run_psa
+from .leaflet import LEAFLET_APPROACHES, run_leaflet_finder, run_leaflet_stream
+from .psa import run_psa, run_psa_windows
 from .results import DistanceMatrix, LeafletResult, RunReport
 
-__all__ = ["psa", "leaflet_finder", "compare_frameworks", "compare_leaflet_approaches"]
+__all__ = [
+    "psa",
+    "stream_windows",
+    "leaflet_finder",
+    "compare_frameworks",
+    "compare_leaflet_approaches",
+]
 
 
 def _resolve_framework(framework: str | TaskFramework, **kwargs) -> TaskFramework:
@@ -46,13 +52,17 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
         spill_async: bool = True,
         spill_queue_depth: int = 4,
         fault_policy=None,
-        faults=None) -> Tuple[DistanceMatrix, RunReport]:
+        faults=None,
+        window: Tuple[int, int] | None = None) -> Tuple[DistanceMatrix, RunReport]:
     """Run Path Similarity Analysis on an ensemble.
 
     Parameters
     ----------
-    ensemble : TrajectoryEnsemble
-        The trajectories to compare all-to-all.
+    ensemble : TrajectoryEnsemble or StreamingEnsemble
+        The trajectories to compare all-to-all.  A
+        :class:`~repro.trajectory.streaming.StreamingEnsemble` keeps its
+        members on disk; on the shm plane its chunks are ingested into
+        the store and tasks carry zero-copy window refs.
     framework : str or TaskFramework, optional
         Framework name (``"spark"``, ``"dask"``, ``"pilot"``, ``"mpi"`` or
         their canonical sparklite/dasklite/pilot/mpilite spellings) or an
@@ -104,6 +114,11 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
         overhead (see :mod:`repro.frameworks.faults`).
     faults : FaultInjector or FaultSpec or sequence, optional
         Deterministic fault injection for chaos runs (testing only).
+    window : tuple of (int, int), optional
+        Restrict the analysis to frames ``[start, stop)`` of every
+        member.  On a streaming ensemble only the chunks the window
+        touches are ingested; on an in-memory ensemble the members are
+        sliced.
 
     Returns
     -------
@@ -122,11 +137,101 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
         if created else framework
     try:
         return run_psa(ensemble, fw, metric=metric, n_tasks=n_tasks,
-                       group_size=group_size, data_plane=data_plane)
+                       group_size=group_size, data_plane=data_plane,
+                       window=window)
     finally:
         # a framework constructed here is closed here: the matrix and
         # report are plain copies, and closing releases the store's
         # shared-memory segments immediately instead of at exit
+        if created:
+            fw.close()
+
+
+def stream_windows(source, framework: str | TaskFramework = "dasklite", *,
+                   analysis: str = "psa",
+                   metric: str = "hausdorff_windowed",
+                   window_frames: int | None = None,
+                   cutoff: float = 15.0,
+                   n_tasks: int | None = None,
+                   group_size: int | None = None,
+                   workers: int | None = None,
+                   executor: str = "threads",
+                   data_plane: str | None = None,
+                   store_capacity_bytes: int | None = None,
+                   spill_dir: str | None = None,
+                   spill_async: bool = True,
+                   spill_queue_depth: int = 4,
+                   fault_policy=None,
+                   faults=None) -> Tuple[DistanceMatrix | LeafletResult, RunReport]:
+    """Incrementally analyze a streamed input, window by window.
+
+    The out-of-core driver: windows (defaulting to the source's chunk
+    boundaries) are analyzed as their chunks arrive and per-window
+    results are merged into the final answer — bit-identically to the
+    corresponding batch run, while ``peak_resident_bytes`` stays bounded
+    by the store watermark instead of the input size.
+
+    Parameters
+    ----------
+    source : StreamingEnsemble or ChunkedPositions or TrajectoryEnsemble
+        For ``analysis="psa"``: a
+        :class:`~repro.trajectory.streaming.StreamingEnsemble` (or an
+        in-memory ensemble, whose windows are slices).  For
+        ``analysis="leaflet"``: a
+        :class:`~repro.trajectory.streaming.ChunkedPositions` system.
+    framework : str or TaskFramework, optional
+        Framework name or an already constructed framework.
+    analysis : str, optional
+        ``"psa"`` (windowed Hausdorff over trajectory pairs, the
+        default) or ``"leaflet"`` (incremental component merging over
+        atom-chunk pairs).
+    metric : str, optional
+        PSA only.  Must be ``"hausdorff_windowed"`` — the one registered
+        metric whose kernel merges bit-identically over frame windows.
+    window_frames : int, optional
+        PSA only: frames per window (default: the chunk size).
+    cutoff : float, optional
+        Leaflet only: neighbor cutoff in Angstrom.
+    n_tasks / group_size : int, optional
+        PSA trajectory-block decomposition (as in :func:`psa`).
+    workers, executor, data_plane, store_capacity_bytes, spill_dir, \
+spill_async, spill_queue_depth, fault_policy, faults :
+        As in :func:`psa`, except ``data_plane`` defaults to ``"shm"``
+        here: chunks ingest into the store and ride as zero-copy refs,
+        and a ``store_capacity_bytes`` watermark spills cold chunks
+        between waves.  Pass ``data_plane="pickle"`` explicitly to
+        stream windows as serialized arrays instead.
+
+    Returns
+    -------
+    result : DistanceMatrix or LeafletResult
+        The merged analysis result (matches the batch run).
+    report : RunReport
+        Wave-accumulated metrics, including ``bytes_ingested`` and
+        ``peak_resident_bytes``.
+    """
+    if analysis not in ("psa", "leaflet"):
+        raise ValueError(f"unknown analysis {analysis!r}; choose 'psa' or 'leaflet'")
+    created = isinstance(framework, str)
+    # unlike psa()/leaflet(), streaming defaults to the shm plane: the
+    # whole point is ingesting chunks into the store as shared blocks
+    data_plane = data_plane or "shm"
+    fw = _resolve_framework(framework, executor=executor, workers=workers,
+                            data_plane=data_plane,
+                            store_capacity_bytes=store_capacity_bytes,
+                            spill_dir=spill_dir, spill_async=spill_async,
+                            spill_queue_depth=spill_queue_depth,
+                            fault_policy=fault_policy, faults=faults) \
+        if created else framework
+    try:
+        if analysis == "psa":
+            return run_psa_windows(source, fw, metric=metric,
+                                   window_frames=window_frames,
+                                   n_tasks=n_tasks, group_size=group_size,
+                                   data_plane=data_plane)
+        return run_leaflet_stream(source, cutoff, fw, data_plane=data_plane)
+    finally:
+        # see psa(): frameworks constructed by name are closed here
         if created:
             fw.close()
 

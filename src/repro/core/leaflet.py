@@ -56,6 +56,7 @@ __all__ = [
     "leaflet_parallel_cc",
     "leaflet_tree_search",
     "run_leaflet_finder",
+    "run_leaflet_stream",
     "LeafletFinder",
 ]
 
@@ -464,6 +465,129 @@ def run_leaflet_finder(positions: np.ndarray, cutoff: float,
             if ephemeral_store is not None:
                 framework.store = None
                 ephemeral_store.cleanup()
+
+
+def run_leaflet_stream(chunked, cutoff: float, framework: TaskFramework, *,
+                       data_plane: str | None = None) -> Tuple[LeafletResult, RunReport]:
+    """Streamed Leaflet Finder over a chunk-file-backed system.
+
+    The incremental counterpart of :func:`leaflet_parallel_cc` for
+    systems that arrive as atom-row chunks
+    (:class:`~repro.trajectory.streaming.ChunkedPositions`): when chunk
+    ``w`` arrives, one wave of :class:`_BlockPairTask` work compares it
+    against itself and every earlier chunk, and the wave's partial
+    components are folded into the running component state with
+    :func:`~repro.analysis.graph.merge_component_sets` — component
+    merging is order independent, so the final leaflets are identical to
+    a batch run over the materialized system.  On the shm plane chunks
+    ingest into the framework's store
+    (:meth:`~repro.frameworks.shm.SharedMemoryStore.ingest`) and tasks
+    carry zero-copy refs; cold chunks spill between waves, so the
+    resident footprint is bounded by the store watermark, not the system
+    size.
+
+    Parameters
+    ----------
+    chunked : ChunkedPositions
+        The chunk-file-backed ``(n_atoms, 3)`` system.
+    cutoff : float
+        Neighbor cutoff in Angstrom.
+    framework : TaskFramework
+        Substrate to run on.
+    data_plane : str, optional
+        Override the framework's plane for this run (as in
+        :func:`run_leaflet_finder`).
+
+    Returns
+    -------
+    (LeafletResult, RunReport)
+        The leaflet components and a report whose metrics accumulate
+        over all waves (``bytes_ingested`` / ``peak_resident_bytes``
+        record the out-of-core behaviour).
+    """
+    if cutoff <= 0:
+        raise ValueError("cutoff must be positive")
+    if data_plane is not None and data_plane not in DATA_PLANES:
+        raise ValueError(f"unknown data_plane {data_plane!r}; choose from {DATA_PLANES}")
+    n = chunked.n_atoms
+    n_chunks = chunked.n_chunks
+    configured_plane = getattr(framework, "data_plane", None)
+    plane = data_plane if data_plane is not None else (configured_plane or "pickle")
+    override = configured_plane is not None and configured_plane != plane
+    store = None
+    owns_store = False
+    if plane == "shm":
+        store = getattr(framework, "store", None)
+        if store is None:
+            store = SharedMemoryStore()
+            owns_store = True
+
+    def payload(index: int):
+        if store is not None:
+            return chunked.ingest_chunk(store, index)
+        return chunked.load_chunk(index)
+
+    state: List[np.ndarray] = []
+    totals = None
+    start_all = time.perf_counter()
+    map_time = 0.0
+    reduce_time = 0.0
+    waves = 0
+    try:
+        if override:
+            framework.data_plane = plane
+            if owns_store:
+                framework.store = store
+        for w in range(n_chunks):
+            w_start, w_stop = chunked.chunk_range(w)
+            pay_w = payload(w)
+            tasks = [_BlockPairTask(block=BlockTask(w_start, w_stop, w_start, w_stop),
+                                    rows=pay_w, cols=pay_w, cutoff=cutoff,
+                                    partial_components=True)]
+            for v in range(w):
+                v_start, v_stop = chunked.chunk_range(v)
+                tasks.append(_BlockPairTask(
+                    block=BlockTask(v_start, v_stop, w_start, w_stop),
+                    rows=payload(v), cols=pay_w, cutoff=cutoff,
+                    partial_components=True))
+            map_start = time.perf_counter()
+            partials = framework.map_tasks(_run_task, tasks)
+            map_time += time.perf_counter() - map_start
+            reduce_start = time.perf_counter()
+            state = merge_component_sets([state, *partials])
+            reduce_time += time.perf_counter() - reduce_start
+            totals = framework.metrics if totals is None else totals.merge(framework.metrics)
+            waves += 1
+        components = _with_singletons(state, n)
+    finally:
+        if override:
+            framework.data_plane = configured_plane
+            if owns_store:
+                framework.store = None
+        if owns_store:
+            store.cleanup()
+    wall = time.perf_counter() - start_all
+    result = LeafletResult(components, n_atoms=n, n_edges=None)
+    metrics = totals if totals is not None else framework.metrics
+    metrics.record_event("map_s", map_time)
+    metrics.record_event("reduce_s", reduce_time)
+    report = RunReport(
+        algorithm="leaflet_stream[parallel-cc]",
+        framework=framework.name,
+        parameters={
+            "n_atoms": n,
+            "cutoff": cutoff,
+            "n_chunks": n_chunks,
+            "n_waves": waves,
+            "data_plane": plane,
+            "phase_map_s": map_time,
+            "phase_reduce_s": reduce_time,
+        },
+        wall_time_s=wall,
+        n_tasks=metrics.tasks_submitted,
+        metrics=metrics,
+    )
+    return result, report
 
 
 class LeafletFinder:

@@ -26,6 +26,8 @@ from ..analysis.hausdorff import (
     hausdorff,
     hausdorff_earlybreak,
     hausdorff_naive,
+    hausdorff_windowed,
+    window_minima,
 )
 from ..frameworks.base import TaskFramework
 from ..frameworks.serialization import nbytes_of
@@ -35,7 +37,15 @@ from ..trajectory.trajectory import TrajectoryEnsemble
 from .partitioning import BlockTask, choose_group_size, two_dimensional_partition
 from .results import DistanceMatrix, RunReport
 
-__all__ = ["PSA_METRICS", "PSABlockTask", "psa_serial", "run_psa", "make_psa_tasks"]
+__all__ = [
+    "PSA_METRICS",
+    "PSABlockTask",
+    "PSAWindowTask",
+    "psa_serial",
+    "run_psa",
+    "run_psa_windows",
+    "make_psa_tasks",
+]
 
 
 def hausdorff_earlybreak_reference(traj_a: np.ndarray, traj_b: np.ndarray) -> float:
@@ -54,6 +64,7 @@ PSA_METRICS: Dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
     "hausdorff_naive": hausdorff_naive,
     "hausdorff_earlybreak": hausdorff_earlybreak,
     "hausdorff_earlybreak_reference": hausdorff_earlybreak_reference,
+    "hausdorff_windowed": hausdorff_windowed,
     "frechet": discrete_frechet,
 }
 
@@ -83,6 +94,12 @@ class PSABlockTask:
 def _load(item, from_files: bool) -> np.ndarray:
     if from_files:
         return read_trajectory(item).as_array()
+    if isinstance(item, (list, tuple)):
+        # a streamed frame window: one ref (or array) per source chunk;
+        # a single-chunk window stays zero-copy, spanning windows are
+        # concatenated worker-side (the only copy the window ever makes)
+        parts = [np.asarray(maybe_resolve(part), dtype=np.float64) for part in item]
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
     # shm data plane: the item is a BlockRef; rehydrate as a zero-copy view
     item = maybe_resolve(item)
     return np.asarray(item, dtype=np.float64)
@@ -123,7 +140,8 @@ def execute_psa_block(task: PSABlockTask) -> np.ndarray:
 def make_psa_tasks(ensemble: TrajectoryEnsemble, *, group_size: int | None = None,
                    n_tasks: int | None = None, metric: str = "hausdorff",
                    paths: Sequence[str] | None = None,
-                   store: SharedMemoryStore | None = None) -> List[PSABlockTask]:
+                   store: SharedMemoryStore | None = None,
+                   window: Tuple[int, int] | None = None) -> List[PSABlockTask]:
     """Build the PSA task list for an ensemble (Algorithm 2 decomposition).
 
     Parameters
@@ -146,6 +164,13 @@ def make_psa_tasks(ensemble: TrajectoryEnsemble, *, group_size: int | None = Non
         :class:`~repro.frameworks.shm.BlockRef` handles, so the 2-D block
         decomposition — which replicates every trajectory into ~2·N/n1
         task payloads — ships refs instead of array copies.
+    window:
+        Optional ``(start, stop)`` frame window; the analysis is
+        restricted to those frames of every member.  On a
+        :class:`~repro.trajectory.streaming.StreamingEnsemble` the window
+        resolves through chunk ingestion (only the chunks the window
+        touches enter memory); on an in-memory ensemble the members are
+        sliced.  Not supported together with ``paths``.
     """
     if metric not in PSA_METRICS:
         raise ValueError(f"unknown PSA metric {metric!r}; choose from {sorted(PSA_METRICS)}")
@@ -163,10 +188,20 @@ def make_psa_tasks(ensemble: TrajectoryEnsemble, *, group_size: int | None = Non
     from_files = paths is not None
     if from_files and len(paths) != n:
         raise ValueError("paths must have one entry per trajectory")
+    if from_files and window is not None:
+        raise ValueError("window is not supported with path-based tasks")
     if from_files:
         source: Sequence = paths
+    elif hasattr(ensemble, "window_payloads"):
+        # streaming ensemble: windows resolve as chunk refs (with a
+        # store) or window-sized arrays (without) — never whole members
+        start, stop = window if window is not None else (0, ensemble.n_frames)
+        source = ensemble.window_payloads(store, start, stop)
     else:
         source = ensemble.as_arrays()
+        if window is not None:
+            start, stop = window
+            source = [array[start:stop] for array in source]
         if store is not None:
             source = [store.put(array) for array in source]
     tasks = []
@@ -199,11 +234,17 @@ def run_psa(ensemble: TrajectoryEnsemble, framework: TaskFramework,
             *, group_size: int | None = None, n_tasks: int | None = None,
             metric: str = "hausdorff",
             paths: Sequence[str] | None = None,
-            data_plane: str | None = None) -> Tuple[DistanceMatrix, RunReport]:
+            data_plane: str | None = None,
+            window: Tuple[int, int] | None = None) -> Tuple[DistanceMatrix, RunReport]:
     """Task-parallel PSA on any framework substrate.
 
     Returns the symmetric distance matrix and a :class:`RunReport` with the
     framework's metrics (task counts, wall time, overhead).
+
+    ``window=(start, stop)`` restricts the analysis to a frame window of
+    every member (any metric); on a
+    :class:`~repro.trajectory.streaming.StreamingEnsemble` only the
+    chunks the window touches are ingested.
 
     ``data_plane`` defaults to the framework's own plane; pass ``"shm"``
     to force zero-copy task payloads (each trajectory enters shared
@@ -242,7 +283,8 @@ def run_psa(ensemble: TrajectoryEnsemble, framework: TaskFramework,
                 # for this run (mirrors run_leaflet_finder)
                 framework.store = store
         tasks = make_psa_tasks(ensemble, group_size=group_size, n_tasks=n_tasks,
-                               metric=metric, paths=paths, store=store)
+                               metric=metric, paths=paths, store=store,
+                               window=window)
         n = ensemble.n_trajectories
         start = time.perf_counter()
         results = framework.map_tasks(execute_psa_block, tasks)
@@ -284,9 +326,241 @@ def run_psa(ensemble: TrajectoryEnsemble, framework: TaskFramework,
             "n_tasks": len(tasks),
             "metric": metric,
             "data_plane": plane,
+            "window": window,
         },
         wall_time_s=wall,
         n_tasks=len(tasks),
         metrics=metrics,
+    )
+    return matrix, report
+
+
+@dataclass
+class PSAWindowTask:
+    """One streamed PSA task: a trajectory-pair block restricted to a window pair.
+
+    The streamed decomposition adds a second axis to Algorithm 2: a task
+    owns an ``n1 x n1`` block of trajectory pairs *and* one ordered pair
+    of frame windows, and contributes the per-frame minimum squared
+    distances of that window pair.  ``row_data`` / ``col_data`` carry the
+    members' window payloads (chunk refs on the shm plane, window arrays
+    on pickle) — never whole trajectories.
+    """
+
+    block: BlockTask
+    row_data: List
+    col_data: List
+    row_window: Tuple[int, int]
+    col_window: Tuple[int, int]
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate payload size shipped to the worker."""
+        return nbytes_of(self.row_data) + nbytes_of(self.col_data)
+
+
+def execute_psa_window(task: PSAWindowTask) -> np.ndarray:
+    """Run one streamed PSA window task.
+
+    Returns a ``(n_pairs, 6 + la + lb)`` float64 array whose rows are
+    ``[i, j, row_start, la, col_start, lb, row_min_d2..., col_min_d2...]``
+    — self-describing, so the driver can merge results regardless of
+    completion order.  Squared distances come from
+    :func:`repro.analysis.hausdorff.window_minima`, whose per-pair
+    difference formula makes the merge bit-identical to a batch pass.
+    """
+    rows = [_load(item, False) for item in task.row_data]
+    same_windows = task.block.diagonal and task.row_window == task.col_window
+    cols = rows if same_windows else [_load(item, False) for item in task.col_data]
+    r_start, r_stop = task.row_window
+    c_start, c_stop = task.col_window
+    la, lb = r_stop - r_start, c_stop - c_start
+    out: List[np.ndarray] = []
+    for local_i, win_a in enumerate(rows):
+        global_i = task.block.row_start + local_i
+        for local_j, win_b in enumerate(cols):
+            global_j = task.block.col_start + local_j
+            if task.block.diagonal and global_j <= global_i:
+                continue
+            row_min, col_min = window_minima(win_a, win_b)
+            out.append(np.concatenate((
+                [global_i, global_j, r_start, la, c_start, lb], row_min, col_min)))
+    if not out:
+        return np.empty((0, 6 + la + lb), dtype=np.float64)
+    return np.asarray(out, dtype=np.float64)
+
+
+def run_psa_windows(ensemble, framework: TaskFramework,
+                    *, metric: str = "hausdorff_windowed",
+                    window_frames: int | None = None,
+                    group_size: int | None = None, n_tasks: int | None = None,
+                    data_plane: str | None = None) -> Tuple[DistanceMatrix, RunReport]:
+    """Streamed PSA: analyze frame windows as chunks arrive, merge minima.
+
+    The incremental driver for out-of-core ensembles: windows are
+    processed in arrival order, and when window ``w`` arrives one wave of
+    tasks compares it against itself and every earlier window (both
+    orders), so at no point does any member need to be resident beyond
+    the chunks the current wave touches — the store's watermark is free
+    to spill cold chunks between waves.  Per-frame minimum squared
+    distances are merged across waves with ``np.minimum``; because
+    :func:`~repro.analysis.hausdorff.window_minima` is partition
+    independent, the final matrix is bit-identical to the batch
+    ``metric="hausdorff_windowed"`` run regardless of the window size.
+
+    Parameters
+    ----------
+    ensemble:
+        A :class:`~repro.trajectory.streaming.StreamingEnsemble` (chunked
+        ingest) or an in-memory ensemble (windows are slices).
+    framework:
+        The task framework to run on.
+    metric:
+        Must be ``"hausdorff_windowed"`` — the only registered metric
+        whose kernel decomposes over frame windows ("frechet" couples
+        windows through its DP recurrence, and the GEMM-based Hausdorff
+        variants are not bitwise partition-stable).
+    window_frames:
+        Frames per window; defaults to the ensemble's chunk size
+        (in-memory ensembles default to ceil(n_frames / 4)).
+    group_size / n_tasks:
+        Algorithm 2 trajectory-block decomposition, as in
+        :func:`run_psa`.
+    data_plane:
+        Override the framework's data plane, as in :func:`run_psa`.
+
+    Returns
+    -------
+    (DistanceMatrix, RunReport)
+        The symmetric distance matrix (bit-identical to batch) and a
+        report whose metrics accumulate over all waves —
+        ``bytes_ingested`` / ``peak_resident_bytes`` record the
+        out-of-core behaviour of the run.
+    """
+    if metric != "hausdorff_windowed":
+        raise ValueError(
+            f"streamed PSA requires metric='hausdorff_windowed' (got {metric!r}): "
+            "it is the only metric whose kernel merges bit-identically over "
+            "frame windows"
+        )
+    n = ensemble.n_trajectories
+    if n < 2:
+        raise ValueError("PSA needs at least two trajectories")
+    n_atoms = ensemble.validate_consistent_atoms()
+    if group_size is not None and n_tasks is not None:
+        raise ValueError("give either group_size or n_tasks, not both")
+    if group_size is None:
+        group_size = choose_group_size(n, n_tasks) if n_tasks is not None else max(1, n // 8)
+    blocks = two_dimensional_partition(n, group_size)
+
+    plane = data_plane if data_plane is not None else getattr(framework, "data_plane", "pickle")
+    if plane not in DATA_PLANES:
+        raise ValueError(f"unknown data_plane {plane!r}; choose from {DATA_PLANES}")
+    configured_plane = getattr(framework, "data_plane", None)
+    override = configured_plane is not None and configured_plane != plane
+    store = None
+    owns_store = False
+    if plane == "shm":
+        store = getattr(framework, "store", None)
+        if store is None:
+            store = SharedMemoryStore()
+            owns_store = True
+
+    streaming = hasattr(ensemble, "window_payloads")
+    if streaming:
+        windows = ensemble.windows(window_frames)
+        n_frames = ensemble.n_frames
+    else:
+        n_frames = ensemble[0].n_frames
+        size = window_frames or max(1, -(-n_frames // 4))
+        windows = [(s, min(n_frames, s + size)) for s in range(0, n_frames, size)]
+        arrays = ensemble.as_arrays()
+
+    def payloads(start: int, stop: int) -> List:
+        if streaming:
+            return ensemble.window_payloads(store, start, stop)
+        return [array[start:stop] for array in arrays]
+
+    # running per-pair, per-frame minimum squared distances (driver-side
+    # state: 2 * n_pairs * n_frames floats, independent of ensemble size)
+    fwd = {}
+    bwd = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            fwd[(i, j)] = np.full(n_frames, np.inf)
+            bwd[(i, j)] = np.full(n_frames, np.inf)
+
+    totals = None
+    start_t = time.perf_counter()
+    waves = 0
+    try:
+        if override:
+            framework.data_plane = plane
+            if owns_store:
+                framework.store = store
+        for w, (w_start, w_stop) in enumerate(windows):
+            pay_w = payloads(w_start, w_stop)
+            wave_pairs = [((w_start, w_stop), pay_w, (w_start, w_stop), pay_w)]
+            for v in range(w):
+                v_start, v_stop = windows[v]
+                pay_v = payloads(v_start, v_stop)
+                wave_pairs.append(((v_start, v_stop), pay_v, (w_start, w_stop), pay_w))
+                wave_pairs.append(((w_start, w_stop), pay_w, (v_start, v_stop), pay_v))
+            tasks = [
+                PSAWindowTask(
+                    block=block,
+                    row_data=[row_pay[i] for i in range(block.row_start, block.row_stop)],
+                    col_data=[col_pay[j] for j in range(block.col_start, block.col_stop)],
+                    row_window=row_win, col_window=col_win,
+                )
+                for (row_win, row_pay, col_win, col_pay) in wave_pairs
+                for block in blocks
+            ]
+            results = framework.map_tasks(execute_psa_window, tasks)
+            for result in results:
+                result = np.asarray(result, dtype=np.float64)
+                for row in result.reshape(result.shape[0], -1) if result.size else ():
+                    gi, gj = int(row[0]), int(row[1])
+                    r0, la = int(row[2]), int(row[3])
+                    c0, lb = int(row[4]), int(row[5])
+                    pair = (gi, gj)
+                    fwd[pair][r0:r0 + la] = np.minimum(fwd[pair][r0:r0 + la],
+                                                       row[6:6 + la])
+                    bwd[pair][c0:c0 + lb] = np.minimum(bwd[pair][c0:c0 + lb],
+                                                       row[6 + la:6 + la + lb])
+            # map_tasks resets the framework metrics each call; fold this
+            # wave into the running totals (spill/ingest counters mirror
+            # the store's cumulative values, so merge() takes their max)
+            totals = framework.metrics if totals is None else totals.merge(framework.metrics)
+            waves += 1
+        values = np.zeros((n, n), dtype=np.float64)
+        for (i, j) in fwd:
+            d = np.sqrt(max(fwd[(i, j)].max(), bwd[(i, j)].max()) / n_atoms)
+            values[i, j] = values[j, i] = float(d)
+    finally:
+        if override:
+            framework.data_plane = configured_plane
+            if owns_store:
+                framework.store = None
+        if owns_store:
+            store.cleanup()
+    wall = time.perf_counter() - start_t
+    matrix = DistanceMatrix(values, labels=ensemble.labels)
+    report = RunReport(
+        algorithm="psa_stream[hausdorff_windowed]",
+        framework=framework.name,
+        parameters={
+            "n_trajectories": n,
+            "n_frames": n_frames,
+            "n_atoms": n_atoms,
+            "n_windows": len(windows),
+            "n_waves": waves,
+            "n_blocks": len(blocks),
+            "metric": metric,
+            "data_plane": plane,
+        },
+        wall_time_s=wall,
+        n_tasks=totals.tasks_submitted if totals is not None else 0,
+        metrics=totals if totals is not None else framework.metrics,
     )
     return matrix, report

@@ -26,15 +26,22 @@ as the frameworks' main deficit against MPI.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from typing import List, Sequence
 
+import numpy as np
+
 from ..core.leaflet import leaflet_broadcast_1d
+from ..core.psa import run_psa, run_psa_windows
 from ..frameworks import make_framework
 from ..perfmodel.scaling import model_broadcast_breakdown
 from ..trajectory.bilayer import BilayerSpec, make_bilayer
+from ..trajectory.generators import EnsembleSpec, make_clustered_ensemble
+from ..trajectory.streaming import open_streaming_ensemble, write_frame_chunks
 from .common import print_rows, standard_argparser
 
-__all__ = ["modeled_rows", "measured_rows", "data_plane_rows", "main"]
+__all__ = ["modeled_rows", "measured_rows", "data_plane_rows", "streamed_rows", "main"]
 
 
 def modeled_rows(atom_counts: Sequence[int] = (131_072, 262_144)) -> List[dict]:
@@ -129,6 +136,70 @@ def data_plane_rows(n_atoms: int = 3000, cutoff: float = 15.0, n_tasks: int = 16
     return rows
 
 
+def streamed_rows(n_trajectories: int = 8, n_frames: int = 32, n_atoms: int = 64,
+                  workers: int = 4,
+                  frameworks: Sequence[str] = ("sparklite", "dasklite", "mpilite"),
+                  capacity_fraction: float = 0.25) -> List[dict]:
+    """Streamed-vs-materialized ingestion on the shm plane (one row each).
+
+    The out-of-core extension of the data-plane comparison: the same PSA
+    workload runs once with the whole ensemble materialized into the
+    store (the batch path) and once streamed from chunk files through
+    :meth:`~repro.frameworks.shm.SharedMemoryStore.ingest` with a store
+    watermark of ``capacity_fraction`` times the ensemble — so the
+    streamed run *cannot* hold its inputs resident.  Rows report both
+    peaks, the residency reduction, and whether the streamed matrix is
+    bit-identical to the materialized one (it must be:
+    ``hausdorff_windowed`` merges per-window minima with a
+    partition-independent kernel).
+    """
+    spec = EnsembleSpec(n_trajectories=n_trajectories, n_frames=n_frames,
+                        n_atoms=n_atoms, seed=23)
+    ensemble = make_clustered_ensemble(spec)
+    total_bytes = ensemble.nbytes
+    capacity = max(1, int(total_bytes * capacity_fraction))
+    rows: List[dict] = []
+    with tempfile.TemporaryDirectory(prefix="repro-fig8-stream-") as tmp:
+        paths = [
+            write_frame_chunks(array, os.path.join(tmp, f"{label}.fchunk"),
+                               frames_per_chunk=max(1, n_frames // 4), name=label)
+            for label, array in zip(ensemble.labels, ensemble.as_arrays())
+        ]
+        streaming = open_streaming_ensemble(paths)
+        for name in frameworks:
+            fw = make_framework(name, executor="threads", workers=workers,
+                                data_plane="shm")
+            try:
+                batch_matrix, batch_report = run_psa(
+                    ensemble, fw, metric="hausdorff_windowed", n_tasks=workers)
+            finally:
+                fw.close()
+            fw = make_framework(name, executor="threads", workers=workers,
+                                data_plane="shm", store_capacity_bytes=capacity)
+            try:
+                stream_matrix, stream_report = run_psa_windows(
+                    streaming, fw, n_tasks=workers)
+            finally:
+                fw.close()
+            peak_stream = stream_report.metrics.peak_resident_bytes
+            rows.append({
+                "framework": name,
+                "ensemble_bytes": total_bytes,
+                "store_capacity_bytes": capacity,
+                "bytes_ingested": stream_report.metrics.bytes_ingested,
+                "peak_resident_streamed": peak_stream,
+                "peak_resident_materialized": batch_report.metrics.peak_resident_bytes,
+                "bytes_spilled_streamed": stream_report.metrics.bytes_spilled,
+                "residency_reduction": (total_bytes / peak_stream)
+                if peak_stream else float("inf"),
+                "bit_identical": bool(np.array_equal(batch_matrix.values,
+                                                     stream_matrix.values)),
+                "wall_time_materialized_s": batch_report.wall_time_s,
+                "wall_time_streamed_s": stream_report.wall_time_s,
+            })
+    return rows
+
+
 def main(argv=None) -> None:
     """Entry point: ``python -m repro.experiments.fig8_broadcast``."""
     args = standard_argparser(__doc__ or "figure 8").parse_args(argv)
@@ -140,6 +211,8 @@ def main(argv=None) -> None:
         print_rows("Figure 8 (measured, laptop scale)", measured_rows(workers=args.workers))
         print_rows("Figure 8 extension: pickle vs shm data plane",
                    data_plane_rows(workers=args.workers))
+        print_rows("Figure 8 extension: streamed vs materialized ingestion",
+                   streamed_rows(workers=args.workers))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -92,6 +92,14 @@ class RunMetrics:
         Cumulative bytes the framework's store moved to its disk tier
         (non-zero only when a ``store_capacity_bytes`` watermark is
         configured and exceeded).
+    bytes_ingested / peak_resident_bytes:
+        The streaming-input split: cumulative unique chunk bytes the
+        store ingested from source files
+        (:meth:`~repro.frameworks.shm.SharedMemoryStore.ingest`), and
+        the residency high-water mark over the run.  An out-of-core run
+        shows ``peak_resident_bytes`` well below ``bytes_ingested``.
+        Like the spill counters, these mirror the store's cumulative
+        values.
     spill_wait_seconds / spill_hidden_seconds:
         The write-behind split of the spill cost: seconds eviction
         stalled the task/result hot path (the whole file write for
@@ -127,6 +135,8 @@ class RunMetrics:
     bytes_results_pickled: int = 0
     bytes_shared_results: int = 0
     bytes_spilled: int = 0
+    bytes_ingested: int = 0
+    peak_resident_bytes: int = 0
     spill_wait_seconds: float = 0.0
     spill_hidden_seconds: float = 0.0
     tasks_retried: int = 0
@@ -154,6 +164,9 @@ class RunMetrics:
             bytes_results_pickled=self.bytes_results_pickled + other.bytes_results_pickled,
             bytes_shared_results=self.bytes_shared_results + other.bytes_shared_results,
             bytes_spilled=max(self.bytes_spilled, other.bytes_spilled),
+            bytes_ingested=max(self.bytes_ingested, other.bytes_ingested),
+            peak_resident_bytes=max(self.peak_resident_bytes,
+                                    other.peak_resident_bytes),
             spill_wait_seconds=max(self.spill_wait_seconds, other.spill_wait_seconds),
             spill_hidden_seconds=max(self.spill_hidden_seconds,
                                      other.spill_hidden_seconds),
@@ -180,6 +193,8 @@ class RunMetrics:
             "bytes_results_pickled": self.bytes_results_pickled,
             "bytes_shared_results": self.bytes_shared_results,
             "bytes_spilled": self.bytes_spilled,
+            "bytes_ingested": self.bytes_ingested,
+            "peak_resident_bytes": self.peak_resident_bytes,
             "spill_wait_seconds": self.spill_wait_seconds,
             "spill_hidden_seconds": self.spill_hidden_seconds,
             "tasks_retried": self.tasks_retried,
@@ -469,6 +484,11 @@ class TaskFramework:
                 results = [adopt_payload(r, self.store) for r in results]
             self.metrics.bytes_spilled = max(self.metrics.bytes_spilled,
                                              self.store.bytes_spilled)
+            self.metrics.bytes_ingested = max(self.metrics.bytes_ingested,
+                                              getattr(self.store, "bytes_ingested", 0))
+            self.metrics.peak_resident_bytes = max(
+                self.metrics.peak_resident_bytes,
+                getattr(self.store, "peak_resident_bytes", 0))
             self.metrics.spill_wait_seconds = max(self.metrics.spill_wait_seconds,
                                                   self.store.spill_wait_seconds)
             self.metrics.spill_hidden_seconds = max(self.metrics.spill_hidden_seconds,

@@ -90,6 +90,17 @@ class DaskLiteClient(TaskFramework):
         choice also selects the graph scheduler: ``"serial"`` maps to the
         synchronous scheduler, anything else to the threaded
         dependency-driven scheduler.
+    data_plane, store_capacity_bytes, spill_dir, spill_async, spill_queue_depth:
+        Data-plane and spill-tier configuration (see
+        :class:`~repro.frameworks.base.TaskFramework`).  On the shm
+        plane the store also backs streamed ingestion
+        (:meth:`~repro.frameworks.shm.SharedMemoryStore.ingest`): chunk
+        blocks dedup by fingerprint, spill under the same watermark, and
+        surface as ``bytes_ingested`` / ``peak_resident_bytes`` in the
+        run metrics.
+    fault_policy, faults:
+        Resilience configuration (see
+        :class:`~repro.frameworks.base.TaskFramework`).
     """
 
     name = "dasklite"

@@ -88,6 +88,14 @@ class MPIFramework(TaskFramework):
 
     ``run_spmd`` exposes the raw SPMD runtime for algorithms that need
     explicit collectives (Leaflet Finder approaches with ``Bcast``).
+
+    Data-plane, spill-tier (``store_capacity_bytes`` and friends) and
+    resilience options are forwarded to
+    :class:`~repro.frameworks.base.TaskFramework` unchanged.  On the shm
+    plane the store also backs streamed ingestion
+    (:meth:`~repro.frameworks.shm.SharedMemoryStore.ingest`) — ranks
+    resolve chunk refs zero-copy, and the run metrics report
+    ``bytes_ingested`` / ``peak_resident_bytes``.
     """
 
     name = "mpilite"

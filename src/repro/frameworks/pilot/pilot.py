@@ -194,7 +194,11 @@ class PilotFramework(TaskFramework):
     store_capacity_bytes, spill_dir, spill_async, spill_queue_depth:
         Spill-tier configuration for the shm store, including the
         write-behind pipeline (see
-        :class:`~repro.frameworks.base.TaskFramework`).
+        :class:`~repro.frameworks.base.TaskFramework`).  Streamed input
+        chunks (:meth:`~repro.frameworks.shm.SharedMemoryStore.ingest`)
+        share the same watermark, so an out-of-core campaign's units see
+        ``shm://`` refs while the run metrics record ``bytes_ingested``
+        and ``peak_resident_bytes``.
     """
 
     name = "pilot"

@@ -837,6 +837,13 @@ class SharedMemoryStore:
         Cumulative unique array bytes entered through :meth:`put`.
     bytes_adopted : int
         Cumulative segment bytes adopted from other processes.
+    bytes_ingested : int
+        Cumulative unique source bytes entered through :meth:`ingest`
+        (streamed input chunks; fingerprint hits do not re-count).
+    peak_resident_bytes : int
+        High-water mark of ``bytes_resident`` over the store's lifetime
+        — the number that proves an out-of-core run never materialized
+        its inputs.
     bytes_resident : int
         Segment bytes currently resident in shared memory (grows on
         put/adopt, shrinks when a block is evicted — for write-behind
@@ -867,6 +874,10 @@ class SharedMemoryStore:
         self._sizes: Dict[str, int] = {}
         # id(array) -> (array, ref); the array reference keeps the id stable
         self._registered: Dict[int, Tuple[np.ndarray, BlockRef]] = {}
+        # ingest-side dedup and healing: fingerprint -> ref, and segment
+        # name -> picklable loader that re-reads the block's source bytes
+        self._fingerprints: Dict[str, BlockRef] = {}
+        self._sources: Dict[str, Any] = {}
         self._spilled: Dict[str, int] = {}
         self._lock = threading.RLock()
         self._closed = False
@@ -875,7 +886,9 @@ class SharedMemoryStore:
         self.spill_queue_depth = int(spill_queue_depth)
         self.bytes_shared = 0
         self.bytes_adopted = 0
+        self.bytes_ingested = 0
         self.bytes_resident = 0
+        self.peak_resident_bytes = 0
         self.bytes_spilled = 0
         self.spill_wait_seconds = 0.0
         self.spill_hidden_seconds = 0.0
@@ -947,6 +960,70 @@ class SharedMemoryStore:
                 self._registered[key] = (array, ref)
             self.bytes_shared += ref.nbytes
             self.bytes_resident += ref.nbytes
+            self._note_resident_peak()
+            self._maybe_spill()
+            return ref
+
+    def ingest(self, fingerprint: str, loader: Any) -> BlockRef:
+        """Ingest externally sourced bytes under a dedup fingerprint.
+
+        The streaming-input path: unlike :meth:`put`, nothing pins the
+        source array driver-side — deduplication is keyed by
+        ``fingerprint`` (e.g. chunk file path + chunk index), and the
+        picklable ``loader`` is registered as the block's healing source,
+        so a spilled chunk block whose ``.blk`` file is lost heals by
+        re-reading the original file
+        (:meth:`recover_spilled_block`).  A fingerprint hit refreshes the
+        block's LRU position and returns the existing ref without calling
+        the loader; a miss calls ``loader()`` once, copies the result
+        into a fresh segment, and accounts the bytes under
+        ``bytes_ingested``.
+
+        Parameters
+        ----------
+        fingerprint : str
+            Stable identity of the source bytes.  Two ingests with the
+            same fingerprint share one block.
+        loader : callable
+            Zero-argument picklable callable returning the block's
+            ``numpy.ndarray`` (e.g.
+            :class:`~repro.trajectory.streaming.ChunkSource`).
+
+        Returns
+        -------
+        BlockRef
+            Handle to the ingested bytes.
+        """
+        if self._closed:
+            raise RuntimeError("SharedMemoryStore is closed")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SharedMemoryStore is closed")
+            hit = self._fingerprints.get(fingerprint)
+            if hit is not None:
+                self._touch(hit.segment)
+                return hit
+        # the file read runs outside the store lock; a racing ingest of
+        # the same fingerprint is resolved under the lock below
+        array = np.asarray(loader())
+        _sweep_retired()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SharedMemoryStore is closed")
+            hit = self._fingerprints.get(fingerprint)
+            if hit is not None:
+                self._touch(hit.segment)
+                return hit
+            segment, ref = _copy_into_segment(array, spill_dir=self.spill_dir)
+            with _REGISTRY_LOCK:
+                _OWNED[segment.name] = segment
+            self._segments[segment.name] = segment
+            self._sizes[segment.name] = ref.nbytes
+            self._fingerprints[fingerprint] = ref
+            self._sources[segment.name] = loader
+            self.bytes_ingested += ref.nbytes
+            self.bytes_resident += ref.nbytes
+            self._note_resident_peak()
             self._maybe_spill()
             return ref
 
@@ -1009,6 +1086,7 @@ class SharedMemoryStore:
             self._sizes[name] = nbytes
             self.bytes_adopted += nbytes
             self.bytes_resident += nbytes
+            self._note_resident_peak()
             self._maybe_spill()
             return out
 
@@ -1038,6 +1116,11 @@ class SharedMemoryStore:
         """Mark segment ``name`` most recently used (no-op if not resident)."""
         if name in self._segments:
             self._segments.move_to_end(name)
+
+    def _note_resident_peak(self) -> None:
+        """Record a residency high-water mark (runs under the store lock)."""
+        if self.bytes_resident > self.peak_resident_bytes:
+            self.peak_resident_bytes = self.bytes_resident
 
     def _maybe_spill(self) -> None:
         """Evict cold segments, largest first, until under the watermark.
@@ -1194,6 +1277,7 @@ class SharedMemoryStore:
         self._segments.move_to_end(name, last=False)  # coldest: evict first later
         self._sizes[name] = nbytes
         self.bytes_resident += nbytes
+        self._note_resident_peak()
         self.bytes_spilled -= nbytes
         try:
             self._spill_queue.remove(name)
@@ -1269,10 +1353,13 @@ class SharedMemoryStore:
         spilled block whose ``.blk`` file was unlinked or truncated
         under a live run can be healed in place: the bytes are written
         again under the same segment name and every outstanding
-        :class:`BlockRef` resolves bit-identically once more.  Blocks
-        with no registered source (adopted worker results, ``dedup=False``
-        puts) cannot be healed this way; the resilience layer falls back
-        to re-executing the producing task for those.
+        :class:`BlockRef` resolves bit-identically once more.  Streamed
+        input chunks (:meth:`ingest`) carry no pinned array but register
+        a source *loader* instead, and heal by re-reading their chunk
+        file.  Blocks with no registered source of either kind (adopted
+        worker results, ``dedup=False`` puts) cannot be healed this way;
+        the resilience layer falls back to re-executing the producing
+        task for those.
 
         Parameters
         ----------
@@ -1283,7 +1370,7 @@ class SharedMemoryStore:
         -------
         bool
             ``True`` when the block was rewritten; ``False`` when it is
-            resident anyway, unknown, or has no registered source array.
+            resident anyway, unknown, or has no registered source.
         """
         with self._lock:
             if self._closed or self.spill_dir is None:
@@ -1295,6 +1382,13 @@ class SharedMemoryStore:
                 if ref.segment == name:
                     source = array
                     break
+            if source is None:
+                loader = self._sources.get(name)
+                if loader is not None:
+                    try:
+                        source = np.asarray(loader())
+                    except OSError:
+                        return False  # source file itself is gone
             if source is None or name not in self._spilled:
                 return False
             data = np.ascontiguousarray(source)
@@ -1356,6 +1450,8 @@ class SharedMemoryStore:
             self._segments.clear()
             self._sizes.clear()
             self._registered.clear()
+            self._fingerprints.clear()
+            self._sources.clear()
             self.bytes_resident = 0
             for name in doomed_files:
                 path = os.path.join(self.spill_dir, name + ".blk")

@@ -43,7 +43,11 @@ class SparkLiteContext(TaskFramework):
     store_capacity_bytes, spill_dir, spill_async, spill_queue_depth:
         Spill-tier configuration for the shm store, including the
         write-behind pipeline (see
-        :class:`~repro.frameworks.base.TaskFramework`).
+        :class:`~repro.frameworks.base.TaskFramework`).  The same store
+        serves streamed inputs: chunk files ingested through
+        :meth:`~repro.frameworks.shm.SharedMemoryStore.ingest` land as
+        dedup-fingerprinted blocks under the same watermark, and the run
+        metrics report ``bytes_ingested`` / ``peak_resident_bytes``.
     fault_policy, faults:
         Resilience configuration (see
         :class:`~repro.frameworks.base.TaskFramework`); stage tasks run

@@ -20,6 +20,17 @@ from .readers import (
     read_xyz,
 )
 from .writers import write_ensemble, write_npy, write_npz, write_trajectory, write_xyz
+from .streaming import (
+    ChunkSource,
+    ChunkedPositions,
+    ChunkedTrajectory,
+    FrameChunkReader,
+    FrameChunkWriter,
+    StreamingEnsemble,
+    open_streaming_ensemble,
+    write_frame_chunks,
+    write_position_chunks,
+)
 from .generators import (
     PAPER_PSA_N_FRAMES,
     PAPER_PSA_SIZES,
@@ -61,6 +72,15 @@ __all__ = [
     "write_xyz",
     "write_trajectory",
     "write_ensemble",
+    "FrameChunkWriter",
+    "FrameChunkReader",
+    "ChunkSource",
+    "ChunkedTrajectory",
+    "ChunkedPositions",
+    "StreamingEnsemble",
+    "open_streaming_ensemble",
+    "write_frame_chunks",
+    "write_position_chunks",
     "EnsembleSpec",
     "PAPER_PSA_SIZES",
     "PAPER_PSA_N_FRAMES",

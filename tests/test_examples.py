@@ -23,7 +23,7 @@ class TestExamples:
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert {"quickstart.py", "psa_ensemble.py", "leaflet_membrane.py",
                 "framework_comparison.py", "paper_scale_projection.py",
-                "spill_tier.py"} <= names
+                "spill_tier.py", "streaming_psa.py"} <= names
 
     def test_psa_ensemble_small(self):
         out = run_example("psa_ensemble.py", "--trajectories", "6", "--frames", "10",
@@ -41,6 +41,14 @@ class TestExamples:
         out = run_example("framework_comparison.py")
         assert "recommendations" in out
         assert "Spark" in out and "Dask" in out and "RADICAL-Pilot" in out
+
+    def test_streaming_psa_small(self):
+        out = run_example("streaming_psa.py", "--trajectories", "6", "--frames", "16",
+                          "--atoms", "48", "--workers", "2")
+        assert "bytes_ingested" in out
+        assert "peak_resident_bytes" in out
+        assert "bytes_spilled" in out
+        assert "bit-identical" in out
 
     def test_spill_tier_small(self):
         out = run_example("spill_tier.py", "--trajectories", "6", "--frames", "12",
