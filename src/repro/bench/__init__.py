@@ -1,0 +1,48 @@
+"""Distribution-aware benchmark measurement subsystem.
+
+Every perf number this repo reports — and every floor CI enforces —
+flows through this package: :class:`Sampler` captures duration
+*distributions* (explicit warm/cold phases, sequential execution,
+calibrated overhead subtraction), :class:`RegressionGate` turns them
+into variance-aware pass/fail verdicts (median ± k·MAD instead of raw
+floors), and :class:`BenchHistory` persists the per-PR trajectory to
+``BENCH_history.jsonl`` so regressions surface as trends.
+
+The statistical core (:mod:`repro.bench.stats`, :mod:`repro.bench.gate`)
+is pure functions over sample sequences: no wall clock anywhere, so the
+gate logic is exactly unit-testable on synthetic samples.
+"""
+
+from .gate import (
+    DEFAULT_K,
+    GateVerdict,
+    RegressionGate,
+    distinguishable,
+    gate_regression,
+    gate_speedup,
+    speedup_samples,
+)
+from .history import HISTORY_FILENAME, BenchHistory
+from .sampler import DEFAULT_SAMPLES, DEFAULT_WARMUP, Sampler
+from .stats import Distribution, iqr, mad, median, quantile, subtract_overhead
+
+__all__ = [
+    "Distribution",
+    "median",
+    "mad",
+    "iqr",
+    "quantile",
+    "subtract_overhead",
+    "Sampler",
+    "DEFAULT_SAMPLES",
+    "DEFAULT_WARMUP",
+    "GateVerdict",
+    "RegressionGate",
+    "DEFAULT_K",
+    "speedup_samples",
+    "gate_speedup",
+    "gate_regression",
+    "distinguishable",
+    "BenchHistory",
+    "HISTORY_FILENAME",
+]

@@ -1,0 +1,303 @@
+"""Variance-gated pass/fail decisions over benchmark distributions.
+
+A raw floor assert (``speedup >= 1.1``) on a noisy microbenchmark is a
+coin flip: it passes on quiet machines and fails on loaded ones without
+any code change.  The gates here demand that the *worst plausible*
+value clears the floor — the median shifted down by ``k`` MADs — so a
+verdict only flips when the underlying distribution actually moves.
+
+The decision core is pure functions over sample sequences (no clocks,
+no I/O, no global state), which is what makes gate logic unit-testable
+on synthetic samples with exact boundary cases.  :class:`RegressionGate`
+is the thin object wrapper that applies one ``k`` policy to
+:class:`~repro.bench.stats.Distribution` records and baselines loaded
+from the bench history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from .stats import Distribution, mad, median
+
+__all__ = [
+    "GateVerdict",
+    "speedup_samples",
+    "gate_speedup",
+    "distinguishable",
+    "gate_regression",
+    "RegressionGate",
+    "DEFAULT_K",
+]
+
+#: default MAD multiplier: ~equivalent to 2 sigma for Gaussian noise
+#: (MAD ~= 0.674 sigma), deliberately conservative for heavy tails
+DEFAULT_K = 3.0
+
+
+@dataclass(frozen=True)
+class GateVerdict:
+    """Outcome of one gate decision.
+
+    Attributes
+    ----------
+    passed : bool
+        Whether the gate held.
+    margin : float
+        Distance between the variance-adjusted statistic and its
+        threshold (positive = passed with room; negative = failed by
+        that much).  Same units as the gated quantity.
+    reason : str
+        Human-readable decision trace (statistic, threshold, k).
+    gating : bool
+        ``False`` for informational rows: the verdict is recorded but
+        must never fail a test or a CI job.
+    """
+
+    passed: bool
+    margin: float
+    reason: str
+    gating: bool = True
+
+
+def speedup_samples(reference: Sequence[float],
+                    candidate: Sequence[float]) -> Tuple[float, ...]:
+    """All pairwise ratios ``reference_i / candidate_j``.
+
+    The Hodges–Lehmann-style construction: the median of pairwise
+    ratios is a robust speedup estimator, and their spread reflects
+    variance on *both* sides of the comparison (a noisy reference can
+    fake a speedup as easily as a noisy candidate).  Zero candidate
+    samples (a run faster than the calibrated overhead) are clamped to
+    the smallest positive candidate sample so ratios stay finite; if
+    every candidate sample is zero the ratio set is a single ``inf``.
+
+    Parameters
+    ----------
+    reference : sequence of float
+        Duration samples of the baseline implementation.
+    candidate : sequence of float
+        Duration samples of the implementation under test.
+
+    Returns
+    -------
+    tuple of float
+        ``len(reference) * len(candidate)`` ratios.
+    """
+    if not reference or not candidate:
+        raise ValueError("speedup_samples needs non-empty sample sets")
+    positive = [c for c in candidate if c > 0.0]
+    if not positive:
+        return (float("inf"),)
+    floor_value = min(positive)
+    clamped = [c if c > 0.0 else floor_value for c in candidate]
+    return tuple(r / c for r in reference for c in clamped)
+
+
+def gate_speedup(speedups: Sequence[float], floor: float,
+                 k: float = DEFAULT_K, gating: bool = True) -> GateVerdict:
+    """Pass iff the variance-adjusted speedup clears ``floor``.
+
+    The gated statistic is ``median(speedups) - k * MAD(speedups)``:
+    the speedup we would still believe if the measurement were having a
+    moderately bad day.  Strictly greater than ``floor`` is required —
+    sitting exactly on the floor fails.
+
+    Parameters
+    ----------
+    speedups : sequence of float
+        Speedup ratio samples (see :func:`speedup_samples`).
+    floor : float
+        Minimum acceptable speedup.
+    k : float, optional
+        MAD multiplier (default :data:`DEFAULT_K`).
+    gating : bool, optional
+        Stamped onto the verdict; ``False`` marks an informational row.
+
+    Returns
+    -------
+    GateVerdict
+        ``passed``, the margin over the floor, and a decision trace.
+    """
+    if k < 0.0:
+        raise ValueError("k must be non-negative")
+    med = median(speedups)
+    spread = mad(speedups)
+    adjusted = med - k * spread
+    margin = adjusted - floor
+    verdict = GateVerdict(
+        passed=margin > 0.0,
+        margin=margin,
+        reason=(f"median {med:.4g} - {k:g}*MAD {spread:.4g} = {adjusted:.4g} "
+                f"vs floor {floor:g}"),
+        gating=gating,
+    )
+    return verdict
+
+
+def distinguishable(speedups: Sequence[float], baseline: float = 1.0,
+                    k: float = DEFAULT_K) -> bool:
+    """Whether a speedup distribution is statistically distinct from ``baseline``.
+
+    ``True`` when the whole ``median ± k*MAD`` band sits on one side of
+    ``baseline``.  A kernel whose advantage is *not* distinguishable
+    from 1x must be demoted to an informational row — gating on it
+    would gate on noise.
+
+    Parameters
+    ----------
+    speedups : sequence of float
+        Speedup ratio samples.
+    baseline : float, optional
+        The null value (default ``1.0`` — no speedup).
+    k : float, optional
+        MAD multiplier.
+
+    Returns
+    -------
+    bool
+        ``True`` iff ``median - k*MAD > baseline`` or
+        ``median + k*MAD < baseline``.
+    """
+    med = median(speedups)
+    spread = mad(speedups)
+    return med - k * spread > baseline or med + k * spread < baseline
+
+
+def gate_regression(candidate: Sequence[float],
+                    baseline: Optional[Sequence[float]],
+                    k: float = DEFAULT_K,
+                    tolerance: float = 0.0) -> GateVerdict:
+    """Pass unless ``candidate`` is credibly slower than ``baseline``.
+
+    The regression threshold is
+    ``baseline_median + k * max(baseline_MAD, candidate_MAD)
+    + tolerance * baseline_median``: the candidate median must exceed
+    the baseline median by more than the larger of the two spreads
+    (scaled by ``k``) plus an optional deliberate allowance before the
+    gate fails.  Using the larger MAD means a degenerately quiet
+    baseline cannot flag an ordinary noisy candidate, and vice versa.
+
+    Parameters
+    ----------
+    candidate : sequence of float
+        Duration samples of the run under test (lower is better).
+    baseline : sequence of float or None
+        Stored baseline samples.  ``None`` or empty passes trivially —
+        there is nothing to regress against (first run of a new
+        workload).
+    k : float, optional
+        MAD multiplier.
+    tolerance : float, optional
+        Additional allowed slowdown as a fraction of the baseline
+        median (e.g. ``0.05`` tolerates 5% drift).
+
+    Returns
+    -------
+    GateVerdict
+        ``passed`` is ``False`` only for a credible regression; the
+        margin is ``threshold - candidate_median`` in seconds.
+    """
+    if k < 0.0:
+        raise ValueError("k must be non-negative")
+    if tolerance < 0.0:
+        raise ValueError("tolerance must be non-negative")
+    if not baseline:
+        return GateVerdict(passed=True, margin=float("inf"),
+                           reason="no baseline: first record for this workload")
+    cand_med = median(candidate)
+    base_med = median(baseline)
+    spread = max(mad(baseline), mad(candidate))
+    threshold = base_med + k * spread + tolerance * base_med
+    margin = threshold - cand_med
+    return GateVerdict(
+        passed=margin > 0.0,
+        margin=margin,
+        reason=(f"candidate median {cand_med:.4g} vs baseline {base_med:.4g} "
+                f"+ {k:g}*MAD {spread:.4g} + tol {tolerance:g} "
+                f"= threshold {threshold:.4g}"),
+    )
+
+
+class RegressionGate:
+    """One ``k`` policy applied to distribution records and baselines.
+
+    Parameters
+    ----------
+    k : float, optional
+        MAD multiplier used by every check (default :data:`DEFAULT_K`).
+    tolerance : float, optional
+        Baseline-relative slowdown allowance for
+        :meth:`check_baseline` (default ``0.0``).
+    """
+
+    def __init__(self, k: float = DEFAULT_K, tolerance: float = 0.0) -> None:
+        if k < 0.0:
+            raise ValueError("k must be non-negative")
+        if tolerance < 0.0:
+            raise ValueError("tolerance must be non-negative")
+        self.k = k
+        self.tolerance = tolerance
+
+    def check_speedup(self, reference: Distribution, candidate: Distribution,
+                      floor: float, gating: bool = True) -> GateVerdict:
+        """Gate ``reference``-over-``candidate`` speedup against ``floor``.
+
+        Parameters
+        ----------
+        reference : Distribution
+            Baseline-implementation duration distribution.
+        candidate : Distribution
+            Candidate-implementation duration distribution.
+        floor : float
+            Minimum variance-adjusted speedup.
+        gating : bool, optional
+            ``False`` records the verdict as informational.
+
+        Returns
+        -------
+        GateVerdict
+        """
+        ratios = speedup_samples(reference.samples, candidate.samples)
+        return gate_speedup(ratios, floor, k=self.k, gating=gating)
+
+    def check_baseline(self, candidate: Distribution,
+                       baseline: Optional[Distribution]) -> GateVerdict:
+        """Gate ``candidate`` against a stored baseline distribution.
+
+        Parameters
+        ----------
+        candidate : Distribution
+            The run under test.
+        baseline : Distribution or None
+            The stored baseline (``None`` passes trivially).
+
+        Returns
+        -------
+        GateVerdict
+        """
+        return gate_regression(
+            candidate.samples,
+            baseline.samples if baseline is not None else None,
+            k=self.k, tolerance=self.tolerance)
+
+    def speedup_stats(self, reference: Distribution,
+                      candidate: Distribution) -> dict:
+        """Summary statistics of the pairwise speedup distribution.
+
+        Returns
+        -------
+        dict
+            ``median``, ``mad`` and the variance-adjusted
+            ``median - k*MAD`` lower bound, JSON-ready.
+        """
+        ratios = speedup_samples(reference.samples, candidate.samples)
+        med = median(ratios)
+        spread = mad(ratios)
+        return {
+            "speedup_median": med,
+            "speedup_mad": spread,
+            "speedup_lower_bound": med - self.k * spread,
+            "k": self.k,
+        }

@@ -1,0 +1,206 @@
+"""Distribution-capturing workload sampler with overhead calibration.
+
+The measurement discipline (after the CORTEX small-kernel noise-analysis
+methodology) is:
+
+1. **Distributions, not points.**  Each workload runs ``n_samples``
+   times and the full sample vector is kept; every downstream consumer
+   works on medians/MADs of that vector.
+2. **Explicit warm/cold phases.**  The first ``warmup`` runs are timed
+   but excluded from the statistics — they measure cache fill and
+   allocator growth, not the steady state.  A cold-phase sampler
+   (``phase="cold"``) inverts this: a caller-supplied ``reset`` runs
+   before every sample so each one observes deliberately cold state.
+3. **Sequential, non-interleaved execution.**  One sample finishes
+   before the next starts, and nothing else from the harness runs in
+   between; interleaving two workloads would let one pollute the
+   other's cache state (the benchmark conftest pins this at the pytest
+   level too).
+4. **Overhead subtraction.**  The cost of the timer pair plus the
+   function dispatch is calibrated on an empty callable and removed
+   from every sample, clamped at zero.
+
+The timer is injectable so the whole pipeline is testable with a fake
+clock — tier-1 tests of this module never sleep and never race.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Optional
+
+from .stats import Distribution, median, subtract_overhead
+
+__all__ = ["Sampler", "DEFAULT_SAMPLES", "DEFAULT_WARMUP"]
+
+#: default warm-phase sample count; override with REPRO_BENCH_SAMPLES
+DEFAULT_SAMPLES = 20
+#: default warmup (cold, excluded) runs; override with REPRO_BENCH_WARMUP
+DEFAULT_WARMUP = 2
+
+#: empty-callable timings used to calibrate per-call overhead
+_CALIBRATION_REPS = 64
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+class Sampler:
+    """Runs workloads repeatedly and emits :class:`~repro.bench.stats.Distribution` records.
+
+    Parameters
+    ----------
+    n_samples : int, optional
+        Warm-phase samples per workload.  Defaults to the
+        ``REPRO_BENCH_SAMPLES`` environment variable, else
+        :data:`DEFAULT_SAMPLES` — CI smoke jobs lower the variable to
+        keep wall time bounded while the committed records use the
+        full count.
+    warmup : int, optional
+        Cold runs before the warm phase (timed, recorded, excluded
+        from statistics).  Defaults to ``REPRO_BENCH_WARMUP``, else
+        :data:`DEFAULT_WARMUP`.
+    timer : callable, optional
+        Zero-argument monotonic clock returning seconds
+        (``time.perf_counter`` by default).  Injectable for
+        deterministic tests.
+    calibrate : bool, optional
+        Measure and subtract per-call overhead (default ``True``).
+        The calibration runs once, lazily, per sampler.
+    """
+
+    def __init__(self, n_samples: Optional[int] = None, warmup: Optional[int] = None,
+                 timer: Callable[[], float] = time.perf_counter,
+                 calibrate: bool = True) -> None:
+        self.n_samples = (n_samples if n_samples is not None
+                          else _env_int("REPRO_BENCH_SAMPLES", DEFAULT_SAMPLES))
+        self.warmup = (warmup if warmup is not None
+                       else _env_int("REPRO_BENCH_WARMUP", DEFAULT_WARMUP))
+        if self.n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        self.timer = timer
+        self._calibrate = calibrate
+        self._overhead: Optional[float] = None
+
+    # -------------------------------------------------------------- #
+    def calibrate_overhead(self) -> float:
+        """Median cost of timing an empty callable (timer pair + dispatch).
+
+        Cached after the first call; subtracted from every subsequent
+        sample so sub-millisecond kernels are not inflated by harness
+        cost.
+
+        Returns
+        -------
+        float
+            Calibrated per-call overhead in seconds (``0.0`` when the
+            sampler was built with ``calibrate=False``).
+        """
+        if not self._calibrate:
+            return 0.0
+        if self._overhead is None:
+            def nothing():
+                return None
+            costs = []
+            for _ in range(_CALIBRATION_REPS):
+                start = self.timer()
+                nothing()
+                costs.append(self.timer() - start)
+            self._overhead = max(0.0, median(costs))
+        return self._overhead
+
+    # -------------------------------------------------------------- #
+    def sample(self, fn: Callable[[], object], *, label: str = "",
+               reset: Optional[Callable[[], None]] = None,
+               phase: str = "warm") -> Distribution:
+        """Measure ``fn`` and return its duration distribution.
+
+        Parameters
+        ----------
+        fn : callable
+            Zero-argument workload; its return value is discarded.
+        label : str, optional
+            Workload label stored on the distribution.
+        reset : callable, optional
+            State-reset hook.  In the warm phase it is ignored; in the
+            cold phase it runs (untimed) before *every* sample so each
+            one observes cold state.
+        phase : str, optional
+            ``"warm"`` (default): ``warmup`` priming runs are recorded
+            as cold samples, then ``n_samples`` steady-state samples
+            are taken.  ``"cold"``: no priming; ``reset`` runs before
+            each of the ``n_samples`` samples.
+
+        Returns
+        -------
+        Distribution
+            Overhead-subtracted warm samples plus the excluded cold
+            samples and the calibrated overhead.
+        """
+        if phase not in ("warm", "cold"):
+            raise ValueError(f"unknown phase {phase!r}")
+        overhead = self.calibrate_overhead()
+
+        def timed_call() -> float:
+            start = self.timer()
+            fn()
+            return self.timer() - start
+
+        cold: list = []
+        if phase == "warm":
+            for _ in range(self.warmup):
+                cold.append(timed_call())
+        raw: list = []
+        for _ in range(self.n_samples):
+            if phase == "cold" and reset is not None:
+                reset()
+            raw.append(timed_call())
+        return Distribution(
+            samples=subtract_overhead(raw, overhead),
+            cold_samples=subtract_overhead(cold, overhead),
+            overhead_s=overhead,
+            label=label,
+            phase=phase,
+        )
+
+    # -------------------------------------------------------------- #
+    def sample_values(self, fn: Callable[[], float], *, label: str = "",
+                      phase: str = "warm") -> Distribution:
+        """Collect a distribution of values ``fn`` measures internally.
+
+        For workloads whose quantity of interest is not their own wall
+        time — e.g. a store's internally-accounted stall seconds — the
+        sampler still provides the protocol (sequential runs, explicit
+        warmup exclusion) but records ``fn``'s float return values
+        verbatim; no timer is involved and no overhead is subtracted.
+
+        Parameters
+        ----------
+        fn : callable
+            Zero-argument workload returning the measured float.
+        label : str, optional
+            Workload label stored on the distribution.
+        phase : str, optional
+            Recorded on the distribution; warmup runs are excluded
+            either way.
+
+        Returns
+        -------
+        Distribution
+            ``n_samples`` returned values, warmup returns kept as cold
+            samples.
+        """
+        cold = [float(fn()) for _ in range(self.warmup)]
+        values = [float(fn()) for _ in range(self.n_samples)]
+        return Distribution(samples=tuple(values), cold_samples=tuple(cold),
+                            overhead_s=0.0, label=label, phase=phase)

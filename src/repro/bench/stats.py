@@ -1,0 +1,293 @@
+"""Robust sample statistics for benchmark distributions.
+
+Small-kernel timings are not Gaussian: they are a tight mode (the real
+cost) plus a heavy right tail of scheduler preemptions, cache misses and
+allocator stalls.  Means and standard deviations are dragged around by
+that tail, so every statistic this module exposes is rank-based — the
+median locates the mode, the MAD (median absolute deviation) measures
+its width, and the IQR brackets the bulk of the mass.  A single 100x
+spike moves the mean by orders of magnitude and these three barely at
+all, which is what makes them safe to gate CI on.
+
+Everything here is a pure function of its sample sequence (no clocks,
+no I/O), so the whole layer is unit-testable on synthetic data; the
+:class:`Distribution` record bundles the raw samples with their summary
+so persisted benchmark rows stay re-analyzable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Sequence, Tuple
+
+__all__ = [
+    "median",
+    "mad",
+    "quantile",
+    "iqr",
+    "subtract_overhead",
+    "Distribution",
+]
+
+
+def _sorted_samples(samples: Sequence[float]) -> Tuple[float, ...]:
+    values = tuple(float(s) for s in samples)
+    if not values:
+        raise ValueError("need at least one sample")
+    if any(math.isnan(v) for v in values):
+        raise ValueError("samples must not contain NaN")
+    return tuple(sorted(values))
+
+
+def median(samples: Sequence[float]) -> float:
+    """Median of ``samples`` (midpoint average for even counts).
+
+    Parameters
+    ----------
+    samples : sequence of float
+        Non-empty sample sequence, in any order.
+
+    Returns
+    -------
+    float
+        The 0.5 quantile.
+    """
+    ordered = _sorted_samples(samples)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def mad(samples: Sequence[float], center: float | None = None) -> float:
+    """Median absolute deviation from ``center`` (default: the median).
+
+    The robust analogue of the standard deviation: the median of the
+    absolute residuals.  Unlike the standard deviation it has a
+    breakdown point of 50% — up to half the samples can be arbitrary
+    outliers without moving it.
+
+    Parameters
+    ----------
+    samples : sequence of float
+        Non-empty sample sequence.
+    center : float, optional
+        Deviation reference point; the sample median when omitted.
+
+    Returns
+    -------
+    float
+        ``median(|x - center|)``.
+    """
+    if center is None:
+        center = median(samples)
+    return median([abs(float(s) - center) for s in samples])
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """The ``q`` quantile of ``samples`` with linear interpolation.
+
+    Uses the same convention as ``numpy.quantile``'s default
+    (``linear``): the quantile sits at rank ``q * (n - 1)`` of the
+    sorted samples, interpolating between neighbors.
+
+    Parameters
+    ----------
+    samples : sequence of float
+        Non-empty sample sequence.
+    q : float
+        Quantile in ``[0, 1]``.
+
+    Returns
+    -------
+    float
+        The interpolated quantile value.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = _sorted_samples(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def iqr(samples: Sequence[float]) -> float:
+    """Interquartile range: ``q75 - q25``.
+
+    Parameters
+    ----------
+    samples : sequence of float
+        Non-empty sample sequence.
+
+    Returns
+    -------
+    float
+        Width of the central 50% of the mass.
+    """
+    return quantile(samples, 0.75) - quantile(samples, 0.25)
+
+
+def subtract_overhead(samples: Iterable[float], overhead: float) -> Tuple[float, ...]:
+    """Subtract a calibrated measurement overhead, clamped at zero.
+
+    Timer resolution plus dispatch cost is measured once (see
+    :meth:`repro.bench.sampler.Sampler.calibrate_overhead`) and removed
+    from every sample so that sub-millisecond kernels are not reported
+    as slower than they are.  A sample can never go negative: a run
+    that finished inside the calibrated overhead clamps to ``0.0``
+    rather than producing a nonsense negative duration.
+
+    Parameters
+    ----------
+    samples : iterable of float
+        Raw timed durations in seconds.
+    overhead : float
+        Calibrated per-call overhead to remove (must be ``>= 0``).
+
+    Returns
+    -------
+    tuple of float
+        ``max(0.0, s - overhead)`` for each sample, original order.
+    """
+    if overhead < 0.0:
+        raise ValueError("overhead must be non-negative")
+    return tuple(max(0.0, float(s) - overhead) for s in samples)
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A measured sample distribution plus its provenance.
+
+    The unit of benchmark truth in this repo: instead of one float per
+    workload, every measurement carries its raw warm-phase samples (so
+    any future statistic can be recomputed), the cold/warmup samples
+    that were deliberately excluded, and the calibrated per-call
+    overhead that was already subtracted from each sample.
+
+    Attributes
+    ----------
+    samples : tuple of float
+        Warm-phase samples, overhead already subtracted, in run order.
+    cold_samples : tuple of float
+        Warmup/cold-phase samples excluded from the statistics (first
+        touches of code and data: allocator growth, cache fill, JIT-ish
+        NumPy setup).  Kept for the record.
+    overhead_s : float
+        Calibrated per-call timer+dispatch overhead subtracted from
+        every sample.
+    label : str
+        Human-readable workload label.
+    phase : str
+        ``"warm"`` (statistics describe the steady state, the default)
+        or ``"cold"`` (each sample was taken on deliberately cold
+        state).
+    """
+
+    samples: Tuple[float, ...]
+    cold_samples: Tuple[float, ...] = ()
+    overhead_s: float = 0.0
+    label: str = ""
+    phase: str = "warm"
+    _stats: Dict[str, float] = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self):
+        if not self.samples:
+            raise ValueError("a Distribution needs at least one sample")
+        object.__setattr__(self, "samples", tuple(float(s) for s in self.samples))
+        object.__setattr__(self, "cold_samples",
+                           tuple(float(s) for s in self.cold_samples))
+
+    # -------------------------------------------------------------- #
+    @property
+    def n(self) -> int:
+        """Number of warm samples."""
+        return len(self.samples)
+
+    @property
+    def median(self) -> float:
+        """Median of the warm samples — the headline number."""
+        return self._cached("median", lambda: median(self.samples))
+
+    @property
+    def mad(self) -> float:
+        """Median absolute deviation of the warm samples."""
+        return self._cached("mad", lambda: mad(self.samples))
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range of the warm samples."""
+        return self._cached("iqr", lambda: iqr(self.samples))
+
+    @property
+    def q25(self) -> float:
+        """First quartile."""
+        return self._cached("q25", lambda: quantile(self.samples, 0.25))
+
+    @property
+    def q75(self) -> float:
+        """Third quartile."""
+        return self._cached("q75", lambda: quantile(self.samples, 0.75))
+
+    @property
+    def min(self) -> float:
+        """Fastest warm sample (the least-perturbed run)."""
+        return min(self.samples)
+
+    @property
+    def max(self) -> float:
+        """Slowest warm sample (tail indicator, never gated on)."""
+        return max(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean — reported for contrast, never gated on."""
+        return sum(self.samples) / len(self.samples)
+
+    def _cached(self, key, compute):
+        if key not in self._stats:
+            self._stats[key] = compute()
+        return self._stats[key]
+
+    # -------------------------------------------------------------- #
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-friendly record (raw samples + summary)."""
+        return {
+            "label": self.label,
+            "phase": self.phase,
+            "n": self.n,
+            "median_s": self.median,
+            "mad_s": self.mad,
+            "iqr_s": self.iqr,
+            "q25_s": self.q25,
+            "q75_s": self.q75,
+            "min_s": self.min,
+            "max_s": self.max,
+            "mean_s": self.mean,
+            "overhead_s": self.overhead_s,
+            "samples_s": list(self.samples),
+            "cold_samples_s": list(self.cold_samples),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Distribution":
+        """Rebuild a :class:`Distribution` from :meth:`to_dict` output.
+
+        Only the raw samples and provenance are read; the summary
+        statistics are recomputed, so a hand-edited summary cannot
+        disagree with the samples it claims to describe.
+        """
+        return cls(
+            samples=tuple(record["samples_s"]),
+            cold_samples=tuple(record.get("cold_samples_s", ())),
+            overhead_s=float(record.get("overhead_s", 0.0)),
+            label=record.get("label", ""),
+            phase=record.get("phase", "warm"),
+        )

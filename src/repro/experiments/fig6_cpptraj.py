@@ -18,13 +18,13 @@ figure makes: optimized compiled-style kernel vs interpreter-bound loop.
 
 from __future__ import annotations
 
-import time
 from typing import List, Sequence
 
 import numpy as np
 
 from ..analysis.hausdorff import hausdorff_earlybreak
 from ..analysis.rmsd import pairwise_rmsd_loop, rmsd_matrix
+from ..bench import Sampler
 from ..perfmodel.scaling import cpptraj_sweep
 from ..trajectory.generators import paper_psa_ensemble
 from .common import print_rows, standard_argparser
@@ -37,51 +37,59 @@ def modeled_rows(core_counts: Sequence[int] = (1, 20, 40, 80, 120, 160, 200, 240
     return [p.as_dict() for p in cpptraj_sweep(core_counts=core_counts)]
 
 
-def measured_rows(n_pairs: int = 6, n_frames: int = 40, scale: float = 0.02) -> List[dict]:
+def measured_rows(n_pairs: int = 6, n_frames: int = 40, scale: float = 0.02,
+                  samples: int = 3) -> List[dict]:
     """Laptop-scale measurement of the optimized vs naive 2D-RMSD kernels.
 
     Every row carries an explicit ``kernel_engine`` column (vectorized vs
     the Python reference), and the 2D-RMSD contrast is followed by the
     same contrast for the early-break Hausdorff: the blockwise engine
     kernel vs the literal Taha & Hanbury scan on identical pairs.
+
+    Each cell is sampled ``samples`` times (after one warmup run,
+    overhead-subtracted, via :class:`repro.bench.Sampler`); ``time_s``
+    is the distribution **median** and ``time_mad_s`` its MAD, so a
+    single scheduler hiccup cannot distort the reported contrast.
     """
     ensemble = paper_psa_ensemble("small", max(4, n_pairs), n_frames=n_frames, scale=scale)
     arrays = ensemble.as_arrays()
     pairs = [(arrays[i], arrays[(i + 1) % len(arrays)]) for i in range(n_pairs)]
+    sampler = Sampler(n_samples=max(1, samples), warmup=1)
     rows: List[dict] = []
     for label, kernel, engine in (
             ("vectorized (compiled-equivalent)", rmsd_matrix, "vectorized"),
             ("naive python loop", pairwise_rmsd_loop, "reference")):
-        start = time.perf_counter()
-        checksum = 0.0
-        for a, b in pairs:
-            checksum += float(np.sum(kernel(a, b)))
-        elapsed = time.perf_counter() - start
+        checksum = sum(float(np.sum(kernel(a, b))) for a, b in pairs)
+        dist = sampler.sample(
+            lambda: [kernel(a, b) for a, b in pairs], label=label)
         rows.append({
             "kernel": label,
             "kernel_engine": engine,
             "n_pairs": n_pairs,
             "n_frames": n_frames,
             "n_atoms": arrays[0].shape[1],
-            "time_s": elapsed,
+            "time_s": dist.median,
+            "time_mad_s": dist.mad,
+            "n_samples": dist.n,
             "checksum": checksum,
         })
     rows[0]["speedup_vs_naive"] = (rows[1]["time_s"] / rows[0]["time_s"]
                                    if rows[0]["time_s"] > 0 else float("inf"))
     for label, engine in (("earlybreak (blockwise)", "vectorized"),
                           ("earlybreak (python reference)", "reference")):
-        start = time.perf_counter()
-        checksum = 0.0
-        for a, b in pairs:
-            checksum += hausdorff_earlybreak(a, b, method=engine)
-        elapsed = time.perf_counter() - start
+        checksum = sum(hausdorff_earlybreak(a, b, method=engine) for a, b in pairs)
+        dist = sampler.sample(
+            lambda: [hausdorff_earlybreak(a, b, method=engine) for a, b in pairs],
+            label=label)
         rows.append({
             "kernel": label,
             "kernel_engine": engine,
             "n_pairs": n_pairs,
             "n_frames": n_frames,
             "n_atoms": arrays[0].shape[1],
-            "time_s": elapsed,
+            "time_s": dist.median,
+            "time_mad_s": dist.mad,
+            "n_samples": dist.n,
             "checksum": checksum,
         })
     if rows[2]["time_s"] > 0:

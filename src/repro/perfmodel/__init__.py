@@ -1,6 +1,12 @@
 """Performance and scaling models for regenerating the paper-scale figures."""
 
-from .calibration import CalibrationResult, calibrate_kernels
+from .calibration import (
+    BENCH_RECORD_PATH,
+    CalibrationResult,
+    calibrate_kernels,
+    engine_preset,
+    rates_from_bench_record,
+)
 from .costs import (
     DASK_COSTS,
     MPI_COSTS,
@@ -51,6 +57,9 @@ __all__ = [
     "DEFAULT_RATES",
     "CalibrationResult",
     "calibrate_kernels",
+    "rates_from_bench_record",
+    "engine_preset",
+    "BENCH_RECORD_PATH",
     "ThroughputPoint",
     "model_task_run_time",
     "model_throughput",

@@ -7,8 +7,17 @@ Each is parameterized by a throughput constant expressed in *element
 operations per second on one reference core*; the defaults are
 representative of NumPy/SciPy on a Haswell core, and
 :func:`repro.perfmodel.calibration.calibrate_kernels` can re-measure them
-on the local machine so that modeled and measured laptop-scale numbers
-line up.
+on the local machine (from sampled distribution medians) so that modeled
+and measured laptop-scale numbers line up.
+
+The rates are engine-aware: the reference-engine fields
+(``union_find_ops``, ``tree_query_points``) describe the paper-era
+per-element Python loops while the vectorized-engine fields
+(``cc_label_ops``, ``tree_batch_candidates``) describe the kernel
+engine's whole-array passes.
+:func:`repro.perfmodel.calibration.engine_preset` returns a preset with
+the vectorized fields recalibrated from the distribution medians
+committed in ``BENCH_kernels.json``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,352 @@
+"""Meta-tests for the benchmark statistics layer (repro.bench.stats/sampler).
+
+The statistics that gate CI must themselves be above suspicion, so this
+suite checks them on hand-computed fixtures and with hypothesis
+properties: permutation invariance, outlier robustness (one 100x spike
+moves the mean but not the gate verdict), and the guarantee that
+overhead subtraction can never produce a negative duration.
+
+Nothing here reads a real clock: every Sampler test injects a fake
+timer, so the suite is deterministic and wall-clock-free (safe for the
+tier-1 gate and the quick CI job).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import (
+    Distribution,
+    Sampler,
+    gate_speedup,
+    iqr,
+    mad,
+    median,
+    quantile,
+    speedup_samples,
+    subtract_overhead,
+)
+
+# bounded, NaN/inf-free sample lists for the property tests
+finite_samples = st.lists(
+    st.floats(min_value=1e-9, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=40)
+
+
+class FakeTimer:
+    """A scripted clock: each call advances by the next scripted delta."""
+
+    def __init__(self, deltas):
+        self.deltas = list(deltas)
+        self.now = 0.0
+        self.calls = 0
+
+    def __call__(self):
+        value = self.now
+        if self.deltas:
+            self.now += self.deltas.pop(0)
+        self.calls += 1
+        return value
+
+
+class SteadyTimer:
+    """A clock that advances by a fixed step on every call."""
+
+    def __init__(self, step):
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestMedian:
+    def test_odd_count(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_count_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_single_sample(self):
+        assert median([7.5]) == 7.5
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        samples = rng.random(37).tolist()
+        assert median(samples) == pytest.approx(float(np.median(samples)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            median([1.0, float("nan")])
+
+
+class TestMad:
+    def test_hand_computed(self):
+        # median 3; |x-3| = [2, 1, 0, 1, 97]; median of that = 1
+        assert mad([1.0, 2.0, 3.0, 4.0, 100.0]) == 1.0
+
+    def test_explicit_center(self):
+        # |x-0| = [1, 2, 3]; median = 2
+        assert mad([1.0, 2.0, 3.0], center=0.0) == 2.0
+
+    def test_constant_samples(self):
+        assert mad([5.0, 5.0, 5.0]) == 0.0
+
+    def test_breakdown_point(self):
+        """Up to half the samples can be arbitrary without moving the MAD much."""
+        clean = [1.0, 1.01, 0.99, 1.02, 0.98, 1.0, 1.01]
+        spiked = clean + [1e6, 1e6, 1e6]        # 3 of 10: below breakdown
+        assert mad(spiked) < 0.1
+
+
+class TestQuantileIqr:
+    def test_hand_computed_quartiles(self):
+        samples = [10.0, 20.0, 30.0, 40.0]
+        # rank 0.25*(4-1) = 0.75 between 10 and 20
+        assert quantile(samples, 0.25) == pytest.approx(17.5)
+        assert quantile(samples, 0.75) == pytest.approx(32.5)
+        assert iqr(samples) == pytest.approx(15.0)
+
+    def test_extremes(self):
+        samples = [3.0, 1.0, 2.0]
+        assert quantile(samples, 0.0) == 1.0
+        assert quantile(samples, 1.0) == 3.0
+
+    def test_matches_numpy_linear(self):
+        rng = np.random.default_rng(1)
+        samples = rng.random(23).tolist()
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert quantile(samples, q) == pytest.approx(
+                float(np.quantile(samples, q)))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+class TestSubtractOverhead:
+    def test_plain_subtraction(self):
+        assert subtract_overhead([3.0, 2.5], 0.5) == (2.5, 2.0)
+
+    def test_clamps_at_zero(self):
+        """A run faster than the calibrated overhead clamps to 0.0, never negative."""
+        assert subtract_overhead([0.1, 0.5], 0.3) == (0.0, 0.2)
+
+    def test_negative_overhead_raises(self):
+        with pytest.raises(ValueError):
+            subtract_overhead([1.0], -0.1)
+
+    @given(samples=finite_samples,
+           overhead=st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False))
+    def test_never_negative(self, samples, overhead):
+        assert all(s >= 0.0 for s in subtract_overhead(samples, overhead))
+
+    @given(samples=finite_samples)
+    def test_zero_overhead_is_identity(self, samples):
+        assert subtract_overhead(samples, 0.0) == tuple(samples)
+
+
+class TestPermutationInvariance:
+    @given(samples=finite_samples, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=60)
+    def test_statistics_ignore_order(self, samples, seed):
+        rng = np.random.default_rng(seed)
+        shuffled = list(samples)
+        rng.shuffle(shuffled)
+        assert median(shuffled) == median(samples)
+        assert mad(shuffled) == mad(samples)
+        assert iqr(shuffled) == pytest.approx(iqr(samples))
+        assert quantile(shuffled, 0.25) == pytest.approx(quantile(samples, 0.25))
+
+
+class TestOutlierRobustness:
+    def test_spike_moves_mean_not_gate(self):
+        """One 100x spike moves the mean but not the gate verdict."""
+        reference = [10.0, 10.1, 9.9, 10.0, 10.2, 9.8, 10.0, 10.1]
+        candidate = [1.0, 1.01, 0.99, 1.02, 0.98, 1.0, 1.01, 0.99]
+        spiked = candidate[:-1] + [candidate[-1] * 100.0]
+
+        clean_dist = Distribution(samples=tuple(candidate))
+        spiked_dist = Distribution(samples=tuple(spiked))
+        # the mean is dragged by over an order of magnitude...
+        assert spiked_dist.mean > 10.0 * clean_dist.mean
+        # ...the median barely moves...
+        assert spiked_dist.median == pytest.approx(clean_dist.median, rel=0.05)
+        # ...and the gate verdict is identical
+        clean_verdict = gate_speedup(speedup_samples(reference, candidate), 5.0)
+        spiked_verdict = gate_speedup(speedup_samples(reference, spiked), 5.0)
+        assert clean_verdict.passed and spiked_verdict.passed
+
+    @given(samples=st.lists(st.floats(min_value=0.5, max_value=2.0,
+                                      allow_nan=False), min_size=5, max_size=30),
+           factor=st.floats(min_value=100.0, max_value=1e6))
+    @settings(max_examples=40)
+    def test_single_spike_bounded_median_shift(self, samples, factor):
+        spiked = samples + [max(samples) * factor]
+        # the spiked median can move at most to the next order statistic
+        assert median(spiked) <= max(samples)
+        assert mad(spiked) <= (max(samples) - min(samples)) + mad(samples)
+
+
+class TestDistribution:
+    def test_summary_properties(self):
+        d = Distribution(samples=(1.0, 2.0, 3.0, 4.0, 100.0), label="w")
+        assert d.n == 5
+        assert d.median == 3.0
+        assert d.mad == 1.0
+        assert d.q25 == 2.0 and d.q75 == 4.0
+        assert d.iqr == 2.0
+        assert d.min == 1.0 and d.max == 100.0
+        assert d.mean == 22.0
+
+    def test_round_trip(self):
+        d = Distribution(samples=(1.0, 2.0), cold_samples=(5.0,),
+                         overhead_s=0.1, label="w", phase="warm")
+        again = Distribution.from_dict(d.to_dict())
+        assert again == d
+        assert again.median == d.median
+
+    def test_from_dict_recomputes_statistics(self):
+        """A hand-edited summary cannot disagree with its samples."""
+        record = Distribution(samples=(1.0, 2.0, 3.0)).to_dict()
+        record["median_s"] = 999.0          # tampered
+        assert Distribution.from_dict(record).median == 2.0
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ValueError):
+            Distribution(samples=())
+
+    def test_cold_samples_excluded_from_statistics(self):
+        d = Distribution(samples=(1.0, 1.0), cold_samples=(50.0, 60.0))
+        assert d.median == 1.0
+        assert d.max == 1.0
+
+    def test_serialized_record_is_json_ready(self):
+        import json
+        d = Distribution(samples=(0.5, 0.7), label="x")
+        text = json.dumps(d.to_dict())
+        assert "samples_s" in text
+
+
+class TestSampler:
+    def test_fake_timer_measures_scripted_durations(self):
+        # warmup run takes 5.0, the three samples 1.0/2.0/3.0
+        timer = FakeTimer([5.0, 0.0, 1.0, 0.0, 2.0, 0.0, 3.0])
+        sampler = Sampler(n_samples=3, warmup=1, timer=timer, calibrate=False)
+        dist = sampler.sample(lambda: None, label="scripted")
+        assert dist.samples == (1.0, 2.0, 3.0)
+        assert dist.cold_samples == (5.0,)
+        assert dist.overhead_s == 0.0
+        assert dist.median == 2.0
+
+    def test_overhead_subtraction_clamps_at_zero(self):
+        """With every interval equal to the calibrated overhead, all
+        samples clamp to exactly zero — never negative."""
+        sampler = Sampler(n_samples=4, warmup=1, timer=SteadyTimer(0.001))
+        dist = sampler.sample(lambda: None)
+        assert sampler.calibrate_overhead() == pytest.approx(0.001)
+        assert dist.samples == (0.0, 0.0, 0.0, 0.0)
+        assert all(s >= 0.0 for s in dist.samples)
+
+    def test_calibration_cached(self):
+        timer = SteadyTimer(0.002)
+        sampler = Sampler(n_samples=1, warmup=0, timer=timer)
+        first = sampler.calibrate_overhead()
+        calls_after = timer.now
+        assert sampler.calibrate_overhead() == first
+        assert timer.now == calls_after          # no re-measurement
+
+    def test_cold_phase_runs_reset_before_every_sample(self):
+        resets = []
+        sampler = Sampler(n_samples=3, warmup=2, timer=SteadyTimer(0.0),
+                          calibrate=False)
+        dist = sampler.sample(lambda: None, reset=lambda: resets.append(1),
+                              phase="cold")
+        assert len(resets) == 3                  # once per sample, no warmup
+        assert dist.phase == "cold"
+        assert dist.cold_samples == ()
+
+    def test_warm_phase_ignores_reset(self):
+        resets = []
+        sampler = Sampler(n_samples=2, warmup=1, timer=SteadyTimer(0.0),
+                          calibrate=False)
+        sampler.sample(lambda: None, reset=lambda: resets.append(1))
+        assert resets == []
+
+    def test_unknown_phase_raises(self):
+        sampler = Sampler(n_samples=1, warmup=0, calibrate=False)
+        with pytest.raises(ValueError):
+            sampler.sample(lambda: None, phase="lukewarm")
+
+    def test_sample_values_excludes_warmup_returns(self):
+        values = iter([100.0, 1.0, 2.0, 3.0])
+        sampler = Sampler(n_samples=3, warmup=1, calibrate=False)
+        dist = sampler.sample_values(lambda: next(values), label="internal")
+        assert dist.samples == (1.0, 2.0, 3.0)
+        assert dist.cold_samples == (100.0,)
+        assert dist.overhead_s == 0.0
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SAMPLES", "7")
+        monkeypatch.setenv("REPRO_BENCH_WARMUP", "4")
+        sampler = Sampler()
+        assert sampler.n_samples == 7
+        assert sampler.warmup == 4
+
+    def test_env_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SAMPLES", "lots")
+        assert Sampler().n_samples == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sampler(n_samples=0)
+        with pytest.raises(ValueError):
+            Sampler(warmup=-1)
+
+    def test_sequential_execution_order(self):
+        """Samples run strictly one after another: warmups first, then
+        every warm sample, with no interleaving."""
+        order = []
+        sampler = Sampler(n_samples=3, warmup=2, timer=SteadyTimer(0.0),
+                          calibrate=False)
+        counter = iter(range(10))
+        sampler.sample(lambda: order.append(next(counter)))
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_deterministic_with_fake_clock(self):
+        """The whole pipeline is reproducible under an injected clock."""
+        def run():
+            sampler = Sampler(n_samples=5, warmup=1, timer=SteadyTimer(0.25),
+                              calibrate=False)
+            return sampler.sample(lambda: None, label="det")
+        assert run() == run()
+
+
+def test_overhead_subtraction_preserves_sample_count():
+    """Subtraction is elementwise: same count, same order."""
+    samples = [5.0, 0.1, 3.0, 0.2]
+    out = subtract_overhead(samples, 0.15)
+    assert len(out) == len(samples)
+    assert out[0] == pytest.approx(4.85)
+    assert out[1] == 0.0
+
+
+@given(samples=finite_samples)
+def test_distribution_statistics_within_sample_range(samples):
+    d = Distribution(samples=tuple(samples))
+    assert d.min <= d.median <= d.max
+    assert d.q25 <= d.q75
+    assert d.mad >= 0.0
+    assert not math.isnan(d.iqr)

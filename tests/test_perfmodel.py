@@ -15,6 +15,7 @@ from repro.perfmodel import (
     KernelCosts,
     calibrate_kernels,
     cpptraj_sweep,
+    engine_preset,
     get_cost_model,
     leaflet_sweep,
     model_broadcast_breakdown,
@@ -24,6 +25,7 @@ from repro.perfmodel import (
     model_throughput,
     node_scaling_sweep,
     psa_sweep,
+    rates_from_bench_record,
     throughput_sweep,
 )
 from repro.perfmodel.scaling import _configuration_feasible
@@ -355,3 +357,69 @@ class TestCalibration:
         runtime = model_psa_runtime("dask", LOCAL, cores=4, n_trajectories=8,
                                     n_frames=20, n_atoms=50, rates=result.rates)
         assert runtime > 0.0
+
+    def test_calibration_keeps_distribution_evidence(self):
+        result = calibrate_kernels(n_frames=16, n_atoms=64, n_points=300, repeats=2)
+        dist = result.distributions["rmsd_matrix"]
+        assert dist.n == 2
+        assert result.timings["rmsd_matrix"] == pytest.approx(
+            max(dist.median, 1e-9))
+        assert "MAD" in result.summary()
+
+
+class TestEnginePresets:
+    """Engine-aware rate presets recalibrated from a benchmark record."""
+
+    SYNTHETIC_RECORD = {
+        "rows": [
+            {"kernel": "connected_components", "workload": "n=30000 nodes",
+             "speedup_median": 10.0},
+            {"kernel": "radius_edges[balltree]", "workload": "n=20000 atoms",
+             "speedup_median": 30.0},
+        ]
+    }
+
+    def test_cc_rate_derived_from_speedup_median(self):
+        rates = rates_from_bench_record(self.SYNTHETIC_RECORD)
+        # passes(30000) = log2(30000)/2 ~= 7.43
+        import numpy as np
+        passes = max(1.0, np.log2(30_000) / 2.0)
+        expected = 10.0 * passes * DEFAULT_RATES.union_find_ops
+        assert rates.cc_label_ops == pytest.approx(expected)
+
+    def test_ordering_invariants_survive_any_record(self):
+        """Vectorized rates never fall below their reference counterpart,
+        even from a degenerate record claiming a slowdown."""
+        degenerate = {"rows": [
+            {"kernel": "connected_components", "workload": "n=100 nodes",
+             "speedup_median": 1e-6},
+        ]}
+        rates = rates_from_bench_record(degenerate)
+        assert rates.cc_label_ops >= rates.union_find_ops
+
+    def test_missing_kernels_keep_incoming_rates(self):
+        rates = rates_from_bench_record({"rows": []})
+        assert rates == DEFAULT_RATES
+
+    def test_missing_file_returns_rates_unchanged(self, tmp_path, monkeypatch):
+        import repro.perfmodel.calibration as calibration
+        monkeypatch.setattr(calibration, "BENCH_RECORD_PATH",
+                            tmp_path / "absent.json")
+        assert calibration.rates_from_bench_record(None) == DEFAULT_RATES
+
+    def test_engine_preset_reference_is_identity(self):
+        assert engine_preset("reference") == DEFAULT_RATES
+
+    def test_engine_preset_vectorized_widens_engine_gap(self):
+        """With the committed record present, the vectorized preset's
+        components cost must beat the reference engine's."""
+        rates = engine_preset("vectorized")
+        assert rates.cc_label_ops >= DEFAULT_RATES.union_find_ops
+        costs = KernelCosts(rates)
+        assert (costs.connected_components(30_000, 120_000, method="vectorized")
+                <= costs.connected_components(30_000, 120_000,
+                                              method="reference"))
+
+    def test_engine_preset_unknown_raises(self):
+        with pytest.raises(ValueError):
+            engine_preset("fortran")
