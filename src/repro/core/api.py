@@ -53,7 +53,8 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
         spill_queue_depth: int = 4,
         fault_policy=None,
         faults=None,
-        window: Tuple[int, int] | None = None) -> Tuple[DistanceMatrix, RunReport]:
+        window: Tuple[int, int] | None = None,
+        checkpoint_dir: str | None = None) -> Tuple[DistanceMatrix, RunReport]:
     """Run Path Similarity Analysis on an ensemble.
 
     Parameters
@@ -119,6 +120,13 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
         member.  On a streaming ensemble only the chunks the window
         touches are ingested; on an in-memory ensemble the members are
         sliced.
+    checkpoint_dir : str, optional
+        Journal directory for checkpoint/restart: completed distance
+        blocks persist there as they finish and a re-run with the same
+        inputs resumes (``tasks_restored`` / ``restore_seconds`` in the
+        report), recomputing only missing blocks.  A journal written
+        under different inputs raises
+        :class:`~repro.frameworks.checkpoint.StaleJournal`.
 
     Returns
     -------
@@ -138,7 +146,7 @@ def psa(ensemble: TrajectoryEnsemble, framework: str | TaskFramework = "dasklite
     try:
         return run_psa(ensemble, fw, metric=metric, n_tasks=n_tasks,
                        group_size=group_size, data_plane=data_plane,
-                       window=window)
+                       window=window, checkpoint_dir=checkpoint_dir)
     finally:
         # a framework constructed here is closed here: the matrix and
         # report are plain copies, and closing releases the store's
@@ -162,7 +170,8 @@ def stream_windows(source, framework: str | TaskFramework = "dasklite", *,
                    spill_async: bool = True,
                    spill_queue_depth: int = 4,
                    fault_policy=None,
-                   faults=None) -> Tuple[DistanceMatrix | LeafletResult, RunReport]:
+                   faults=None,
+                   checkpoint_dir: str | None = None) -> Tuple[DistanceMatrix | LeafletResult, RunReport]:
     """Incrementally analyze a streamed input, window by window.
 
     The out-of-core driver: windows (defaulting to the source's chunk
@@ -201,6 +210,10 @@ spill_async, spill_queue_depth, fault_policy, faults :
         and a ``store_capacity_bytes`` watermark spills cold chunks
         between waves.  Pass ``data_plane="pickle"`` explicitly to
         stream windows as serialized arrays instead.
+    checkpoint_dir : str, optional
+        Journal directory for checkpoint/restart (as in :func:`psa`);
+        every wave consults the same journal, so a killed streaming run
+        resumes from its last completed blocks.
 
     Returns
     -------
@@ -228,8 +241,10 @@ spill_async, spill_queue_depth, fault_policy, faults :
             return run_psa_windows(source, fw, metric=metric,
                                    window_frames=window_frames,
                                    n_tasks=n_tasks, group_size=group_size,
-                                   data_plane=data_plane)
-        return run_leaflet_stream(source, cutoff, fw, data_plane=data_plane)
+                                   data_plane=data_plane,
+                                   checkpoint_dir=checkpoint_dir)
+        return run_leaflet_stream(source, cutoff, fw, data_plane=data_plane,
+                                  checkpoint_dir=checkpoint_dir)
     finally:
         # see psa(): frameworks constructed by name are closed here
         if created:
@@ -247,7 +262,8 @@ def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
                    spill_async: bool = True,
                    spill_queue_depth: int = 4,
                    fault_policy=None,
-                   faults=None) -> Tuple[LeafletResult, RunReport]:
+                   faults=None,
+                   checkpoint_dir: str | None = None) -> Tuple[LeafletResult, RunReport]:
     """Run the Leaflet Finder on a membrane system.
 
     Parameters
@@ -288,6 +304,11 @@ def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
         Resilience policy when constructing by name (see :func:`psa`).
     faults : FaultInjector or FaultSpec or sequence, optional
         Deterministic fault injection for chaos runs (testing only).
+    checkpoint_dir : str, optional
+        Journal directory for checkpoint/restart: map-phase block
+        results persist there as they finish and a re-run with the same
+        inputs resumes, recomputing only missing blocks (as in
+        :func:`psa`).
 
     Returns
     -------
@@ -313,7 +334,8 @@ def leaflet_finder(system, framework: str | TaskFramework = "dasklite", *,
         if created else framework
     try:
         return run_leaflet_finder(positions, cutoff, fw, approach=approach,
-                                  n_tasks=n_tasks, data_plane=data_plane)
+                                  n_tasks=n_tasks, data_plane=data_plane,
+                                  checkpoint_dir=checkpoint_dir)
     finally:
         # see psa(): frameworks constructed by name are closed here
         if created:

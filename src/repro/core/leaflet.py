@@ -33,16 +33,19 @@ the saving.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
+from ..analysis.engine import get_kernel_method
 from ..analysis.graph import connected_components, merge_component_sets
 from ..analysis.neighbors import BallTree, GridNeighborSearch, radius_edges
 from ..analysis.pairwise import edges_from_block
 from ..frameworks.base import TaskFramework
+from ..frameworks.checkpoint import RunJournal, checkpointed_map, run_fingerprint
 from ..frameworks.serialization import nbytes_of
 from ..frameworks.shm import DATA_PLANES, BlockRef, SharedMemoryStore, maybe_resolve
 from .partitioning import BlockTask, choose_group_size, one_dimensional_partition, two_dimensional_partition
@@ -55,6 +58,7 @@ __all__ = [
     "leaflet_task_2d",
     "leaflet_parallel_cc",
     "leaflet_tree_search",
+    "leaflet_task_key",
     "run_leaflet_finder",
     "run_leaflet_stream",
     "LeafletFinder",
@@ -193,6 +197,27 @@ def _run_task(task) -> object:
     return task.run()
 
 
+def leaflet_task_key(task) -> str:
+    """Stable journal key for a leaflet map task (block granularity)."""
+    if isinstance(task, _ChunkVsAllTask):
+        return f"chunk-{task.start}-{task.stop}"
+    if isinstance(task, _TreeBlockTask):
+        return f"tree-{task.block.row_start}-{task.block.col_start}"
+    return (f"pair-{task.block.row_start}-{task.block.col_start}"
+            f"-{int(task.partial_components)}")
+
+
+def _map_leaflet_tasks(framework: TaskFramework, tasks: List) -> List:
+    """Dispatch a leaflet map phase, journalling results when a run journal
+    is active (attached by :func:`run_leaflet_finder` /
+    :func:`run_leaflet_stream` for the duration of the run)."""
+    journal = getattr(framework, "_active_journal", None)
+    if journal is not None:
+        return checkpointed_map(framework, _run_task, tasks, journal,
+                                leaflet_task_key)
+    return framework.map_tasks(_run_task, tasks)
+
+
 # --------------------------------------------------------------------------- #
 # the four approaches
 # --------------------------------------------------------------------------- #
@@ -253,7 +278,7 @@ def leaflet_broadcast_1d(positions: np.ndarray, cutoff: float,
         tasks = [_ChunkVsAllTask(start, stop, positions[start:stop], payload, cutoff)
                  for start, stop in ranges]
     map_start = time.perf_counter()
-    edge_lists = framework.map_tasks(_run_task, tasks)
+    edge_lists = _map_leaflet_tasks(framework, tasks)
     map_time = time.perf_counter() - map_start
 
     bytes_shuffled = sum(nbytes_of(e) for e in edge_lists)
@@ -320,7 +345,7 @@ def leaflet_task_2d(positions: np.ndarray, cutoff: float,
     tasks = _make_block_tasks(positions, cutoff, n_tasks, partial_components=False,
                               framework=framework)
     map_start = time.perf_counter()
-    edge_lists = framework.map_tasks(_run_task, tasks)
+    edge_lists = _map_leaflet_tasks(framework, tasks)
     map_time = time.perf_counter() - map_start
     bytes_shuffled = sum(nbytes_of(e) for e in edge_lists)
     reduce_start = time.perf_counter()
@@ -353,7 +378,7 @@ def leaflet_parallel_cc(positions: np.ndarray, cutoff: float,
     tasks = _make_block_tasks(positions, cutoff, n_tasks, partial_components=True,
                               framework=framework)
     map_start = time.perf_counter()
-    partials = framework.map_tasks(_run_task, tasks)
+    partials = _map_leaflet_tasks(framework, tasks)
     map_time = time.perf_counter() - map_start
     bytes_shuffled = sum(nbytes_of(p) for p in partials)
     reduce_start = time.perf_counter()
@@ -395,7 +420,7 @@ def leaflet_tree_search(positions: np.ndarray, cutoff: float,
         for b in blocks
     ]
     map_start = time.perf_counter()
-    partials = framework.map_tasks(_run_task, tasks)
+    partials = _map_leaflet_tasks(framework, tasks)
     map_time = time.perf_counter() - map_start
     bytes_shuffled = sum(nbytes_of(p) for p in partials)
     reduce_start = time.perf_counter()
@@ -433,6 +458,7 @@ def run_leaflet_finder(positions: np.ndarray, cutoff: float,
                        approach: str = "tree-search",
                        n_tasks: int = 16,
                        data_plane: str | None = None,
+                       checkpoint_dir: str | None = None,
                        **kwargs) -> Tuple[LeafletResult, RunReport]:
     """Run the Leaflet Finder with the named architectural approach.
 
@@ -440,6 +466,14 @@ def run_leaflet_finder(positions: np.ndarray, cutoff: float,
     ``"pickle"`` or ``"shm"`` temporarily overrides it for this run (an
     shm override on a pickle-configured framework attaches an ephemeral
     store for the duration).
+
+    ``checkpoint_dir`` enables checkpoint/restart: every map-phase block
+    result (edge list or partial-component set) is journalled as it
+    completes, and a re-run with the same positions, parameters, plane,
+    substrate and kernel engine replays finished blocks
+    (``tasks_restored`` in the report) and computes only the missing
+    ones.  A journal written under different inputs raises
+    :class:`~repro.frameworks.checkpoint.StaleJournal`.
     """
     if approach not in LEAFLET_APPROACHES:
         raise ValueError(
@@ -451,15 +485,29 @@ def run_leaflet_finder(positions: np.ndarray, cutoff: float,
     configured_plane = getattr(framework, "data_plane", None)
     override = (data_plane is not None and configured_plane is not None
                 and configured_plane != data_plane)
+    plane = data_plane if data_plane is not None else (configured_plane or "pickle")
     ephemeral_store = None
+    journal = None
+    if checkpoint_dir is not None:
+        fingerprint = run_fingerprint(
+            arrays=[np.asarray(positions, dtype=np.float64)],
+            algorithm="leaflet_finder", approach=approach, cutoff=float(cutoff),
+            n_tasks=n_tasks, data_plane=plane, substrate=framework.name,
+            kernel_method=get_kernel_method(),
+            extras=tuple(sorted((k, repr(v)) for k, v in kwargs.items())))
+        journal = RunJournal(checkpoint_dir, fingerprint).open()
     try:
         if override:
             framework.data_plane = data_plane
             if data_plane == "shm" and getattr(framework, "store", None) is None:
                 ephemeral_store = SharedMemoryStore()
                 framework.store = ephemeral_store
+        if journal is not None:
+            framework._active_journal = journal
         return impl(positions, cutoff, framework, n_tasks=n_tasks, **kwargs)
     finally:
+        if journal is not None:
+            framework._active_journal = None
         if override:
             framework.data_plane = configured_plane
             if ephemeral_store is not None:
@@ -468,7 +516,8 @@ def run_leaflet_finder(positions: np.ndarray, cutoff: float,
 
 
 def run_leaflet_stream(chunked, cutoff: float, framework: TaskFramework, *,
-                       data_plane: str | None = None) -> Tuple[LeafletResult, RunReport]:
+                       data_plane: str | None = None,
+                       checkpoint_dir: str | None = None) -> Tuple[LeafletResult, RunReport]:
     """Streamed Leaflet Finder over a chunk-file-backed system.
 
     The incremental counterpart of :func:`leaflet_parallel_cc` for
@@ -497,6 +546,10 @@ def run_leaflet_stream(chunked, cutoff: float, framework: TaskFramework, *,
     data_plane : str, optional
         Override the framework's plane for this run (as in
         :func:`run_leaflet_finder`).
+    checkpoint_dir : str, optional
+        Journal directory for checkpoint/restart: each wave's block
+        results are journalled as they complete and a resumed run
+        replays them, as in :func:`run_leaflet_finder`.
 
     Returns
     -------
@@ -527,6 +580,15 @@ def run_leaflet_stream(chunked, cutoff: float, framework: TaskFramework, *,
             return chunked.ingest_chunk(store, index)
         return chunked.load_chunk(index)
 
+    journal = None
+    if checkpoint_dir is not None:
+        fingerprint = run_fingerprint(
+            algorithm="leaflet_stream", cutoff=float(cutoff),
+            path=os.path.abspath(getattr(chunked, "path", "")),
+            n_atoms=n, n_chunks=n_chunks, data_plane=plane,
+            substrate=framework.name, kernel_method=get_kernel_method())
+        journal = RunJournal(checkpoint_dir, fingerprint).open()
+
     state: List[np.ndarray] = []
     totals = None
     start_all = time.perf_counter()
@@ -538,6 +600,8 @@ def run_leaflet_stream(chunked, cutoff: float, framework: TaskFramework, *,
             framework.data_plane = plane
             if owns_store:
                 framework.store = store
+        if journal is not None:
+            framework._active_journal = journal
         for w in range(n_chunks):
             w_start, w_stop = chunked.chunk_range(w)
             pay_w = payload(w)
@@ -551,7 +615,7 @@ def run_leaflet_stream(chunked, cutoff: float, framework: TaskFramework, *,
                     rows=payload(v), cols=pay_w, cutoff=cutoff,
                     partial_components=True))
             map_start = time.perf_counter()
-            partials = framework.map_tasks(_run_task, tasks)
+            partials = _map_leaflet_tasks(framework, tasks)
             map_time += time.perf_counter() - map_start
             reduce_start = time.perf_counter()
             state = merge_component_sets([state, *partials])
@@ -560,6 +624,8 @@ def run_leaflet_stream(chunked, cutoff: float, framework: TaskFramework, *,
             waves += 1
         components = _with_singletons(state, n)
     finally:
+        if journal is not None:
+            framework._active_journal = None
         if override:
             framework.data_plane = configured_plane
             if owns_store:

@@ -15,12 +15,14 @@ exactly the implementations section 4.2 describes.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.engine import get_kernel_method
 from ..analysis.hausdorff import (
     discrete_frechet,
     hausdorff,
@@ -30,6 +32,7 @@ from ..analysis.hausdorff import (
     window_minima,
 )
 from ..frameworks.base import TaskFramework
+from ..frameworks.checkpoint import RunJournal, checkpointed_map, run_fingerprint
 from ..frameworks.serialization import nbytes_of
 from ..frameworks.shm import DATA_PLANES, SharedMemoryStore, maybe_resolve, refs_nbytes
 from ..trajectory.readers import read_trajectory
@@ -42,10 +45,47 @@ __all__ = [
     "PSABlockTask",
     "PSAWindowTask",
     "psa_serial",
+    "psa_block_key",
+    "psa_window_key",
     "run_psa",
     "run_psa_windows",
     "make_psa_tasks",
 ]
+
+
+def psa_block_key(task: PSABlockTask) -> str:
+    """Stable journal key for a PSA block task (matrix-block granularity)."""
+    return f"psa-{task.block.row_start}-{task.block.col_start}"
+
+
+def psa_window_key(task: PSAWindowTask) -> str:
+    """Stable journal key for a streamed PSA window-pair block task."""
+    r0, r1 = task.row_window
+    c0, c1 = task.col_window
+    return (f"psaw-w{r0}-{r1}x{c0}-{c1}"
+            f"-b{task.block.row_start}-{task.block.col_start}")
+
+
+def _ensemble_fingerprint(ensemble, **params) -> str:
+    """Content fingerprint of an ensemble plus run parameters.
+
+    In-memory ensembles hash their position arrays; streaming ensembles
+    are described by member metadata (paths, chunking, frame counts) so
+    fingerprinting never materializes out-of-core data.  The engine-wide
+    kernel method participates so a journal written under one kernel
+    engine is rejected under another.
+    """
+    params.setdefault("kernel_method", get_kernel_method())
+    if hasattr(ensemble, "window_payloads"):
+        members = [
+            (os.path.abspath(member.path), member.n_frames,
+             member.n_atoms, member.frames_per_chunk)
+            for member in ensemble.members
+        ]
+        return run_fingerprint(members=members,
+                               labels=tuple(ensemble.labels), **params)
+    return run_fingerprint(arrays=ensemble.as_arrays(),
+                           labels=tuple(ensemble.labels), **params)
 
 
 def hausdorff_earlybreak_reference(traj_a: np.ndarray, traj_b: np.ndarray) -> float:
@@ -235,11 +275,21 @@ def run_psa(ensemble: TrajectoryEnsemble, framework: TaskFramework,
             metric: str = "hausdorff",
             paths: Sequence[str] | None = None,
             data_plane: str | None = None,
-            window: Tuple[int, int] | None = None) -> Tuple[DistanceMatrix, RunReport]:
+            window: Tuple[int, int] | None = None,
+            checkpoint_dir: str | None = None) -> Tuple[DistanceMatrix, RunReport]:
     """Task-parallel PSA on any framework substrate.
 
     Returns the symmetric distance matrix and a :class:`RunReport` with the
     framework's metrics (task counts, wall time, overhead).
+
+    ``checkpoint_dir`` enables checkpoint/restart: completed distance
+    blocks are journalled there as they finish, and a re-run with the
+    same ensemble, parameters, plane, substrate and kernel engine
+    replays them (``tasks_restored`` / ``restore_seconds`` in the
+    report) and submits only the missing blocks.  A journal written
+    under different inputs raises
+    :class:`~repro.frameworks.checkpoint.StaleJournal` instead of being
+    silently reused.
 
     ``window=(start, stop)`` restricts the analysis to a frame window of
     every member (any metric); on a
@@ -287,7 +337,17 @@ def run_psa(ensemble: TrajectoryEnsemble, framework: TaskFramework,
                                window=window)
         n = ensemble.n_trajectories
         start = time.perf_counter()
-        results = framework.map_tasks(execute_psa_block, tasks)
+        if checkpoint_dir is not None:
+            fingerprint = _ensemble_fingerprint(
+                ensemble, algorithm="psa", metric=metric, data_plane=plane,
+                substrate=framework.name, group_size=group_size,
+                n_tasks_hint=n_tasks, window=window,
+                paths=tuple(paths) if paths is not None else None)
+            journal = RunJournal(checkpoint_dir, fingerprint).open()
+            results = checkpointed_map(framework, execute_psa_block, tasks,
+                                       journal, psa_block_key)
+        else:
+            results = framework.map_tasks(execute_psa_block, tasks)
         wall = time.perf_counter() - start
         # assemble the symmetric matrix from the distance blocks; on the
         # shm plane each block is a zero-copy view of a result segment,
@@ -394,7 +454,8 @@ def run_psa_windows(ensemble, framework: TaskFramework,
                     *, metric: str = "hausdorff_windowed",
                     window_frames: int | None = None,
                     group_size: int | None = None, n_tasks: int | None = None,
-                    data_plane: str | None = None) -> Tuple[DistanceMatrix, RunReport]:
+                    data_plane: str | None = None,
+                    checkpoint_dir: str | None = None) -> Tuple[DistanceMatrix, RunReport]:
     """Streamed PSA: analyze frame windows as chunks arrive, merge minima.
 
     The incremental driver for out-of-core ensembles: windows are
@@ -428,6 +489,12 @@ def run_psa_windows(ensemble, framework: TaskFramework,
         :func:`run_psa`.
     data_plane:
         Override the framework's data plane, as in :func:`run_psa`.
+    checkpoint_dir:
+        Optional journal directory for checkpoint/restart: each
+        window-pair block result is journalled as it completes, and a
+        resumed run replays finished blocks (all waves consult the same
+        journal) and computes only the missing ones, as in
+        :func:`run_psa`.
 
     Returns
     -------
@@ -490,6 +557,14 @@ def run_psa_windows(ensemble, framework: TaskFramework,
             fwd[(i, j)] = np.full(n_frames, np.inf)
             bwd[(i, j)] = np.full(n_frames, np.inf)
 
+    journal = None
+    if checkpoint_dir is not None:
+        fingerprint = _ensemble_fingerprint(
+            ensemble, algorithm="psa_stream", metric=metric, data_plane=plane,
+            substrate=framework.name, group_size=group_size,
+            window_frames=window_frames)
+        journal = RunJournal(checkpoint_dir, fingerprint).open()
+
     totals = None
     start_t = time.perf_counter()
     waves = 0
@@ -516,7 +591,11 @@ def run_psa_windows(ensemble, framework: TaskFramework,
                 for (row_win, row_pay, col_win, col_pay) in wave_pairs
                 for block in blocks
             ]
-            results = framework.map_tasks(execute_psa_window, tasks)
+            if journal is not None:
+                results = checkpointed_map(framework, execute_psa_window,
+                                           tasks, journal, psa_window_key)
+            else:
+                results = framework.map_tasks(execute_psa_window, tasks)
             for result in results:
                 result = np.asarray(result, dtype=np.float64)
                 for row in result.reshape(result.shape[0], -1) if result.size else ():

@@ -16,6 +16,13 @@ surface used by :mod:`repro.core`:
 """
 
 from .base import BroadcastHandle, RunMetrics, TaskFramework
+from .checkpoint import (
+    JournaledTask,
+    RunJournal,
+    StaleJournal,
+    checkpointed_map,
+    run_fingerprint,
+)
 from .cluster import ClusterSpec, local_cluster
 from .executors import (
     ExecutorBase,
@@ -68,6 +75,11 @@ __all__ = [
     "DEFAULT_POLICY",
     "InjectedFault",
     "WorkerLost",
+    "RunJournal",
+    "StaleJournal",
+    "JournaledTask",
+    "checkpointed_map",
+    "run_fingerprint",
     "SparkLiteContext",
     "DaskLiteClient",
     "PilotFramework",

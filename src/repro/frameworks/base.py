@@ -117,6 +117,14 @@ class RunMetrics:
         healing, orphan-segment sweeps and process-pool rebuilds — the
         resilience overhead an experiment subtracts to compare against
         a fault-free run.
+    tasks_speculated / speculation_wins:
+        Straggler mitigation: duplicate attempts launched because a
+        task overran the policy's ``speculation_factor`` threshold, and
+        how many of those duplicates produced the winning result.
+    tasks_restored / restore_seconds:
+        Checkpoint/restart accounting: tasks whose results were
+        replayed from a :class:`~repro.frameworks.checkpoint.RunJournal`
+        instead of re-executed, and the driver time spent replaying.
     events:
         Free-form ``(label, value)`` pairs recorded by substrates
         (e.g. per-stage timings, database round-trips).
@@ -142,6 +150,10 @@ class RunMetrics:
     tasks_retried: int = 0
     tasks_lost: int = 0
     recovery_seconds: float = 0.0
+    tasks_speculated: int = 0
+    speculation_wins: int = 0
+    tasks_restored: int = 0
+    restore_seconds: float = 0.0
     events: List[tuple] = field(default_factory=list)
 
     def record_event(self, label: str, value: Any) -> None:
@@ -173,6 +185,10 @@ class RunMetrics:
             tasks_retried=self.tasks_retried + other.tasks_retried,
             tasks_lost=self.tasks_lost + other.tasks_lost,
             recovery_seconds=self.recovery_seconds + other.recovery_seconds,
+            tasks_speculated=self.tasks_speculated + other.tasks_speculated,
+            speculation_wins=self.speculation_wins + other.speculation_wins,
+            tasks_restored=self.tasks_restored + other.tasks_restored,
+            restore_seconds=self.restore_seconds + other.restore_seconds,
             events=self.events + other.events,
         )
         return merged
@@ -200,6 +216,10 @@ class RunMetrics:
             "tasks_retried": self.tasks_retried,
             "tasks_lost": self.tasks_lost,
             "recovery_seconds": self.recovery_seconds,
+            "tasks_speculated": self.tasks_speculated,
+            "speculation_wins": self.speculation_wins,
+            "tasks_restored": self.tasks_restored,
+            "restore_seconds": self.restore_seconds,
         }
 
 
@@ -533,6 +553,10 @@ class TaskFramework:
                                     + self._fault_counters.tasks_lost)
         self.metrics.recovery_seconds += (self.executor.total_recovery_seconds
                                           + self._fault_counters.recovery_seconds)
+        self.metrics.tasks_speculated += (self.executor.total_tasks_speculated
+                                          + self._fault_counters.tasks_speculated)
+        self.metrics.speculation_wins += (self.executor.total_speculation_wins
+                                          + self._fault_counters.speculation_wins)
         # folded into this operation's metrics: start the next one clean
         self._fault_counters.reset()
 

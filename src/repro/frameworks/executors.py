@@ -75,7 +75,9 @@ from .faults import (
     apply_block_fault,
     clear_heartbeat,
     execute_worker_fault,
+    kill_heartbeat_workers,
     kill_stale_workers,
+    reap_dead_heartbeats,
     simulate_in_process_fault,
     unlink_result_refs,
     write_heartbeat,
@@ -162,6 +164,12 @@ class TaskTiming:
         Driver-observed recovery time attributed to this task: backoff
         pauses, block healing, and (for the task that triggered it) the
         process-pool rebuild after a worker death.
+    speculated : int, optional
+        Speculative duplicate attempts launched because this task
+        straggled past the policy's ``speculation_factor`` threshold.
+    speculation_won : int, optional
+        1 when the recorded result came from a speculative duplicate
+        that beat the original attempt.
 
     Notes
     -----
@@ -181,6 +189,8 @@ class TaskTiming:
     retries: int = 0
     lost: int = 0
     recovery_seconds: float = 0.0
+    speculated: int = 0
+    speculation_won: int = 0
 
     @property
     def duration(self) -> float:
@@ -207,6 +217,10 @@ class ExecutorBase:
     fault_policy: Optional[FaultPolicy] = field(default=None, repr=False)
     fault_injector: Optional[FaultInjector] = field(default=None, repr=False)
     fault_store: Optional[SharedMemoryStore] = field(default=None, repr=False)
+    #: heartbeat files left in ``hb_dir`` at the end of the last pooled
+    #: run (after dead-pid reaping) — the clean-shutdown hygiene
+    #: invariant the chaos suite asserts is that this list is empty
+    last_hb_leftovers: List[str] = field(default_factory=list, repr=False)
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Run ``fn`` over ``items`` and return results in order.
@@ -281,6 +295,16 @@ class ExecutorBase:
         """Driver-observed recovery time spent during the last call."""
         return sum(t.recovery_seconds for t in self.timings)
 
+    @property
+    def total_tasks_speculated(self) -> int:
+        """Speculative duplicate attempts launched during the last call."""
+        return sum(t.speculated for t in self.timings)
+
+    @property
+    def total_speculation_wins(self) -> int:
+        """Speculative duplicates that beat their original (last call)."""
+        return sum(t.speculation_won for t in self.timings)
+
     def _fault_context(self) -> Tuple[FaultPolicy, Optional[FaultInjector],
                                       Optional[SharedMemoryStore]]:
         """The (policy, injector, store) triple the retry loops consult."""
@@ -316,6 +340,7 @@ class ExecutorBase:
         policy, injector, store = self._fault_context()
         retries = lost = 0
         recovery = 0.0
+        speculated = spec_won = 0
         attempt = 0
         while True:
             spec = injector.claim(attempt) if injector is not None else None
@@ -324,12 +349,21 @@ class ExecutorBase:
                 if spec is not None:
                     if spec.is_block_fault:
                         apply_block_fault(spec, store)
+                    elif (spec.kind == "delay"
+                          and policy.speculation_factor is not None):
+                        # in-process straggler simulation: a real pool
+                        # would race a duplicate attempt and take its
+                        # result; here the duplicate "wins" immediately
+                        # instead of sleeping out the injected delay
+                        speculated = spec_won = 1
                     else:
                         simulate_in_process_fault(spec)
                 result = fn(item)
                 return result, TaskTiming(index, start, time.perf_counter(),
                                           retries=retries, lost=lost,
-                                          recovery_seconds=recovery)
+                                          recovery_seconds=recovery,
+                                          speculated=speculated,
+                                          speculation_won=spec_won)
             except Exception as exc:  # noqa: BLE001 - the policy decides
                 if not policy.should_retry(exc, attempt):
                     raise
@@ -467,6 +501,14 @@ class _PooledMapEngine:
       heartbeat files while waiting and SIGKILLs any worker whose
       current task overran the timeout — converting a hang into the
       broken-pool path above;
+    * with ``speculation_factor`` set, a task still in flight after
+      ``speculation_factor * median(completed durations)`` (floored at
+      one heartbeat interval) gets a *duplicate attempt* submitted to a
+      free worker.  The first attempt to return wins and is recorded;
+      the loser's result is discarded (``on_discard``, so published
+      segments never leak), and a loser that never returns — the
+      straggler itself — is SIGKILLed once every result is in, its
+      leftovers reclaimed by the ordinary broken-pool sweep;
     * a result whose blocks cannot be adopted (``on_result`` raises
       :class:`~repro.frameworks.shm.BlockLost`) is treated as lost and
       the task re-executed.
@@ -475,17 +517,20 @@ class _PooledMapEngine:
     in dispatch order; task-side faults ship to the worker inside the
     payload, driver-side block faults are applied at dispatch (or, for
     ``target="result"``, remembered and applied to the returned refs
-    before adoption).
+    before adoption).  Speculative duplicates never touch the injector:
+    the exactly-once injection contract counts real dispatches only.
     """
 
     def __init__(self, owner: "ExecutorBase", worker_fn: Callable[[tuple], tuple],
                  payload_for: Callable[[int, Optional[FaultSpec], Optional[str]], tuple],
                  on_result: Callable[[int, tuple, Optional[FaultSpec], tuple], None],
-                 n_tasks: int) -> None:
+                 n_tasks: int,
+                 on_discard: Optional[Callable[[tuple], None]] = None) -> None:
         self.owner = owner
         self.worker_fn = worker_fn
         self.payload_for = payload_for
         self.on_result = on_result
+        self.on_discard = on_discard
         self.n_tasks = n_tasks
         policy, injector, store = owner._fault_context()
         self.policy = policy
@@ -495,7 +540,13 @@ class _PooledMapEngine:
         self.retries = [0] * n_tasks
         self.lost = [0] * n_tasks
         self.recovery = [0.0] * n_tasks
+        self.speculated = [0] * n_tasks
+        self.spec_won = [0] * n_tasks
         self.result_faults: Dict[int, FaultSpec] = {}
+        self._durations: List[float] = []
+        self._completed: set = set()
+        self._spec_futures: set = set()
+        self._launched: Dict[Any, float] = {}
 
     # ------------------------------------------------------------------ #
     def _fail(self, index: int, exc: BaseException, pending: "deque[int]",
@@ -535,14 +586,16 @@ class _PooledMapEngine:
         return spec
 
     def stats_for(self, index: int) -> tuple:
-        """(retries, lost, recovery_seconds) recorded for one task."""
-        return self.retries[index], self.lost[index], self.recovery[index]
+        """Per-task (retries, lost, recovery_seconds, speculated, wins)."""
+        return (self.retries[index], self.lost[index], self.recovery[index],
+                self.speculated[index], self.spec_won[index])
 
     # ------------------------------------------------------------------ #
     def run(self) -> None:
         """Execute every task to completion (or raise the fatal failure)."""
         hb_dir: Optional[str] = None
-        if self.policy.heartbeat_timeout_s is not None:
+        if (self.policy.heartbeat_timeout_s is not None
+                or self.policy.speculation_factor is not None):
             hb_dir = tempfile.mkdtemp(prefix="repro-hb-")
         pending: "deque[int]" = deque(range(self.n_tasks))
         in_flight: Dict[Any, int] = {}
@@ -552,10 +605,14 @@ class _PooledMapEngine:
                 try:
                     self._pump(pool, pending, in_flight, hb_dir)
                 except _PoolBroke:
-                    pool = self._recover(pool, pending, in_flight)
+                    pool = self._recover(pool, pending, in_flight, hb_dir)
         finally:
             pool.shutdown(wait=True)
             if hb_dir is not None:
+                try:
+                    self.owner.last_hb_leftovers = sorted(os.listdir(hb_dir))
+                except OSError:
+                    self.owner.last_hb_leftovers = []
                 shutil.rmtree(hb_dir, ignore_errors=True)
 
     def _pump(self, pool: ProcessPoolExecutor, pending: "deque[int]",
@@ -578,52 +635,128 @@ class _PooledMapEngine:
                 pending.appendleft(index)
                 raise _PoolBroke() from None
             in_flight[future] = index
+            self._launched[future] = time.monotonic()
         if not in_flight:
             return
+        if (not pending and hb_dir is not None
+                and all(i in self._completed for i in in_flight.values())):
+            # every result is in; the only occupied workers are beaten
+            # straggler attempts.  SIGKILL them (ownership-verified via
+            # the heartbeat files) and let the broken-pool path below
+            # reap, sweep and rebuild with nothing left to resubmit.
+            kill_heartbeat_workers(hb_dir)
         timeout = self.policy.heartbeat_interval_s if hb_dir is not None else None
         done, _ = futures_wait(set(in_flight), timeout=timeout,
                                return_when=FIRST_COMPLETED)
         if not done:
-            if hb_dir is not None:
+            if hb_dir is not None and self.policy.heartbeat_timeout_s is not None:
                 kill_stale_workers(hb_dir, self.policy.heartbeat_timeout_s)
+            self._maybe_speculate(pool, pending, in_flight, hb_dir)
             return
         broke = False
         for future in done:
             index = in_flight.pop(future)
+            was_dup = future in self._spec_futures
+            self._spec_futures.discard(future)
+            self._launched.pop(future, None)
             try:
                 out = future.result()
             except BrokenProcessPool:
                 in_flight[future] = index  # counted lost by the recovery
+                if was_dup:
+                    self._spec_futures.add(future)
                 broke = True
                 continue
             except Exception as exc:  # noqa: BLE001 - policy decides below
+                if index in self._completed:
+                    continue  # a beaten attempt failed; the winner landed
                 self._fail(index, exc, pending)
                 continue
+            if index in self._completed:
+                # the losing attempt of a speculated task finished after
+                # the winner: discard its result (and published segments)
+                if self.on_discard is not None:
+                    self.on_discard(out)
+                continue
+            self._completed.add(index)
+            if was_dup:
+                self.spec_won[index] += 1
+            if self.policy.speculation_factor is not None:
+                self._durations.append(max(0.0, out[3] - out[2]))
             try:
                 self.on_result(index, out, self.result_faults.pop(index, None),
                                self.stats_for(index))
             except BlockLost as exc:
                 # the result's segments vanished before adoption:
                 # re-execute the producing task
+                self._completed.discard(index)
+                if was_dup and self.spec_won[index]:
+                    self.spec_won[index] -= 1
                 self._fail(index, exc, pending)
         if broke:
             raise _PoolBroke()
+        self._maybe_speculate(pool, pending, in_flight, hb_dir)
+
+    def _maybe_speculate(self, pool: ProcessPoolExecutor, pending: "deque[int]",
+                         in_flight: Dict[Any, int],
+                         hb_dir: Optional[str]) -> None:
+        """Launch duplicate attempts for tasks straggling past the threshold.
+
+        The threshold is ``speculation_factor * median(completed task
+        durations)``, floored at one ``heartbeat_interval_s`` so a batch
+        of microsecond tasks cannot trip speculation on dispatch jitter.
+        At most one duplicate per task, only onto genuinely free workers
+        (pending tasks always fill slots first), and never through the
+        injector — duplicates cannot fire or consume injected faults.
+        """
+        factor = self.policy.speculation_factor
+        if factor is None or pending or not self._durations:
+            return
+        ordered = sorted(self._durations)
+        median = ordered[len(ordered) // 2]
+        threshold = factor * max(median, self.policy.heartbeat_interval_s)
+        now = time.monotonic()
+        for future, index in list(in_flight.items()):
+            if len(in_flight) >= self.owner.workers:
+                return
+            if (future in self._spec_futures or self.speculated[index]
+                    or index in self._completed):
+                continue
+            if now - self._launched.get(future, now) <= threshold:
+                continue
+            try:
+                dup = pool.submit(self.worker_fn,
+                                  self.payload_for(index, None, hb_dir))
+            except BrokenProcessPool:
+                return  # the primary's failure handling owns this path
+            in_flight[dup] = index
+            self._launched[dup] = now
+            self._spec_futures.add(dup)
+            self.speculated[index] += 1
 
     def _recover(self, pool: ProcessPoolExecutor, pending: "deque[int]",
-                 in_flight: Dict[Any, int]) -> ProcessPoolExecutor:
+                 in_flight: Dict[Any, int],
+                 hb_dir: Optional[str]) -> ProcessPoolExecutor:
         """Broken-pool path: account lost tasks, sweep, rebuild, resubmit."""
         recover_start = time.perf_counter()
         doomed = sorted(set(in_flight.values()))
         in_flight.clear()
+        self._spec_futures.clear()
+        self._launched.clear()
         pool.shutdown(wait=True)  # reap the dead workers first
         self.owner._after_pool_break()
-        for index in reversed(doomed):
+        if hb_dir is not None:
+            # a SIGKILLed worker never ran its clear_heartbeat; drop the
+            # files of dead/recycled pids so hb_dir ends the run empty
+            reap_dead_heartbeats(hb_dir)
+        alive = [i for i in doomed if i not in self._completed]
+        for index in reversed(alive):
             self._fail(index, WorkerLost(
                 f"worker died while task {index} was in flight"),
                 pending, front=True)
         replacement = ProcessPoolExecutor(max_workers=self.owner.workers)
-        if doomed:
-            self.recovery[doomed[0]] += time.perf_counter() - recover_start
+        if alive:
+            self.recovery[alive[0]] += time.perf_counter() - recover_start
         return replacement
 
 
@@ -670,12 +803,14 @@ class ProcessExecutor(ExecutorBase):
             # result-target block faults act on shm segments; the pickle
             # plane has none, so they are inert here
             results[i] = pickle.loads(out)
-            retries, lost, recovery = stats
+            retries, lost, recovery, speculated, spec_won = stats
             timings[i] = TaskTiming(i, start, stop,
                                     bytes_pickled=len(blobs[i]),
                                     bytes_results_pickled=len(out),
                                     retries=retries, lost=lost,
-                                    recovery_seconds=recovery)
+                                    recovery_seconds=recovery,
+                                    speculated=speculated,
+                                    speculation_won=spec_won)
 
         _PooledMapEngine(self, _timed_call, payload_for, on_result,
                          len(items)).run()
@@ -841,7 +976,7 @@ class SharedMemoryExecutor(ExecutorBase):
             wait0 = self.store.spill_wait_seconds
             hidden0 = self.store.spill_hidden_seconds
             results[i] = adopt_payload(payload, self.store)
-            retries, lost, recovery = stats
+            retries, lost, recovery, speculated, spec_won = stats
             timings[i] = TaskTiming(
                 i, start, stop,
                 bytes_pickled=len(blobs[i]),
@@ -852,10 +987,20 @@ class SharedMemoryExecutor(ExecutorBase):
                 + self.store.spill_wait_seconds - wait0,
                 spill_hidden_seconds=stage_hidden[i]
                 + self.store.spill_hidden_seconds - hidden0,
-                retries=retries, lost=lost, recovery_seconds=recovery)
+                retries=retries, lost=lost, recovery_seconds=recovery,
+                speculated=speculated, speculation_won=spec_won)
+
+        def on_discard(out_tuple: tuple) -> None:
+            # a beaten speculative attempt still published its result
+            # segments (and marked them handed off, so its own crash
+            # cleanup leaves them alone); unlink them here or they leak
+            try:
+                unlink_result_refs(pickle.loads(out_tuple[1]))
+            except Exception:  # noqa: BLE001 - best-effort reclamation
+                pass
 
         _PooledMapEngine(self, _shm_timed_call, payload_for, on_result,
-                         len(items)).run()
+                         len(items), on_discard=on_discard).run()
         self.timings = [t for t in timings if t is not None]
         return results
 

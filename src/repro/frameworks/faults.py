@@ -67,6 +67,9 @@ __all__ = [
     "apply_block_fault",
     "execute_worker_fault",
     "simulate_in_process_fault",
+    "live_heartbeat_pids",
+    "reap_dead_heartbeats",
+    "kill_heartbeat_workers",
 ]
 
 #: Fault kinds understood by :class:`FaultSpec`.
@@ -126,6 +129,23 @@ class FaultPolicy:
         producing task for an unresolvable result block — both count
         into ``tasks_lost``.  ``"raise"``: propagate the
         :class:`~repro.frameworks.shm.BlockLost` immediately.
+    speculation_factor : float, optional
+        Straggler mitigation: a task still running after
+        ``speculation_factor * median(completed task durations)``
+        (floored at one ``heartbeat_interval_s``) gets a duplicate
+        attempt launched on a free worker.  First result wins; the
+        loser is discarded (and its worker SIGKILLed if it never
+        returns), counted into ``tasks_speculated`` /
+        ``speculation_wins``.  ``None`` (default) disables speculation.
+        In-process executors, where a straggler cannot be raced for
+        real, treat an injected ``"delay"`` fault on a speculative
+        policy as a straggler whose duplicate wins immediately — the
+        deterministic simulation the chaos suite asserts against.
+    checkpoint_interval_tasks : int, optional
+        When a :class:`~repro.frameworks.checkpoint.RunJournal` is
+        active, journal every n-th completed task per worker process
+        (default 1: every completion is durable).  Larger intervals
+        trade re-execution after a crash for journal write traffic.
     """
 
     max_retries: int = 2
@@ -135,6 +155,8 @@ class FaultPolicy:
     heartbeat_timeout_s: Optional[float] = None
     heartbeat_interval_s: float = 0.05
     on_lost_block: str = "recover"
+    speculation_factor: Optional[float] = None
+    checkpoint_interval_tasks: int = 1
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -147,6 +169,10 @@ class FaultPolicy:
             raise ValueError("heartbeat_interval_s must be positive")
         if self.on_lost_block not in ("recover", "raise"):
             raise ValueError("on_lost_block must be 'recover' or 'raise'")
+        if self.speculation_factor is not None and self.speculation_factor <= 0:
+            raise ValueError("speculation_factor must be positive")
+        if self.checkpoint_interval_tasks < 1:
+            raise ValueError("checkpoint_interval_tasks must be >= 1")
 
     def should_retry(self, exc: BaseException, attempt: int) -> bool:
         """Whether a task that failed with ``exc`` on ``attempt`` may rerun.
@@ -490,20 +516,29 @@ class FaultCounters:
     recovery_seconds : float
         Driver-observed time spent recovering: backoff pauses, block
         healing, orphan sweeps, and process-pool rebuilds.
+    tasks_speculated : int
+        Speculative duplicate attempts launched against stragglers.
+    speculation_wins : int
+        Speculative duplicates whose result beat the original attempt.
     """
 
     tasks_retried: int = 0
     tasks_lost: int = 0
     recovery_seconds: float = 0.0
+    tasks_speculated: int = 0
+    speculation_wins: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, *, retried: int = 0, lost: int = 0,
-               seconds: float = 0.0) -> None:
-        """Accumulate retry/loss events and recovery time."""
+               seconds: float = 0.0, speculated: int = 0,
+               wins: int = 0) -> None:
+        """Accumulate retry/loss/speculation events and recovery time."""
         with self._lock:
             self.tasks_retried += retried
             self.tasks_lost += lost
             self.recovery_seconds += seconds
+            self.tasks_speculated += speculated
+            self.speculation_wins += wins
 
     def reset(self) -> None:
         """Zero the counters (start of a new operation)."""
@@ -511,6 +546,8 @@ class FaultCounters:
             self.tasks_retried = 0
             self.tasks_lost = 0
             self.recovery_seconds = 0.0
+            self.tasks_speculated = 0
+            self.speculation_wins = 0
 
 
 class RetryingCall:
@@ -558,6 +595,11 @@ class RetryingCall:
                 if spec is not None:
                     if spec.is_block_fault:
                         apply_block_fault(spec, self.store)
+                    elif (spec.kind == "delay"
+                          and self.policy.speculation_factor is not None):
+                        # in-process straggler simulation: the duplicate
+                        # attempt wins immediately instead of sleeping
+                        self.counters.record(speculated=1, wins=1)
                     else:
                         simulate_in_process_fault(spec)
                 return self.fn(item)
@@ -579,14 +621,40 @@ class RetryingCall:
 # --------------------------------------------------------------------------- #
 # heartbeat files (process pools)
 # --------------------------------------------------------------------------- #
+def _process_start_ticks(pid: int) -> Optional[int]:
+    """Kernel start time (clock ticks since boot) of ``pid``, or ``None``.
+
+    Field 22 of ``/proc/<pid>/stat`` uniquely identifies one incarnation
+    of a pid: a recycled pid gets a new start time.  Parsed from after
+    the last ``)`` so executable names containing spaces or parentheses
+    cannot shift the field offsets.  ``None`` on platforms without
+    procfs (the heartbeat machinery then falls back to liveness-only
+    checks, the pre-fix behaviour).
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as fh:
+            data = fh.read()
+        fields = data.rsplit(b")", 1)[1].split()
+        return int(fields[19])  # field 22, counting from the state field
+    except (OSError, IndexError, ValueError):
+        return None
+
+
 def write_heartbeat(hb_dir: Optional[str]) -> None:
-    """Stamp this worker's heartbeat file at task start (worker side)."""
+    """Stamp this worker's heartbeat file at task start (worker side).
+
+    The file is named after the worker's pid and records the wall-clock
+    stamp plus the process *start time* (see :func:`_process_start_ticks`),
+    so the driver can tell this incarnation of the pid from an unrelated
+    process that recycled it after the worker died.
+    """
     if not hb_dir:
         return
     try:
+        ticks = _process_start_ticks(os.getpid())
         path = os.path.join(hb_dir, str(os.getpid()))
         with open(path, "w") as fh:
-            fh.write(repr(time.time()))
+            fh.write(f"{time.time()!r} {'-' if ticks is None else ticks}")
     except OSError:
         pass
 
@@ -601,6 +669,63 @@ def clear_heartbeat(hb_dir: Optional[str]) -> None:
         pass
 
 
+def _heartbeat_ticks(path: str) -> Optional[int]:
+    """Process start-ticks recorded in a heartbeat file, or ``None``."""
+    try:
+        with open(path) as fh:
+            parts = fh.read().split()
+        return int(parts[1])
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def _heartbeat_entries(hb_dir: str) -> List[Tuple[int, str]]:
+    """``(pid, path)`` pairs for the heartbeat files currently in ``hb_dir``."""
+    try:
+        entries = os.listdir(hb_dir)
+    except OSError:
+        return []
+    out: List[Tuple[int, str]] = []
+    for entry in entries:
+        try:
+            pid = int(entry)
+        except ValueError:
+            continue
+        out.append((pid, os.path.join(hb_dir, entry)))
+    return out
+
+
+def _verify_heartbeat_owner(pid: int, path: str) -> bool:
+    """Whether ``pid`` is alive *and* still the process that wrote ``path``.
+
+    Guards against pid reuse: if the pid's current start time differs
+    from the one recorded in the heartbeat file, the worker died and an
+    unrelated process recycled its pid — the file is removed and the pid
+    must never be signalled.  Dead pids also get their file removed
+    (their loss surfaces through the broken pool instead).
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return False
+    except PermissionError:
+        # alive but not ours — certainly not a pool worker we spawned
+        return False
+    recorded = _heartbeat_ticks(path)
+    current = _process_start_ticks(pid)
+    if recorded is not None and current is not None and recorded != current:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return False
+    return True
+
+
 def stale_worker_pids(hb_dir: str, timeout_s: float) -> List[int]:
     """Pids whose current task started more than ``timeout_s`` ago.
 
@@ -608,38 +733,48 @@ def stale_worker_pids(hb_dir: str, timeout_s: float) -> List[int]:
     (written at task start, removed at completion), so a file older than
     the timeout marks a hung worker.  Files of already-dead pids are
     removed rather than reported — their loss surfaces through the
-    broken pool instead.
+    broken pool instead — and a pid recycled by an unrelated process
+    (detected via the recorded process start time) is likewise removed,
+    never reported, so it can never be SIGKILLed by mistake.
     """
     stale: List[int] = []
     now = time.time()
-    try:
-        entries = os.listdir(hb_dir)
-    except OSError:
-        return stale
-    for entry in entries:
-        try:
-            pid = int(entry)
-        except ValueError:
-            continue
-        path = os.path.join(hb_dir, entry)
+    for pid, path in _heartbeat_entries(hb_dir):
         try:
             age = now - os.path.getmtime(path)
         except OSError:
             continue
         if age <= timeout_s:
             continue
-        try:
-            os.kill(pid, 0)
-        except ProcessLookupError:
-            try:
-                os.remove(path)
-            except OSError:
-                pass
-            continue
-        except PermissionError:
+        if not _verify_heartbeat_owner(pid, path):
             continue
         stale.append(pid)
     return stale
+
+
+def live_heartbeat_pids(hb_dir: str) -> List[int]:
+    """Pids with a heartbeat file that verifiably still belongs to them.
+
+    Unlike :func:`stale_worker_pids` there is no age threshold: every
+    worker currently mid-task is returned.  The speculation path uses
+    this to reap straggler workers whose duplicate already won.
+    """
+    return [pid for pid, path in _heartbeat_entries(hb_dir)
+            if _verify_heartbeat_owner(pid, path)]
+
+
+def reap_dead_heartbeats(hb_dir: str) -> List[str]:
+    """Remove heartbeat files of dead or recycled pids; the pids kept.
+
+    Called after pool recovery so a SIGKILLed worker (whose ``finally``
+    never ran) does not leave its heartbeat file behind — the hygiene
+    invariant that ``hb_dir`` is empty after a successful run.
+    """
+    kept: List[str] = []
+    for pid, path in _heartbeat_entries(hb_dir):
+        if _verify_heartbeat_owner(pid, path):
+            kept.append(str(pid))
+    return kept
 
 
 def kill_stale_workers(hb_dir: str, timeout_s: float) -> Sequence[int]:
@@ -651,6 +786,25 @@ def kill_stale_workers(hb_dir: str, timeout_s: float) -> Sequence[int]:
     """
     killed: List[int] = []
     for pid in stale_worker_pids(hb_dir, timeout_s):
+        try:
+            os.kill(pid, signal.SIGKILL)
+            killed.append(pid)
+        except OSError:
+            pass
+    return killed
+
+
+def kill_heartbeat_workers(hb_dir: str) -> Sequence[int]:
+    """SIGKILL every worker currently mid-task; the pids killed.
+
+    The speculation path calls this when all results are in but a
+    beaten straggler still occupies a worker: the kill breaks the pool,
+    whose standard recovery (orphan sweep, rebuild) then runs with no
+    tasks left to resubmit.  Ownership is verified exactly as in
+    :func:`stale_worker_pids`, so a recycled pid is never signalled.
+    """
+    killed: List[int] = []
+    for pid in live_heartbeat_pids(hb_dir):
         try:
             os.kill(pid, signal.SIGKILL)
             killed.append(pid)

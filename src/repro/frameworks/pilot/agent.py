@@ -37,6 +37,8 @@ class AgentStats:
     tasks_retried: int = 0
     tasks_lost: int = 0
     recovery_seconds: float = 0.0
+    tasks_speculated: int = 0
+    speculation_wins: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view for metric events."""
@@ -48,6 +50,8 @@ class AgentStats:
             "tasks_retried": self.tasks_retried,
             "tasks_lost": self.tasks_lost,
             "recovery_seconds": self.recovery_seconds,
+            "tasks_speculated": self.tasks_speculated,
+            "speculation_wins": self.speculation_wins,
         }
 
 
@@ -112,6 +116,8 @@ class PilotAgent:
             self.stats.tasks_retried += self.executor.total_tasks_retried
             self.stats.tasks_lost += self.executor.total_tasks_lost
             self.stats.recovery_seconds += self.executor.total_recovery_seconds
+            self.stats.tasks_speculated += self.executor.total_tasks_speculated
+            self.stats.speculation_wins += self.executor.total_speculation_wins
             final_states: Dict[str, dict] = {}
             for unit, (ok, payload) in zip(batch_units, outcomes):
                 if ok:

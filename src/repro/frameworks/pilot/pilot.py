@@ -249,6 +249,8 @@ class PilotFramework(TaskFramework):
         base_retried = stats.tasks_retried
         base_lost = stats.tasks_lost
         base_recovery = stats.recovery_seconds
+        base_speculated = stats.tasks_speculated
+        base_wins = stats.speculation_wins
         units = list(self.unit_manager.submit_units(descriptions))
         self.unit_manager.wait_units(units)
         self._reschedule_failed_units(units)
@@ -260,7 +262,11 @@ class PilotFramework(TaskFramework):
                      - self.executor.total_tasks_retried),
             lost=(stats.tasks_lost - base_lost - self.executor.total_tasks_lost),
             seconds=(stats.recovery_seconds - base_recovery
-                     - self.executor.total_recovery_seconds))
+                     - self.executor.total_recovery_seconds),
+            speculated=(stats.tasks_speculated - base_speculated
+                        - self.executor.total_tasks_speculated),
+            wins=(stats.speculation_wins - base_wins
+                  - self.executor.total_speculation_wins))
         failed = [u for u in units if u.state == UnitState.FAILED]
         if failed:
             raise failed[0].exception  # surface the first task failure

@@ -107,6 +107,7 @@ __all__ = [
     "ResolvingTask",
     "sweep_orphan_segments",
     "unlink_segment_by_name",
+    "array_digest",
 ]
 
 #: Valid values for the ``data_plane`` option on frameworks and the public API.
@@ -1617,6 +1618,27 @@ class FileBackedStore:
             pass
 
     close = cleanup
+
+
+def array_digest(array: np.ndarray) -> str:
+    """Content fingerprint of an array: sha256 over dtype, shape and bytes.
+
+    The dedup/identity primitive shared by the block registry (healing a
+    spilled block re-verifies its source) and the checkpoint layer
+    (:class:`~repro.frameworks.checkpoint.RunJournal` fingerprints the
+    input ensemble so a journal written for different data is rejected,
+    never silently reused).  Two arrays digest equal iff they are
+    elementwise identical with the same dtype and shape.
+    """
+    import hashlib
+
+    data = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(data.dtype.str).encode())
+    digest.update(repr(tuple(data.shape)).encode())
+    if data.nbytes:
+        digest.update(data.data)
+    return digest.hexdigest()
 
 
 # --------------------------------------------------------------------------- #

@@ -193,6 +193,65 @@ class KernelCosts:
         backoff_total = sum(backoff_s * backoff_factor ** n for n in range(retries))
         return retries * (task_seconds + redispatch_s) + backoff_total
 
+    def restore_cost(self, nbytes: int, n_entries: int = 1,
+                     verify_s_per_entry: float = 1.0e-4) -> float:
+        """Replaying ``n_entries`` journalled task results from disk.
+
+        Checkpoint/restart (:mod:`repro.frameworks.checkpoint`) turns a
+        driver crash into a journal replay instead of a full recompute:
+        the resumed run reads the entry blocks back at the spill tier's
+        bandwidth and pays a small per-entry cost for the sidecar parse
+        and checksum verification.  A resume is profitable whenever this
+        is smaller than re-executing the journalled tasks — the
+        ``resume cost < 0.5 x recompute`` gate the recovery benchmark
+        enforces.
+
+        Parameters
+        ----------
+        nbytes : int
+            Total bytes of journalled result blocks replayed.
+        n_entries : int, optional
+            Number of journal entries (one per completed task).
+        verify_s_per_entry : float, optional
+            Per-entry sidecar parse + checksum cost.
+        """
+        if nbytes < 0 or n_entries < 0 or verify_s_per_entry < 0:
+            raise ValueError("restore_cost arguments must be non-negative")
+        return nbytes / self.rates.spill_bandwidth + n_entries * verify_s_per_entry
+
+    def speculation_overhead(self, task_seconds: float,
+                             straggler_seconds: float,
+                             speculation_factor: float = 3.0,
+                             redispatch_s: float = 0.0) -> float:
+        """Critical-path cost of a straggler with speculative re-execution.
+
+        Without speculation a straggling task holds the run open for its
+        full ``straggler_seconds``.  With speculation the engine waits
+        ``speculation_factor x median(task duration)`` before launching a
+        duplicate attempt on a free worker; the straggler's tail is then
+        bounded by that threshold plus one normal execution (the
+        duplicate), never by the straggler itself.  Returns the modeled
+        completion time of the straggling task, i.e.
+        ``min(straggler, threshold + redispatch + task)``.
+
+        Parameters
+        ----------
+        task_seconds : float
+            Median runtime of a healthy attempt.
+        straggler_seconds : float
+            Runtime the straggling attempt would need.
+        speculation_factor : float, optional
+            The policy's duplicate-launch threshold multiplier.
+        redispatch_s : float, optional
+            Scheduling cost of submitting the duplicate.
+        """
+        if task_seconds < 0 or straggler_seconds < 0 or redispatch_s < 0:
+            raise ValueError("speculation_overhead arguments must be non-negative")
+        if speculation_factor <= 0:
+            raise ValueError("speculation_factor must be positive")
+        duplicate_path = speculation_factor * task_seconds + redispatch_s + task_seconds
+        return min(straggler_seconds, duplicate_path)
+
     # ------------------------------------------------------------------ #
     def cdist_block(self, n_rows: int, n_cols: int) -> float:
         """A dense pairwise-distance block (Leaflet Finder approaches 1-3)."""

@@ -27,14 +27,18 @@ run continues fault-free and re-runs are reproducible.
 from __future__ import annotations
 
 import os
+import tempfile
 import threading
 import time
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core.api import leaflet_finder, psa
 from repro.frameworks import make_framework
+from repro.frameworks.checkpoint import StaleJournal
 from repro.frameworks.executors import ProcessExecutor, SharedMemoryExecutor
 from repro.frameworks.faults import (
     BlockLost,
@@ -44,6 +48,11 @@ from repro.frameworks.faults import (
     InjectedFault,
     WorkerLost,
     as_injector,
+    clear_heartbeat,
+    live_heartbeat_pids,
+    reap_dead_heartbeats,
+    stale_worker_pids,
+    write_heartbeat,
 )
 from repro.frameworks.shm import (
     PUBLISH_PREFIX,
@@ -91,6 +100,12 @@ def chaos_bilayer():
 
 
 def square(x):
+    return x * x
+
+
+def slow_square(x):
+    """A task long enough for the speculation median to be meaningful."""
+    time.sleep(0.05)
     return x * x
 
 
@@ -672,3 +687,289 @@ class TestResilienceMetrics:
             assert ex.timings[0].retries == 0
         finally:
             ex.shutdown()
+
+    def test_metrics_carry_checkpoint_and_speculation_fields(self):
+        from repro.frameworks.base import RunMetrics
+
+        a = RunMetrics(tasks_speculated=1, speculation_wins=1,
+                       tasks_restored=4, restore_seconds=0.1)
+        b = RunMetrics(tasks_speculated=2, speculation_wins=0,
+                       tasks_restored=1, restore_seconds=0.2)
+        merged = a.merge(b)
+        assert merged.tasks_speculated == 3
+        assert merged.speculation_wins == 1
+        assert merged.tasks_restored == 5
+        assert merged.restore_seconds == pytest.approx(0.3)
+        for key in ("tasks_speculated", "speculation_wins",
+                    "tasks_restored", "restore_seconds"):
+            assert key in merged.as_dict()
+
+
+# --------------------------------------------------------------------------- #
+# checkpoint/restart of whole runs
+# --------------------------------------------------------------------------- #
+class TestCheckpointResume:
+    """Driver-kill → resume: bit-identical output, only missing blocks run."""
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    @pytest.mark.parametrize("name", FRAMEWORK_NAMES)
+    def test_killed_run_resumes_bit_identical(self, name, plane, chaos_ensemble,
+                                              reference_matrix, tmp_path):
+        ckpt = tmp_path / "journal"
+        # a fatal fault (no policy) at dispatch 2: tasks 0 and 1 are
+        # journalled before the driver dies (mpilite wraps the injected
+        # fault in its SPMDError, so match by message)
+        with pytest.raises(Exception, match="injected fault"):
+            psa(chaos_ensemble, name, executor="serial", data_plane=plane,
+                checkpoint_dir=str(ckpt), faults=FaultSpec("raise", at_task=2))
+        assert len(list(ckpt.glob("e-*.json"))) == 2
+        matrix, report = psa(chaos_ensemble, name, executor="serial",
+                             data_plane=plane, checkpoint_dir=str(ckpt))
+        assert np.array_equal(matrix.values, reference_matrix)
+        assert report.metrics.tasks_restored == 2
+        assert report.metrics.restore_seconds > 0.0
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    @pytest.mark.parametrize("name", FRAMEWORK_NAMES)
+    def test_killed_leaflet_run_resumes(self, name, plane, chaos_bilayer,
+                                        tmp_path):
+        positions, expected_sizes = chaos_bilayer
+        ckpt = tmp_path / "journal"
+        with pytest.raises(Exception, match="injected fault"):
+            leaflet_finder(positions, name, executor="serial", data_plane=plane,
+                           approach="tree-search", n_tasks=6,
+                           checkpoint_dir=str(ckpt),
+                           faults=FaultSpec("raise", at_task=2))
+        assert len(list(ckpt.glob("e-*.json"))) == 2
+        result, report = leaflet_finder(positions, name, executor="serial",
+                                        data_plane=plane,
+                                        approach="tree-search", n_tasks=6,
+                                        checkpoint_dir=str(ckpt))
+        assert result.sizes == expected_sizes
+        assert report.metrics.tasks_restored == 2
+
+    def test_completed_run_restores_everything(self, chaos_ensemble,
+                                               reference_matrix, tmp_path):
+        ckpt = str(tmp_path / "journal")
+        _, first = psa(chaos_ensemble, "dasklite", executor="serial",
+                       checkpoint_dir=ckpt)
+        assert first.metrics.tasks_restored == 0
+        matrix, report = psa(chaos_ensemble, "dasklite", executor="serial",
+                             checkpoint_dir=ckpt)
+        assert np.array_equal(matrix.values, reference_matrix)
+        assert report.metrics.tasks_restored == first.n_tasks
+        assert report.metrics.tasks_submitted == 0
+
+    def test_stale_journal_rejected_not_reused(self, chaos_ensemble, tmp_path):
+        ckpt = str(tmp_path / "journal")
+        psa(chaos_ensemble, "dasklite", executor="serial", checkpoint_dir=ckpt)
+        # a different metric is a different run: loud rejection
+        with pytest.raises(StaleJournal):
+            psa(chaos_ensemble, "dasklite", executor="serial",
+                metric="frechet", checkpoint_dir=ckpt)
+        # so is a different ensemble under the same parameters
+        other = make_clustered_ensemble(EnsembleSpec(
+            n_trajectories=5, n_frames=8, n_atoms=16, n_clusters=2, seed=43))
+        with pytest.raises(StaleJournal):
+            psa(other, "dasklite", executor="serial", checkpoint_dir=ckpt)
+        # and a different substrate or plane
+        with pytest.raises(StaleJournal):
+            psa(chaos_ensemble, "mpilite", executor="serial",
+                checkpoint_dir=ckpt)
+        with pytest.raises(StaleJournal):
+            psa(chaos_ensemble, "dasklite", executor="serial",
+                data_plane="shm", checkpoint_dir=ckpt)
+
+    def test_corrupt_entry_is_recomputed(self, chaos_ensemble,
+                                         reference_matrix, tmp_path):
+        ckpt = tmp_path / "journal"
+        psa(chaos_ensemble, "dasklite", executor="serial",
+            checkpoint_dir=str(ckpt))
+        blocks = sorted(ckpt.glob("e-*.blk"))
+        n_entries = len(blocks)
+        blocks[0].write_bytes(b"\x00garbage\x00")
+        matrix, report = psa(chaos_ensemble, "dasklite", executor="serial",
+                             checkpoint_dir=str(ckpt))
+        assert np.array_equal(matrix.values, reference_matrix)
+        assert report.metrics.tasks_restored == n_entries - 1
+        # the recomputed entry was re-journalled
+        assert len(list(ckpt.glob("e-*.json"))) == n_entries
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(crash_at=st.integers(min_value=0, max_value=5))
+    def test_resume_after_crash_at_any_index(self, crash_at, chaos_ensemble,
+                                             reference_matrix):
+        # group_size=2 over 5 trajectories -> exactly 6 block tasks
+        with tempfile.TemporaryDirectory() as d:
+            ckpt = os.path.join(d, "journal")
+            with pytest.raises(InjectedFault):
+                psa(chaos_ensemble, "dasklite", executor="serial",
+                    group_size=2, checkpoint_dir=ckpt,
+                    faults=FaultSpec("raise", at_task=crash_at))
+            matrix, report = psa(chaos_ensemble, "dasklite", executor="serial",
+                                 group_size=2, checkpoint_dir=ckpt)
+            assert np.array_equal(matrix.values, reference_matrix)
+            assert report.metrics.tasks_restored == crash_at
+
+    def test_checkpoint_interval_thins_the_journal(self, chaos_ensemble,
+                                                   reference_matrix, tmp_path):
+        ckpt = tmp_path / "journal"
+        psa(chaos_ensemble, "dasklite", executor="serial", group_size=2,
+            fault_policy=FaultPolicy(checkpoint_interval_tasks=2),
+            checkpoint_dir=str(ckpt))
+        n_entries = len(list(ckpt.glob("e-*.json")))
+        assert 0 < n_entries < 6  # every 2nd of the 6 completions
+        matrix, report = psa(chaos_ensemble, "dasklite", executor="serial",
+                             group_size=2, checkpoint_dir=str(ckpt))
+        assert np.array_equal(matrix.values, reference_matrix)
+        assert report.metrics.tasks_restored == n_entries
+
+    def test_faulted_task_is_not_journalled(self, chaos_ensemble, tmp_path):
+        """A task that dies mid-run must not leave a journal entry: the
+        journal records completions, so resume counts stay exact."""
+        ckpt = tmp_path / "journal"
+        matrix, report = psa(chaos_ensemble, "dasklite", executor="serial",
+                             group_size=2, checkpoint_dir=str(ckpt),
+                             fault_policy=FaultPolicy(),
+                             faults=FaultSpec("raise", at_task=1))
+        assert report.metrics.tasks_retried == 1
+        # all six completed (one after retry): all six journalled
+        assert len(list(ckpt.glob("e-*.json"))) == 6
+
+
+# --------------------------------------------------------------------------- #
+# heartbeat-driven speculative re-execution
+# --------------------------------------------------------------------------- #
+class TestSpeculation:
+    """A straggler triggers exactly one duplicate; first result wins."""
+
+    def test_new_policy_knobs_validate(self):
+        with pytest.raises(ValueError, match="speculation_factor"):
+            FaultPolicy(speculation_factor=0.0)
+        with pytest.raises(ValueError, match="speculation_factor"):
+            FaultPolicy(speculation_factor=-1.0)
+        with pytest.raises(ValueError, match="checkpoint_interval_tasks"):
+            FaultPolicy(checkpoint_interval_tasks=0)
+        assert FaultPolicy().speculation_factor is None
+        assert FaultPolicy().checkpoint_interval_tasks == 1
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    @pytest.mark.parametrize("name", FRAMEWORK_NAMES)
+    def test_straggler_speculated_exactly_once(self, name, plane,
+                                               chaos_ensemble,
+                                               reference_matrix, tmp_path):
+        start = time.monotonic()
+        matrix, report = psa(
+            chaos_ensemble, name, executor="serial", data_plane=plane,
+            spill_dir=str(tmp_path),
+            fault_policy=FaultPolicy(speculation_factor=2.0),
+            faults=FaultSpec("delay", at_task=2, delay_s=60.0))
+        assert np.array_equal(matrix.values, reference_matrix)
+        assert report.metrics.tasks_speculated == 1
+        assert report.metrics.speculation_wins == 1
+        assert time.monotonic() - start < 30.0  # nowhere near the 60s straggle
+
+    def test_fault_free_run_speculates_nothing(self, chaos_ensemble):
+        _, report = psa(chaos_ensemble, "dasklite", executor="serial",
+                        fault_policy=FaultPolicy(speculation_factor=2.0))
+        assert report.metrics.tasks_speculated == 0
+        assert report.metrics.speculation_wins == 0
+
+    @pytest.mark.parametrize("cls", [ProcessExecutor, SharedMemoryExecutor])
+    def test_real_pool_duplicate_beats_straggler(self, cls):
+        """The pooled engine launches one duplicate on a free worker, takes
+        its result, and SIGKILLs the beaten straggler."""
+        start = time.monotonic()
+        ex = cls(workers=2,
+                 fault_policy=FaultPolicy(speculation_factor=3.0),
+                 fault_injector=FaultInjector(
+                     FaultSpec("delay", at_task=1, delay_s=60.0)))
+        try:
+            results = ex.map_tasks(slow_square, list(range(6)))
+            assert results == [x * x for x in range(6)]
+            assert ex.total_tasks_speculated == 1
+            assert ex.total_speculation_wins == 1
+            assert time.monotonic() - start < 30.0
+            assert ex.last_hb_leftovers == []  # straggler's heartbeat reaped
+        finally:
+            ex.shutdown()
+
+    def test_shm_pool_speculation_leaks_no_segments(self):
+        before = shm_entries()
+        ex = SharedMemoryExecutor(
+            workers=2, fault_policy=FaultPolicy(speculation_factor=3.0),
+            fault_injector=FaultInjector(
+                FaultSpec("delay", at_task=1, delay_s=60.0)))
+        try:
+            results = ex.map_tasks(make_block, list(range(6)))
+            for i, block in enumerate(results):
+                assert np.array_equal(block, make_block(i))
+            assert ex.total_tasks_speculated == 1
+        finally:
+            ex.shutdown()
+        assert shm_entries() == before
+
+
+# --------------------------------------------------------------------------- #
+# heartbeat hygiene and the pid-reuse race
+# --------------------------------------------------------------------------- #
+class TestHeartbeatHygiene:
+    def test_hb_dir_empty_after_clean_run(self):
+        ex = SharedMemoryExecutor(
+            workers=2, fault_policy=FaultPolicy(heartbeat_timeout_s=5.0))
+        try:
+            assert ex.map_tasks(square, list(range(8))) == \
+                [x * x for x in range(8)]
+            assert ex.last_hb_leftovers == []
+        finally:
+            ex.shutdown()
+
+    def test_live_heartbeat_round_trip(self, tmp_path):
+        write_heartbeat(str(tmp_path))
+        assert live_heartbeat_pids(str(tmp_path)) == [os.getpid()]
+        assert reap_dead_heartbeats(str(tmp_path)) == [str(os.getpid())]
+        clear_heartbeat(str(tmp_path))
+        assert live_heartbeat_pids(str(tmp_path)) == []
+        assert os.listdir(tmp_path) == []
+
+    def test_recycled_pid_is_never_signalled(self, tmp_path):
+        """The pid-reuse race: a heartbeat file whose recorded process
+        start time does not match the pid's current incarnation marks a
+        dead worker whose pid was recycled — it must be skipped (never
+        SIGKILLed) and its file removed."""
+        pid = os.getpid()
+        path = tmp_path / str(pid)
+        # ticks=1 is ~10ms after boot: no live process matches it
+        path.write_text("1.0 1")
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        assert stale_worker_pids(str(tmp_path), timeout_s=1.0) == []
+        assert not path.exists()
+
+    def test_dead_pid_heartbeat_is_reaped(self, tmp_path):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(target=int)
+        proc.start()
+        dead_pid = proc.pid
+        proc.join()
+        path = tmp_path / str(dead_pid)
+        path.write_text("1.0 123")
+        assert reap_dead_heartbeats(str(tmp_path)) == []
+        assert not path.exists()
+        assert stale_worker_pids(str(tmp_path), timeout_s=0.0) == []
+
+    def test_own_heartbeat_survives_verification(self, tmp_path):
+        """A live worker with matching start ticks is reported stale when
+        old enough — the verification only filters recycled/dead pids."""
+        write_heartbeat(str(tmp_path))
+        path = tmp_path / str(os.getpid())
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        try:
+            assert stale_worker_pids(str(tmp_path), timeout_s=60.0) == \
+                [os.getpid()]
+        finally:
+            clear_heartbeat(str(tmp_path))
