@@ -125,6 +125,21 @@ class RunMetrics:
         Checkpoint/restart accounting: tasks whose results were
         replayed from a :class:`~repro.frameworks.checkpoint.RunJournal`
         instead of re-executed, and the driver time spent replaying.
+    tasks_local / tasks_remote:
+        Placement accounting (non-zero only with
+        ``FaultPolicy.locality``): tasks the locality scheduler placed
+        on a lane whose resident set covered every spilled input block
+        (*local*) vs tasks that had to pay at least one cold spill read
+        (*remote*).  A task with no spilled inputs counts local, so
+        ``tasks_local + tasks_remote`` equals the tasks placed.
+    bytes_spill_reads_avoided:
+        Spilled-block bytes that affinity placement found already
+        mapped on the chosen worker — cold disk reads the run did not
+        pay.
+    prefetch_hints_dropped:
+        Prefetch hints discarded because the hint queue was full
+        (observability for tuning prefetch depth vs
+        ``spill_queue_depth``).
     events:
         Free-form ``(label, value)`` pairs recorded by substrates
         (e.g. per-stage timings, database round-trips).
@@ -154,6 +169,10 @@ class RunMetrics:
     speculation_wins: int = 0
     tasks_restored: int = 0
     restore_seconds: float = 0.0
+    tasks_local: int = 0
+    tasks_remote: int = 0
+    bytes_spill_reads_avoided: int = 0
+    prefetch_hints_dropped: int = 0
     events: List[tuple] = field(default_factory=list)
 
     def record_event(self, label: str, value: Any) -> None:
@@ -189,6 +208,12 @@ class RunMetrics:
             speculation_wins=self.speculation_wins + other.speculation_wins,
             tasks_restored=self.tasks_restored + other.tasks_restored,
             restore_seconds=self.restore_seconds + other.restore_seconds,
+            tasks_local=self.tasks_local + other.tasks_local,
+            tasks_remote=self.tasks_remote + other.tasks_remote,
+            bytes_spill_reads_avoided=self.bytes_spill_reads_avoided
+            + other.bytes_spill_reads_avoided,
+            prefetch_hints_dropped=self.prefetch_hints_dropped
+            + other.prefetch_hints_dropped,
             events=self.events + other.events,
         )
         return merged
@@ -220,6 +245,10 @@ class RunMetrics:
             "speculation_wins": self.speculation_wins,
             "tasks_restored": self.tasks_restored,
             "restore_seconds": self.restore_seconds,
+            "tasks_local": self.tasks_local,
+            "tasks_remote": self.tasks_remote,
+            "bytes_spill_reads_avoided": self.bytes_spill_reads_avoided,
+            "prefetch_hints_dropped": self.prefetch_hints_dropped,
         }
 
 
@@ -557,6 +586,16 @@ class TaskFramework:
                                           + self._fault_counters.tasks_speculated)
         self.metrics.speculation_wins += (self.executor.total_speculation_wins
                                           + self._fault_counters.speculation_wins)
+        self.metrics.tasks_local += (self.executor.total_tasks_local
+                                     + self._fault_counters.tasks_local)
+        self.metrics.tasks_remote += (self.executor.total_tasks_remote
+                                      + self._fault_counters.tasks_remote)
+        self.metrics.bytes_spill_reads_avoided += (
+            self.executor.total_bytes_spill_reads_avoided
+            + self._fault_counters.bytes_spill_reads_avoided)
+        self.metrics.prefetch_hints_dropped += (
+            self.executor.total_prefetch_hints_dropped
+            + self._fault_counters.prefetch_hints_dropped)
         # folded into this operation's metrics: start the next one clean
         self._fault_counters.reset()
 

@@ -35,15 +35,30 @@ Every executor honours an optional
 :class:`~repro.frameworks.faults.FaultPolicy` (plus a deterministic
 :class:`~repro.frameworks.faults.FaultInjector` for chaos testing).
 The in-process executors retry failing tasks in place; the process-pool
-executors run a full recovery loop: tasks are fed to the pool with at
-most ``workers`` in flight, a worker death (detected by the pool's
-broken sentinel, or by the driver killing a worker whose heartbeat went
-stale) marks the in-flight tasks lost, the orphaned result segments of
-the dead worker are swept, the pool is rebuilt, and the lost tasks are
-resubmitted — so one killed worker costs one task re-execution instead
-of the whole run.  Per-task ``retries`` / ``lost`` /
+executors run a full recovery loop: tasks are fed to a set of
+single-slot *worker lanes* (one single-process pool per worker, so the
+driver chooses which worker runs which task), a worker death (detected
+by its lane's broken sentinel, or by the driver killing a worker whose
+heartbeat went stale) marks that lane's in-flight task lost, the
+orphaned result segments of the dead worker are swept, the lane is
+rebuilt, and the lost task is resubmitted — the other lanes keep
+executing throughout, so one killed worker costs one task re-execution
+instead of the whole run.  Per-task ``retries`` / ``lost`` /
 ``recovery_seconds`` land in the :class:`TaskTiming` records and roll
 up into :class:`~repro.frameworks.base.RunMetrics`.
+
+Locality-aware placement
+------------------------
+With ``FaultPolicy.locality`` set, the lane layer additionally routes
+tasks by data affinity: workers report the block names they hold
+resident (piggybacked on the heartbeat directory), the driver scores
+pending tasks against each free lane's resident set, and a task whose
+input blocks *spilled* is steered to the lane that still has them
+mapped instead of paying a cold disk read on an arbitrary worker — with
+bounded delay scheduling so affinity never idles a lane (see
+:mod:`repro.frameworks.locality`).  Placement lands in ``tasks_local``
+/ ``tasks_remote`` and the steered-around reads in
+``bytes_spill_reads_avoided``.
 """
 
 from __future__ import annotations
@@ -65,8 +80,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..bench.stats import median as _median
 from .faults import (
     NO_RETRIES,
+    RESIDENT_PREFIX,
     BlockLost,
     FaultInjector,
     FaultPolicy,
@@ -77,15 +94,22 @@ from .faults import (
     execute_worker_fault,
     kill_heartbeat_workers,
     kill_stale_workers,
+    read_resident_set,
     reap_dead_heartbeats,
+    report_resident_set,
     simulate_in_process_fault,
     unlink_result_refs,
     write_heartbeat,
 )
+from .locality import LocalityScheduler, TaskBlocks
 from .shm import (
+    BlockRef,
     SharedMemoryStore,
     adopt_payload,
+    collect_refs,
     mark_handed_off,
+    prefetch_hints_dropped,
+    prefetch_refs,
     publish_payload,
     refs_nbytes,
     resolve_payload,
@@ -170,6 +194,22 @@ class TaskTiming:
     speculation_won : int, optional
         1 when the recorded result came from a speculative duplicate
         that beat the original attempt.
+    placed_local : int, optional
+        1 when locality-aware placement ran this task on a lane whose
+        resident set covered every spilled input block (no cold disk
+        read required; tasks without spilled inputs count local too).
+    placed_remote : int, optional
+        1 when the task was placed despite uncovered spilled inputs —
+        the first toucher of a cold block, or a steal after the
+        delay-scheduling bound expired.
+    bytes_spill_reads_avoided : int, optional
+        Spilled-block bytes this task found already mapped on its
+        chosen lane instead of reading them cold from disk.
+    prefetch_hints_dropped : int, optional
+        Read-ahead hints dropped on a full prefetch queue while
+        dispatching or executing this task (driver- and worker-side
+        drops combined) — the observable for tuning the prefetch depth
+        against ``spill_queue_depth``.
 
     Notes
     -----
@@ -191,6 +231,10 @@ class TaskTiming:
     recovery_seconds: float = 0.0
     speculated: int = 0
     speculation_won: int = 0
+    placed_local: int = 0
+    placed_remote: int = 0
+    bytes_spill_reads_avoided: int = 0
+    prefetch_hints_dropped: int = 0
 
     @property
     def duration(self) -> float:
@@ -304,6 +348,26 @@ class ExecutorBase:
     def total_speculation_wins(self) -> int:
         """Speculative duplicates that beat their original (last call)."""
         return sum(t.speculation_won for t in self.timings)
+
+    @property
+    def total_tasks_local(self) -> int:
+        """Tasks placed with full spilled-input coverage (last call)."""
+        return sum(t.placed_local for t in self.timings)
+
+    @property
+    def total_tasks_remote(self) -> int:
+        """Tasks placed despite uncovered spilled inputs (last call)."""
+        return sum(t.placed_remote for t in self.timings)
+
+    @property
+    def total_bytes_spill_reads_avoided(self) -> int:
+        """Cold disk reads locality placement steered around (last call)."""
+        return sum(t.bytes_spill_reads_avoided for t in self.timings)
+
+    @property
+    def total_prefetch_hints_dropped(self) -> int:
+        """Read-ahead hints dropped on a full queue (last call)."""
+        return sum(t.prefetch_hints_dropped for t in self.timings)
 
     def _fault_context(self) -> Tuple[FaultPolicy, Optional[FaultInjector],
                                       Optional[SharedMemoryStore]]:
@@ -459,10 +523,18 @@ def _timed_call(payload: tuple) -> tuple:
 
     ``spec`` carries a claimed task-side fault to execute here (a real
     SIGKILL for ``kill_worker``), and ``hb_dir`` the heartbeat directory
-    this worker stamps for the driver's hung-worker monitor.
+    this worker stamps for the driver's hung-worker monitor and reports
+    its resident block set into for locality-aware placement.
+
+    Both pool shims return the same 7-tuple ``(index, out, start, stop,
+    bytes_shared, pid, prefetch_drops)``: the pid keys the worker's
+    resident-set report to its lane driver-side, and ``prefetch_drops``
+    is the worker-local delta of read-ahead hints dropped while this
+    task ran.
     """
     index, fn, blob, spec, hb_dir = payload
     write_heartbeat(hb_dir)
+    drops_before = prefetch_hints_dropped()
     try:
         if spec is not None:
             execute_worker_fault(spec)
@@ -473,45 +545,116 @@ def _timed_call(payload: tuple) -> tuple:
         if (spec is not None and spec.kind == "kill_worker"
                 and spec.when == "after_publish"):
             os.kill(os.getpid(), signal.SIGKILL)
-        return index, out, start, stop
+        report_resident_set(hb_dir)
+        return (index, out, start, stop, 0, os.getpid(),
+                prefetch_hints_dropped() - drops_before)
     finally:
         clear_heartbeat(hb_dir)
 
 
-class _PoolBroke(Exception):
-    """Internal: the process pool died under the current in-flight set."""
+def _speculation_threshold(durations: Sequence[float],
+                           policy: FaultPolicy) -> float:
+    """Straggler cutoff: ``factor × median(durations)``, floored at one
+    heartbeat interval so a batch of microsecond tasks cannot trip
+    speculation on dispatch jitter.
+
+    Uses the statistically honest :func:`repro.bench.stats.median`
+    (midpoint average on even counts) — indexing ``sorted[n // 2]``
+    picks the *upper* element of an even-length list, which biases the
+    threshold upward and delays speculation exactly when half the
+    completed durations are fast.
+    """
+    return policy.speculation_factor * max(_median(durations),
+                                           policy.heartbeat_interval_s)
+
+
+class _WorkerLane:
+    """One single-slot worker: a private one-process pool plus lane state.
+
+    Replacing the single shared pool with per-worker lanes is what makes
+    placement *routable*: submitting on a lane runs the task on that
+    lane's worker process, so the driver can steer a task to the process
+    whose resident set covers the task's blocks.  It also shrinks the
+    failure domain — a dead worker breaks its own lane only, and
+    recovery rebuilds one process while the other lanes keep executing.
+    """
+
+    __slots__ = ("lane_id", "pool", "future", "index", "is_dup", "launched",
+                 "resident", "pid")
+
+    def __init__(self, lane_id: int) -> None:
+        self.lane_id = lane_id
+        self.pool = ProcessPoolExecutor(max_workers=1)
+        self.future: Optional[Any] = None
+        self.index: Optional[int] = None
+        self.is_dup = False
+        self.launched = 0.0
+        self.resident: frozenset = frozenset()
+        self.pid: Optional[int] = None
+
+    @property
+    def busy(self) -> bool:
+        """Whether a task is currently in flight on this lane."""
+        return self.future is not None
+
+    def clear(self) -> None:
+        """Forget the in-flight task (completed or handed to recovery)."""
+        self.future = None
+        self.index = None
+        self.is_dup = False
+
+    def rebuild(self) -> None:
+        """Fresh worker process after a death.
+
+        The resident set dies with the worker — a reaped lane must
+        never attract tasks on the strength of blocks only the dead
+        process held mapped.
+        """
+        self.pool = ProcessPoolExecutor(max_workers=1)
+        self.resident = frozenset()
+        self.pid = None
 
 
 class _PooledMapEngine:
     """Fault-tolerant task feeder shared by the two process-pool executors.
 
-    Feeds at most ``workers`` tasks into a :class:`ProcessPoolExecutor`
-    at a time (so worker death loses at most one task per worker) and
+    Runs tasks on ``workers`` single-slot :class:`_WorkerLane` objects
+    (so worker death loses at most the one task on that lane) and
     implements the whole recovery protocol:
 
     * a *task exception* returned by a worker is retried per the policy
       (lost payload blocks are healed from their registered sources
       between attempts);
-    * a *broken pool* (worker SIGKILLed, OOM-killed, or killed by the
-      heartbeat monitor below) marks the in-flight tasks lost, reaps
-      the pool, runs the owner's :meth:`ExecutorBase._after_pool_break`
-      hook (the shm executor sweeps the dead workers' orphaned result
-      segments there), rebuilds the pool and resubmits;
+    * a *broken lane* (worker SIGKILLed, OOM-killed, or killed by the
+      heartbeat monitor below) marks that lane's in-flight task lost,
+      reaps the lane's pool, runs the owner's
+      :meth:`ExecutorBase._after_pool_break` hook (the shm executor
+      sweeps the dead worker's orphaned result segments there), rebuilds
+      the lane and resubmits — tasks queued or in flight on healthy
+      lanes are never touched;
     * with ``heartbeat_timeout_s`` set, the driver checks worker
       heartbeat files while waiting and SIGKILLs any worker whose
       current task overran the timeout — converting a hang into the
-      broken-pool path above;
-    * with ``speculation_factor`` set, a task still in flight after
-      ``speculation_factor * median(completed durations)`` (floored at
-      one heartbeat interval) gets a *duplicate attempt* submitted to a
-      free worker.  The first attempt to return wins and is recorded;
-      the loser's result is discarded (``on_discard``, so published
-      segments never leak), and a loser that never returns — the
-      straggler itself — is SIGKILLed once every result is in, its
-      leftovers reclaimed by the ordinary broken-pool sweep;
+      broken-lane path above;
+    * with ``speculation_factor`` set, a task still in flight past
+      :func:`_speculation_threshold` gets a *duplicate attempt*
+      submitted to a free lane (never a chosen one: duplicates do not
+      inherit affinity pins).  The first attempt to return wins and is
+      recorded; the loser's result is discarded (``on_discard``, so
+      published segments never leak), and a loser that never returns —
+      the straggler itself — is SIGKILLed once every result is in, its
+      leftovers reclaimed by the ordinary broken-lane sweep;
     * a result whose blocks cannot be adopted (``on_result`` raises
       :class:`~repro.frameworks.shm.BlockLost`) is treated as lost and
-      the task re-executed.
+      the task re-executed;
+    * with ``policy.locality`` set and ref-bearing payloads
+      (``task_refs``), free lanes are filled by the
+      :class:`~repro.frameworks.locality.LocalityScheduler` instead of
+      queue order: workers report their resident block names through
+      the heartbeat directory after each task, the driver mirrors the
+      reports onto the lanes (optimistically extended at dispatch so
+      same-wave tasks cluster), and spilled blocks missing from the
+      chosen lane are prefetched at dispatch time.
 
     Faults are claimed from the injector once per first-attempt dispatch
     in dispatch order; task-side faults ship to the worker inside the
@@ -525,7 +668,8 @@ class _PooledMapEngine:
                  payload_for: Callable[[int, Optional[FaultSpec], Optional[str]], tuple],
                  on_result: Callable[[int, tuple, Optional[FaultSpec], tuple], None],
                  n_tasks: int,
-                 on_discard: Optional[Callable[[tuple], None]] = None) -> None:
+                 on_discard: Optional[Callable[[tuple], None]] = None,
+                 task_refs: Optional[List[List[BlockRef]]] = None) -> None:
         self.owner = owner
         self.worker_fn = worker_fn
         self.payload_for = payload_for
@@ -542,11 +686,19 @@ class _PooledMapEngine:
         self.recovery = [0.0] * n_tasks
         self.speculated = [0] * n_tasks
         self.spec_won = [0] * n_tasks
+        self.placed_local = [0] * n_tasks
+        self.placed_remote = [0] * n_tasks
+        self.bytes_avoided = [0] * n_tasks
+        self.hints_dropped = [0] * n_tasks
         self.result_faults: Dict[int, FaultSpec] = {}
         self._durations: List[float] = []
         self._completed: set = set()
-        self._spec_futures: set = set()
-        self._launched: Dict[Any, float] = {}
+        self._task_refs = task_refs
+        self._scheduler: Optional[LocalityScheduler] = None
+        if policy.locality and task_refs is not None and any(task_refs):
+            blocks = [TaskBlocks.from_refs(i, refs)
+                      for i, refs in enumerate(task_refs)]
+            self._scheduler = LocalityScheduler(blocks, policy.locality_wait_s)
 
     # ------------------------------------------------------------------ #
     def _fail(self, index: int, exc: BaseException, pending: "deque[int]",
@@ -586,92 +738,176 @@ class _PooledMapEngine:
         return spec
 
     def stats_for(self, index: int) -> tuple:
-        """Per-task (retries, lost, recovery_seconds, speculated, wins)."""
+        """Per-task (retries, lost, recovery_seconds, speculated, wins,
+        local, remote, bytes_avoided, hints_dropped)."""
         return (self.retries[index], self.lost[index], self.recovery[index],
-                self.speculated[index], self.spec_won[index])
+                self.speculated[index], self.spec_won[index],
+                self.placed_local[index], self.placed_remote[index],
+                self.bytes_avoided[index], self.hints_dropped[index])
 
     # ------------------------------------------------------------------ #
     def run(self) -> None:
         """Execute every task to completion (or raise the fatal failure)."""
         hb_dir: Optional[str] = None
         if (self.policy.heartbeat_timeout_s is not None
-                or self.policy.speculation_factor is not None):
+                or self.policy.speculation_factor is not None
+                or self._scheduler is not None):
             hb_dir = tempfile.mkdtemp(prefix="repro-hb-")
         pending: "deque[int]" = deque(range(self.n_tasks))
-        in_flight: Dict[Any, int] = {}
-        pool = ProcessPoolExecutor(max_workers=self.owner.workers)
+        lanes = [_WorkerLane(i) for i in range(self.owner.workers)]
         try:
-            while pending or in_flight:
-                try:
-                    self._pump(pool, pending, in_flight, hb_dir)
-                except _PoolBroke:
-                    pool = self._recover(pool, pending, in_flight, hb_dir)
+            while pending or any(lane.busy for lane in lanes):
+                broken = self._pump(lanes, pending, hb_dir)
+                if broken:
+                    self._recover(broken, pending, hb_dir)
         finally:
-            pool.shutdown(wait=True)
+            for lane in lanes:
+                lane.pool.shutdown(wait=True)
             if hb_dir is not None:
                 try:
-                    self.owner.last_hb_leftovers = sorted(os.listdir(hb_dir))
+                    # res- files are driver-consumed state, not leftovers:
+                    # they persist by design until their worker is reaped
+                    self.owner.last_hb_leftovers = sorted(
+                        entry for entry in os.listdir(hb_dir)
+                        if not entry.startswith(RESIDENT_PREFIX))
                 except OSError:
                     self.owner.last_hb_leftovers = []
                 shutil.rmtree(hb_dir, ignore_errors=True)
 
-    def _pump(self, pool: ProcessPoolExecutor, pending: "deque[int]",
-              in_flight: Dict[Any, int], hb_dir: Optional[str]) -> None:
-        """Fill free slots, wait for completions, and process them."""
-        while pending and len(in_flight) < self.owner.workers:
-            index = pending.popleft()
-            first_attempt = self.attempts[index] == 0
-            spec = self._dispatch_spec(index)
-            try:
-                future = pool.submit(self.worker_fn,
-                                     self.payload_for(index, spec, hb_dir))
-            except BrokenProcessPool:
-                # the pool died under a previous task; this dispatch never
-                # started, so it goes back un-penalized — and the claim it
-                # made is rolled back so the injector's dispatch counter
-                # (and any claimed-but-unexecuted spec) stays exact
-                if self.injector is not None and first_attempt:
-                    self.injector.unclaim(spec or self.result_faults.pop(index, None))
-                pending.appendleft(index)
-                raise _PoolBroke() from None
-            in_flight[future] = index
-            self._launched[future] = time.monotonic()
-        if not in_flight:
+    def _dispatch(self, lane: _WorkerLane, index: int, pending: "deque[int]",
+                  hb_dir: Optional[str],
+                  broken: List[_WorkerLane]) -> bool:
+        """Submit one first-class attempt of ``index`` on ``lane``.
+
+        Returns ``False`` when the lane's pool turns out to be broken:
+        the dispatch never started, so the task goes back to the front
+        of the queue un-penalized, any injector claim is rolled back
+        (the exactly-once dispatch counter stays exact), and the lane is
+        handed to recovery.
+        """
+        first_attempt = self.attempts[index] == 0
+        spec = self._dispatch_spec(index)
+        try:
+            lane.future = lane.pool.submit(
+                self.worker_fn, self.payload_for(index, spec, hb_dir))
+        except BrokenProcessPool:
+            if self.injector is not None and first_attempt:
+                self.injector.unclaim(spec or self.result_faults.pop(index, None))
+            pending.appendleft(index)
+            lane.clear()
+            broken.append(lane)
+            return False
+        lane.index = index
+        lane.is_dup = False
+        lane.launched = time.monotonic()
+        return True
+
+    def _fill(self, lanes: List[_WorkerLane], pending: "deque[int]",
+              hb_dir: Optional[str], broken: List[_WorkerLane]) -> None:
+        """Assign pending tasks to free lanes (locality-aware when enabled).
+
+        Without a scheduler this is plain queue order.  With one, each
+        free lane asks :meth:`LocalityScheduler.choose` for the task it
+        covers best; the lane's resident estimate is extended with the
+        dispatched task's blocks immediately (so same-wave tasks over
+        the same blocks cluster onto one lane instead of fanning out),
+        and spilled blocks the lane is missing are prefetch-hinted so
+        the page cache warms while the payload travels.
+        """
+        if self._scheduler is None:
+            for lane in lanes:
+                if not pending:
+                    return
+                if lane.busy or lane in broken:
+                    continue
+                self._dispatch(lane, pending.popleft(), pending, hb_dir, broken)
             return
+        spilled = (self.store.spilled_names() if self.store is not None
+                   else frozenset())
+        progress = True
+        while progress and pending:
+            progress = False
+            for lane in lanes:
+                if not pending:
+                    return
+                if lane.busy or lane in broken:
+                    continue
+                others = {o.lane_id: o.resident for o in lanes
+                          if o is not lane and o not in broken}
+                placement = self._scheduler.choose(
+                    pending, lane.lane_id, lane.resident, others, spilled)
+                if placement is None:
+                    continue  # hold: better-affine lanes may free in time
+                pending.remove(placement.index)
+                if placement.missing and self._task_refs is not None:
+                    missing_refs = [r for r in self._task_refs[placement.index]
+                                    if r.segment in placement.missing]
+                    drops0 = prefetch_hints_dropped()
+                    prefetch_refs(missing_refs)
+                    self.hints_dropped[placement.index] += (
+                        prefetch_hints_dropped() - drops0)
+                if self._dispatch(lane, placement.index, pending, hb_dir,
+                                  broken):
+                    # last dispatch wins: a retried task re-scores, so the
+                    # flags describe the attempt that actually produced
+                    # the result
+                    self.placed_local[placement.index] = int(placement.local)
+                    self.placed_remote[placement.index] = int(not placement.local)
+                    self.bytes_avoided[placement.index] += placement.bytes_avoided
+                    lane.resident = lane.resident | self._scheduler.names_for(
+                        placement.index)
+                    progress = True
+
+    def _pump(self, lanes: List[_WorkerLane], pending: "deque[int]",
+              hb_dir: Optional[str]) -> List[_WorkerLane]:
+        """Fill free lanes, wait for completions, and process them.
+
+        Returns the lanes found broken this round (empty when none):
+        the caller runs one recovery pass over all of them, so several
+        simultaneous worker deaths cost one sweep-and-rebuild — and
+        tasks queued or running on healthy lanes are never disturbed.
+        """
+        broken: List[_WorkerLane] = []
+        self._fill(lanes, pending, hb_dir, broken)
+        if broken:
+            return broken
+        busy = [lane for lane in lanes if lane.busy]
+        if not busy:
+            return []
         if (not pending and hb_dir is not None
-                and all(i in self._completed for i in in_flight.values())):
-            # every result is in; the only occupied workers are beaten
+                and all(lane.index in self._completed for lane in busy)):
+            # every result is in; the only occupied lanes are beaten
             # straggler attempts.  SIGKILL them (ownership-verified via
-            # the heartbeat files) and let the broken-pool path below
+            # the heartbeat files) and let the broken-lane path below
             # reap, sweep and rebuild with nothing left to resubmit.
             kill_heartbeat_workers(hb_dir)
         timeout = self.policy.heartbeat_interval_s if hb_dir is not None else None
-        done, _ = futures_wait(set(in_flight), timeout=timeout,
+        done, _ = futures_wait({lane.future for lane in busy}, timeout=timeout,
                                return_when=FIRST_COMPLETED)
         if not done:
             if hb_dir is not None and self.policy.heartbeat_timeout_s is not None:
                 kill_stale_workers(hb_dir, self.policy.heartbeat_timeout_s)
-            self._maybe_speculate(pool, pending, in_flight, hb_dir)
-            return
-        broke = False
-        for future in done:
-            index = in_flight.pop(future)
-            was_dup = future in self._spec_futures
-            self._spec_futures.discard(future)
-            self._launched.pop(future, None)
+            self._maybe_speculate(lanes, pending, hb_dir)
+            return []
+        for lane in busy:
+            if lane.future not in done:
+                continue
+            index, was_dup = lane.index, lane.is_dup
+            future = lane.future
+            lane.clear()
             try:
                 out = future.result()
             except BrokenProcessPool:
-                in_flight[future] = index  # counted lost by the recovery
-                if was_dup:
-                    self._spec_futures.add(future)
-                broke = True
+                # restore the slot so recovery counts this task lost
+                lane.future, lane.index, lane.is_dup = future, index, was_dup
+                broken.append(lane)
                 continue
             except Exception as exc:  # noqa: BLE001 - policy decides below
                 if index in self._completed:
                     continue  # a beaten attempt failed; the winner landed
                 self._fail(index, exc, pending)
                 continue
+            self._observe_worker(lane, index, out, hb_dir)
             if index in self._completed:
                 # the losing attempt of a speculated task finished after
                 # the winner: discard its result (and published segments)
@@ -693,57 +929,86 @@ class _PooledMapEngine:
                 if was_dup and self.spec_won[index]:
                     self.spec_won[index] -= 1
                 self._fail(index, exc, pending)
-        if broke:
-            raise _PoolBroke()
-        self._maybe_speculate(pool, pending, in_flight, hb_dir)
+        if broken:
+            return broken
+        self._maybe_speculate(lanes, pending, hb_dir)
+        return []
 
-    def _maybe_speculate(self, pool: ProcessPoolExecutor, pending: "deque[int]",
-                         in_flight: Dict[Any, int],
+    def _observe_worker(self, lane: _WorkerLane, index: int, out: tuple,
+                        hb_dir: Optional[str]) -> None:
+        """Absorb the worker-reported tail of a result tuple.
+
+        Every successful result carries ``(pid, prefetch_drops)`` after
+        the payload fields; with locality on, the worker's resident-set
+        report (written beside its heartbeat) replaces the driver's
+        optimistic estimate — ground truth from the process itself.
+        """
+        pid, dropped = out[5], out[6]
+        lane.pid = pid
+        if dropped:
+            self.hints_dropped[index] += dropped
+        if self._scheduler is not None and hb_dir is not None:
+            names = read_resident_set(hb_dir, pid)
+            if names is not None:
+                lane.resident = names
+
+    def _maybe_speculate(self, lanes: List[_WorkerLane], pending: "deque[int]",
                          hb_dir: Optional[str]) -> None:
         """Launch duplicate attempts for tasks straggling past the threshold.
 
-        The threshold is ``speculation_factor * median(completed task
-        durations)``, floored at one ``heartbeat_interval_s`` so a batch
-        of microsecond tasks cannot trip speculation on dispatch jitter.
-        At most one duplicate per task, only onto genuinely free workers
-        (pending tasks always fill slots first), and never through the
-        injector — duplicates cannot fire or consume injected faults.
+        The threshold comes from :func:`_speculation_threshold`.  At
+        most one duplicate per task, only onto genuinely free lanes
+        (pending tasks always fill lanes first) with no regard for
+        affinity — a duplicate exists to dodge a slow *worker*, so it
+        must not inherit the placement that put the straggler there —
+        and never through the injector: duplicates cannot fire or
+        consume injected faults.
         """
         factor = self.policy.speculation_factor
         if factor is None or pending or not self._durations:
             return
-        ordered = sorted(self._durations)
-        median = ordered[len(ordered) // 2]
-        threshold = factor * max(median, self.policy.heartbeat_interval_s)
+        threshold = _speculation_threshold(self._durations, self.policy)
         now = time.monotonic()
-        for future, index in list(in_flight.items()):
-            if len(in_flight) >= self.owner.workers:
+        free = [lane for lane in lanes if not lane.busy]
+        for lane in lanes:
+            if not free:
                 return
-            if (future in self._spec_futures or self.speculated[index]
+            if not lane.busy:
+                continue
+            index = lane.index
+            if (lane.is_dup or self.speculated[index]
                     or index in self._completed):
                 continue
-            if now - self._launched.get(future, now) <= threshold:
+            if now - lane.launched <= threshold:
                 continue
+            dup_lane = free.pop(0)
             try:
-                dup = pool.submit(self.worker_fn,
-                                  self.payload_for(index, None, hb_dir))
+                dup_lane.future = dup_lane.pool.submit(
+                    self.worker_fn, self.payload_for(index, None, hb_dir))
             except BrokenProcessPool:
+                dup_lane.clear()
                 return  # the primary's failure handling owns this path
-            in_flight[dup] = index
-            self._launched[dup] = now
-            self._spec_futures.add(dup)
+            dup_lane.index = index
+            dup_lane.is_dup = True
+            dup_lane.launched = now
             self.speculated[index] += 1
 
-    def _recover(self, pool: ProcessPoolExecutor, pending: "deque[int]",
-                 in_flight: Dict[Any, int],
-                 hb_dir: Optional[str]) -> ProcessPoolExecutor:
-        """Broken-pool path: account lost tasks, sweep, rebuild, resubmit."""
+    def _recover(self, broken: List[_WorkerLane], pending: "deque[int]",
+                 hb_dir: Optional[str]) -> None:
+        """Broken-lane path: account lost tasks, sweep, rebuild, resubmit.
+
+        Only the broken lanes are torn down; healthy lanes keep their
+        workers, queues and resident sets.  Rebuilding resets each
+        broken lane's resident set — a fresh worker holds nothing, so
+        the scheduler must not route tasks on the dead process's
+        affinity — and ``reap_dead_heartbeats`` drops the dead pids'
+        heartbeat *and* resident-set files.
+        """
         recover_start = time.perf_counter()
-        doomed = sorted(set(in_flight.values()))
-        in_flight.clear()
-        self._spec_futures.clear()
-        self._launched.clear()
-        pool.shutdown(wait=True)  # reap the dead workers first
+        doomed = sorted({lane.index for lane in broken if lane.busy})
+        for lane in broken:
+            lane.clear()
+            lane.pool.shutdown(wait=True)  # reap the dead worker first
         self.owner._after_pool_break()
         if hb_dir is not None:
             # a SIGKILLed worker never ran its clear_heartbeat; drop the
@@ -754,10 +1019,10 @@ class _PooledMapEngine:
             self._fail(index, WorkerLost(
                 f"worker died while task {index} was in flight"),
                 pending, front=True)
-        replacement = ProcessPoolExecutor(max_workers=self.owner.workers)
+        for lane in broken:
+            lane.rebuild()
         if alive:
             self.recovery[alive[0]] += time.perf_counter() - recover_start
-        return replacement
 
 
 class ProcessExecutor(ExecutorBase):
@@ -799,21 +1064,31 @@ class ProcessExecutor(ExecutorBase):
 
         def on_result(i: int, out_tuple: tuple, result_fault: Optional[FaultSpec],
                       stats: tuple) -> None:
-            _, out, start, stop = out_tuple
+            _, out, start, stop = out_tuple[:4]
             # result-target block faults act on shm segments; the pickle
             # plane has none, so they are inert here
             results[i] = pickle.loads(out)
-            retries, lost, recovery, speculated, spec_won = stats
+            (retries, lost, recovery, speculated, spec_won,
+             local, remote, avoided, hints_dropped) = stats
             timings[i] = TaskTiming(i, start, stop,
                                     bytes_pickled=len(blobs[i]),
                                     bytes_results_pickled=len(out),
                                     retries=retries, lost=lost,
                                     recovery_seconds=recovery,
                                     speculated=speculated,
-                                    speculation_won=spec_won)
+                                    speculation_won=spec_won,
+                                    placed_local=local, placed_remote=remote,
+                                    bytes_spill_reads_avoided=avoided,
+                                    prefetch_hints_dropped=hints_dropped)
 
+        # the pickle plane carries no BlockRefs unless the caller put
+        # some in the payloads (mixed plane); collect them so locality
+        # placement works wherever refs are present
+        task_refs = None
+        if self.fault_policy is not None and self.fault_policy.locality:
+            task_refs = [collect_refs(item) for item in items]
         _PooledMapEngine(self, _timed_call, payload_for, on_result,
-                         len(items)).run()
+                         len(items), task_refs=task_refs).run()
         self.timings = [t for t in timings if t is not None]
         return results
 
@@ -835,6 +1110,7 @@ def _shm_timed_call(payload: tuple) -> tuple:
     """
     index, fn, blob, spec, hb_dir = payload
     write_heartbeat(hb_dir)
+    drops_before = prefetch_hints_dropped()
     try:
         if spec is not None:
             execute_worker_fault(spec)
@@ -851,7 +1127,9 @@ def _shm_timed_call(payload: tuple) -> tuple:
         # the blob is on its way to the driver, whose store adopts the
         # segments; this worker's crash-cleanup hook must leave them alone
         mark_handed_off(published)
-        return index, out, start, stop, shared
+        report_resident_set(hb_dir)
+        return (index, out, start, stop, shared, os.getpid(),
+                prefetch_hints_dropped() - drops_before)
     finally:
         clear_heartbeat(hb_dir)
 
@@ -965,7 +1243,7 @@ class SharedMemoryExecutor(ExecutorBase):
 
         def on_result(i: int, out_tuple: tuple, result_fault: Optional[FaultSpec],
                       stats: tuple) -> None:
-            _, out, start, stop, shared = out_tuple
+            _, out, start, stop, shared = out_tuple[:5]
             payload = pickle.loads(out)
             if result_fault is not None:
                 # injected handoff crash: the refs' segments vanish before
@@ -976,7 +1254,8 @@ class SharedMemoryExecutor(ExecutorBase):
             wait0 = self.store.spill_wait_seconds
             hidden0 = self.store.spill_hidden_seconds
             results[i] = adopt_payload(payload, self.store)
-            retries, lost, recovery, speculated, spec_won = stats
+            (retries, lost, recovery, speculated, spec_won,
+             local, remote, avoided, hints_dropped) = stats
             timings[i] = TaskTiming(
                 i, start, stop,
                 bytes_pickled=len(blobs[i]),
@@ -988,7 +1267,10 @@ class SharedMemoryExecutor(ExecutorBase):
                 spill_hidden_seconds=stage_hidden[i]
                 + self.store.spill_hidden_seconds - hidden0,
                 retries=retries, lost=lost, recovery_seconds=recovery,
-                speculated=speculated, speculation_won=spec_won)
+                speculated=speculated, speculation_won=spec_won,
+                placed_local=local, placed_remote=remote,
+                bytes_spill_reads_avoided=avoided,
+                prefetch_hints_dropped=hints_dropped)
 
         def on_discard(out_tuple: tuple) -> None:
             # a beaten speculative attempt still published its result
@@ -999,8 +1281,12 @@ class SharedMemoryExecutor(ExecutorBase):
             except Exception:  # noqa: BLE001 - best-effort reclamation
                 pass
 
+        task_refs = None
+        if self.fault_policy is not None and self.fault_policy.locality:
+            task_refs = [collect_refs(item) for item in shared_items]
         _PooledMapEngine(self, _shm_timed_call, payload_for, on_result,
-                         len(items), on_discard=on_discard).run()
+                         len(items), on_discard=on_discard,
+                         task_refs=task_refs).run()
         self.timings = [t for t in timings if t is not None]
         return results
 

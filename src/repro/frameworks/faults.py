@@ -49,7 +49,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from .shm import BlockLost, SharedMemoryStore, unlink_segment_by_name
+from .shm import (
+    BlockLost,
+    SharedMemoryStore,
+    resident_names,
+    unlink_segment_by_name,
+)
 
 __all__ = [
     "FAULT_KINDS",
@@ -70,6 +75,9 @@ __all__ = [
     "live_heartbeat_pids",
     "reap_dead_heartbeats",
     "kill_heartbeat_workers",
+    "RESIDENT_PREFIX",
+    "report_resident_set",
+    "read_resident_set",
 ]
 
 #: Fault kinds understood by :class:`FaultSpec`.
@@ -146,6 +154,22 @@ class FaultPolicy:
         active, journal every n-th completed task per worker process
         (default 1: every completion is durable).  Larger intervals
         trade re-execution after a crash for journal write traffic.
+    locality : bool, optional
+        Process pools on the shm plane only: opt into locality-aware
+        task placement (default ``False``).  Workers report the block
+        names they hold resident alongside their heartbeat files, and
+        the driver routes each task to a free worker whose resident set
+        covers the task's refs — steering tasks whose inputs spilled to
+        the worker that still has them mapped instead of paying a disk
+        read on a random one.  Placement is accounted in
+        ``tasks_local`` / ``tasks_remote`` and the disk reads steered
+        around in ``bytes_spill_reads_avoided``.  Executors without a
+        routable pool (or without refs to score) ignore the flag.
+    locality_wait_s : float, optional
+        Delay-scheduling bound (default 0.05 s): how long a pending
+        task may hold out for a busy worker with affinity before any
+        free worker is allowed to steal it.  Affinity must never idle
+        the pool — past the bound, work-stealing wins.
     """
 
     max_retries: int = 2
@@ -157,6 +181,8 @@ class FaultPolicy:
     on_lost_block: str = "recover"
     speculation_factor: Optional[float] = None
     checkpoint_interval_tasks: int = 1
+    locality: bool = False
+    locality_wait_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -173,6 +199,8 @@ class FaultPolicy:
             raise ValueError("speculation_factor must be positive")
         if self.checkpoint_interval_tasks < 1:
             raise ValueError("checkpoint_interval_tasks must be >= 1")
+        if self.locality_wait_s < 0:
+            raise ValueError("locality_wait_s must be non-negative")
 
     def should_retry(self, exc: BaseException, attempt: int) -> bool:
         """Whether a task that failed with ``exc`` on ``attempt`` may rerun.
@@ -520,6 +548,14 @@ class FaultCounters:
         Speculative duplicate attempts launched against stragglers.
     speculation_wins : int
         Speculative duplicates whose result beat the original attempt.
+    tasks_local : int
+        Locality placements that covered every spilled input block.
+    tasks_remote : int
+        Locality placements that paid at least one cold spill read.
+    bytes_spill_reads_avoided : int
+        Spilled bytes found resident on the chosen worker.
+    prefetch_hints_dropped : int
+        Prefetch hints discarded because the hint queue was full.
     """
 
     tasks_retried: int = 0
@@ -527,18 +563,27 @@ class FaultCounters:
     recovery_seconds: float = 0.0
     tasks_speculated: int = 0
     speculation_wins: int = 0
+    tasks_local: int = 0
+    tasks_remote: int = 0
+    bytes_spill_reads_avoided: int = 0
+    prefetch_hints_dropped: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(self, *, retried: int = 0, lost: int = 0,
                seconds: float = 0.0, speculated: int = 0,
-               wins: int = 0) -> None:
-        """Accumulate retry/loss/speculation events and recovery time."""
+               wins: int = 0, local: int = 0, remote: int = 0,
+               bytes_avoided: int = 0, hints_dropped: int = 0) -> None:
+        """Accumulate retry/loss/speculation/placement events."""
         with self._lock:
             self.tasks_retried += retried
             self.tasks_lost += lost
             self.recovery_seconds += seconds
             self.tasks_speculated += speculated
             self.speculation_wins += wins
+            self.tasks_local += local
+            self.tasks_remote += remote
+            self.bytes_spill_reads_avoided += bytes_avoided
+            self.prefetch_hints_dropped += hints_dropped
 
     def reset(self) -> None:
         """Zero the counters (start of a new operation)."""
@@ -548,6 +593,10 @@ class FaultCounters:
             self.recovery_seconds = 0.0
             self.tasks_speculated = 0
             self.speculation_wins = 0
+            self.tasks_local = 0
+            self.tasks_remote = 0
+            self.bytes_spill_reads_avoided = 0
+            self.prefetch_hints_dropped = 0
 
 
 class RetryingCall:
@@ -669,6 +718,57 @@ def clear_heartbeat(hb_dir: Optional[str]) -> None:
         pass
 
 
+#: Filename prefix of per-worker resident-set files in the heartbeat
+#: directory.  ``_heartbeat_entries`` only parses integer-named files,
+#: so resident-set files are invisible to the pid machinery by
+#: construction.
+RESIDENT_PREFIX = "res-"
+
+
+def _resident_set_path(hb_dir: str, pid: int) -> str:
+    """Path of the resident-set file worker ``pid`` reports into."""
+    return os.path.join(hb_dir, f"{RESIDENT_PREFIX}{pid}")
+
+
+def report_resident_set(hb_dir: Optional[str]) -> None:
+    """Write this worker's resident block names next to its heartbeat file.
+
+    Called by the pool worker shims at the end of each task, piggybacking
+    on the heartbeat directory: the file ``res-<pid>`` lists (one per
+    line) the segment names the worker can resolve without a cold disk
+    read — see :func:`~repro.frameworks.shm.resident_names`.  The driver
+    reads it back to refresh the worker's lane for locality-aware
+    placement.  Written to a temp name and renamed, so the driver never
+    observes a half-written report; best-effort like the heartbeat
+    itself.
+    """
+    if not hb_dir:
+        return
+    path = _resident_set_path(hb_dir, os.getpid())
+    try:
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write("\n".join(sorted(resident_names())))
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+def read_resident_set(hb_dir: str, pid: int) -> Optional[frozenset]:
+    """The block names worker ``pid`` last reported resident, if any.
+
+    Returns ``None`` when the worker has not reported yet (its lane
+    keeps the driver's optimistic estimate); an empty report reads as an
+    empty frozenset.
+    """
+    try:
+        with open(_resident_set_path(hb_dir, pid)) as fh:
+            data = fh.read()
+    except OSError:
+        return None
+    return frozenset(name for name in data.split("\n") if name)
+
+
 def _heartbeat_ticks(path: str) -> Optional[int]:
     """Process start-ticks recorded in a heartbeat file, or ``None``."""
     try:
@@ -768,13 +868,41 @@ def reap_dead_heartbeats(hb_dir: str) -> List[str]:
 
     Called after pool recovery so a SIGKILLed worker (whose ``finally``
     never ran) does not leave its heartbeat file behind — the hygiene
-    invariant that ``hb_dir`` is empty after a successful run.
+    invariant that ``hb_dir`` is empty after a successful run.  Dead
+    workers' resident-set files (``res-<pid>``) are reaped in the same
+    pass: a reaped lane's resident set must never route another task.
     """
     kept: List[str] = []
     for pid, path in _heartbeat_entries(hb_dir):
         if _verify_heartbeat_owner(pid, path):
             kept.append(str(pid))
+    _reap_dead_resident_sets(hb_dir)
     return kept
+
+
+def _reap_dead_resident_sets(hb_dir: str) -> None:
+    """Drop resident-set files whose reporting worker is gone."""
+    try:
+        entries = os.listdir(hb_dir)
+    except OSError:
+        return
+    for entry in entries:
+        if not entry.startswith(RESIDENT_PREFIX):
+            continue
+        suffix = entry[len(RESIDENT_PREFIX):]
+        alive = False
+        try:
+            os.kill(int(suffix), 0)
+            alive = True
+        except (ValueError, ProcessLookupError):
+            alive = False  # malformed name, a ".tmp" leftover, or dead pid
+        except PermissionError:
+            alive = False  # pid recycled by a foreign process: not our worker
+        if not alive:
+            try:
+                os.remove(os.path.join(hb_dir, entry))
+            except OSError:
+                pass
 
 
 def kill_stale_workers(hb_dir: str, timeout_s: float) -> Sequence[int]:

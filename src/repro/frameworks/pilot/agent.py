@@ -39,6 +39,10 @@ class AgentStats:
     recovery_seconds: float = 0.0
     tasks_speculated: int = 0
     speculation_wins: int = 0
+    tasks_local: int = 0
+    tasks_remote: int = 0
+    bytes_spill_reads_avoided: int = 0
+    prefetch_hints_dropped: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view for metric events."""
@@ -52,6 +56,10 @@ class AgentStats:
             "recovery_seconds": self.recovery_seconds,
             "tasks_speculated": self.tasks_speculated,
             "speculation_wins": self.speculation_wins,
+            "tasks_local": self.tasks_local,
+            "tasks_remote": self.tasks_remote,
+            "bytes_spill_reads_avoided": self.bytes_spill_reads_avoided,
+            "prefetch_hints_dropped": self.prefetch_hints_dropped,
         }
 
 
@@ -118,6 +126,12 @@ class PilotAgent:
             self.stats.recovery_seconds += self.executor.total_recovery_seconds
             self.stats.tasks_speculated += self.executor.total_tasks_speculated
             self.stats.speculation_wins += self.executor.total_speculation_wins
+            self.stats.tasks_local += self.executor.total_tasks_local
+            self.stats.tasks_remote += self.executor.total_tasks_remote
+            self.stats.bytes_spill_reads_avoided += (
+                self.executor.total_bytes_spill_reads_avoided)
+            self.stats.prefetch_hints_dropped += (
+                self.executor.total_prefetch_hints_dropped)
             final_states: Dict[str, dict] = {}
             for unit, (ok, payload) in zip(batch_units, outcomes):
                 if ok:

@@ -251,6 +251,10 @@ class PilotFramework(TaskFramework):
         base_recovery = stats.recovery_seconds
         base_speculated = stats.tasks_speculated
         base_wins = stats.speculation_wins
+        base_local = stats.tasks_local
+        base_remote = stats.tasks_remote
+        base_avoided = stats.bytes_spill_reads_avoided
+        base_dropped = stats.prefetch_hints_dropped
         units = list(self.unit_manager.submit_units(descriptions))
         self.unit_manager.wait_units(units)
         self._reschedule_failed_units(units)
@@ -266,7 +270,15 @@ class PilotFramework(TaskFramework):
             speculated=(stats.tasks_speculated - base_speculated
                         - self.executor.total_tasks_speculated),
             wins=(stats.speculation_wins - base_wins
-                  - self.executor.total_speculation_wins))
+                  - self.executor.total_speculation_wins),
+            local=(stats.tasks_local - base_local
+                   - self.executor.total_tasks_local),
+            remote=(stats.tasks_remote - base_remote
+                    - self.executor.total_tasks_remote),
+            bytes_avoided=(stats.bytes_spill_reads_avoided - base_avoided
+                           - self.executor.total_bytes_spill_reads_avoided),
+            hints_dropped=(stats.prefetch_hints_dropped - base_dropped
+                           - self.executor.total_prefetch_hints_dropped))
         failed = [u for u in units if u.state == UnitState.FAILED]
         if failed:
             raise failed[0].exception  # surface the first task failure

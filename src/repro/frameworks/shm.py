@@ -103,11 +103,15 @@ __all__ = [
     "mark_handed_off",
     "adopt_payload",
     "refs_nbytes",
+    "collect_refs",
     "maybe_resolve",
     "ResolvingTask",
     "sweep_orphan_segments",
     "unlink_segment_by_name",
     "array_digest",
+    "resident_names",
+    "prefetch_hints_dropped",
+    "spill_read_bytes",
 ]
 
 #: Valid values for the ``data_plane`` option on frameworks and the public API.
@@ -168,6 +172,21 @@ _REGISTRY_LOCK = threading.Lock()
 # left behind belongs to a crashed task and is unlinked at process exit.
 _PUBLISHED: Dict[str, shared_memory.SharedMemory] = {}
 _PUBLISH_HOOK_INSTALLED = False
+
+# Data-movement accounting for the file tier.  ``_SPILL_READ_NAMES``
+# records which spilled blocks this process has resolved through the
+# disk tier at least once; ``_SPILL_READ_BYTES`` accumulates their full
+# block sizes.  First resolves are what locality-aware placement tries
+# to concentrate: once a process has mapped (and faulted in) a block,
+# later resolves of the same block are registry hits that move nothing.
+_SPILL_READ_NAMES: set = set()
+_SPILL_READ_BYTES = 0
+
+# Prefetch hints dropped because the hint queue was full, process-local
+# (see :func:`prefetch_refs`).  Surfaced through executor timings into
+# ``RunMetrics.prefetch_hints_dropped`` so tuning ``spill_queue_depth``
+# against the prefetch depth is observable.
+_PREFETCH_DROPPED = 0
 
 # Unlinked segments whose mappings are still pinned by live NumPy views.
 # NumPy does not hold a Py_buffer export on the mapping — closing (or
@@ -297,6 +316,34 @@ def _attach(name: str) -> shared_memory.SharedMemory:
         return segment
 
 
+def _simulated_cold_read_seconds(nbytes: int) -> float:
+    """Deterministic cost model for a cold spill-file read, in seconds.
+
+    Controlled by the ``REPRO_COLD_READ_BW_MBS`` environment variable: a
+    positive float models a disk tier with that sequential bandwidth in
+    MB/s, and every *cold* :func:`_attach_file` (first mapping of a
+    block file in this process) sleeps ``nbytes / bandwidth``.  Re-reads
+    through the per-process mapping cache stay free, exactly like pages
+    a live mapping keeps warm.
+
+    The knob exists for benchmarks and tests: CI machines hide the disk
+    tier behind an aggressive page cache, so measuring what placement
+    *saves* needs the cold-read cost pinned rather than left to whatever
+    the host's cache happens to do.  Unset (the default), the model is
+    inert and real I/O timing applies.
+    """
+    raw = os.environ.get("REPRO_COLD_READ_BW_MBS")
+    if not raw:
+        return 0.0
+    try:
+        bandwidth = float(raw)
+    except ValueError:
+        return 0.0
+    if bandwidth <= 0:
+        return 0.0
+    return nbytes / (bandwidth * 1e6)
+
+
 def _attach_file(spill_dir: str, name: str) -> Optional[mmap.mmap]:
     """Memory-map the spill file for segment ``name``, if it exists.
 
@@ -323,10 +370,58 @@ def _attach_file(spill_dir: str, name: str) -> Optional[mmap.mmap]:
             mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
     except (FileNotFoundError, ValueError):
         return None
+    delay = _simulated_cold_read_seconds(len(mapped))
     with _REGISTRY_LOCK:
         # keep the first mapping if another thread raced us here
+        first = path not in _MAPPED
         mapped = _MAPPED.setdefault(path, mapped)
+    if first and delay > 0:
+        time.sleep(delay)
     return mapped
+
+
+def resident_names() -> frozenset:
+    """Segment names this process can resolve without touching the disk cold.
+
+    The union of the process-local registries: segments owned by stores
+    in this process, segments attached by name, and spill files already
+    memory-mapped here (reported by their segment name, without the
+    ``.blk`` suffix).  Workers export this set through their resident-set
+    files so the driver's locality-aware placement can route a task to a
+    process that already holds the task's blocks — in particular a
+    *spilled* block whose shared-memory name is gone everywhere except
+    in the processes that mapped it before the spill.
+
+    Returns
+    -------
+    frozenset of str
+        Resolvable-locally segment names at the time of the call.
+    """
+    with _REGISTRY_LOCK:
+        names = set(_OWNED) | set(_ATTACHED)
+        for path in _MAPPED:
+            base = os.path.basename(path)
+            if base.endswith(".blk"):
+                base = base[:-4]
+            names.add(base)
+    return frozenset(names)
+
+
+def spill_read_bytes() -> int:
+    """Cumulative bytes of spilled blocks first-resolved from the disk tier.
+
+    Process-local: each spilled block counts its full size exactly once
+    per process, at the first resolve that had to go through its
+    ``.blk`` file.  The counter is the data-movement cost locality-aware
+    placement minimizes — re-resolves through the cached mapping move
+    nothing and are not counted.
+    """
+    return _SPILL_READ_BYTES
+
+
+def prefetch_hints_dropped() -> int:
+    """Process-local count of prefetch hints dropped on a full queue."""
+    return _PREFETCH_DROPPED
 
 
 def _invalidate_mapping(path: str) -> None:
@@ -469,9 +564,15 @@ def _release_module_locks_after_fork() -> None:
 
 
 def _reset_prefetcher_in_child() -> None:
-    global _prefetch_queue
+    global _prefetch_queue, _PREFETCH_DROPPED, _SPILL_READ_BYTES
     _release_module_locks_after_fork()
     _prefetch_queue = None
+    # per-process data-movement counters start fresh in the child, so a
+    # worker's deltas describe what *it* moved, not what the driver did
+    # before the fork
+    _PREFETCH_DROPPED = 0
+    _SPILL_READ_BYTES = 0
+    _SPILL_READ_NAMES.clear()
 
 
 if hasattr(os, "register_at_fork"):  # POSIX only, like fork itself
@@ -514,8 +615,11 @@ def prefetch_refs(refs: Sequence["BlockRef"]) -> int:
     :meth:`BlockRef.resolve` consults) and to ``madvise(WILLNEED)`` it,
     so the kernel starts paging the block in before the first access.
     Refs that are resident in shared memory, already mapped, or carry no
-    spill directory are skipped; when the hint queue is full the rest of
-    the batch is dropped rather than blocking the caller.
+    spill directory are skipped; a hint that finds the queue full is
+    dropped (never blocking the caller) and counted in
+    :func:`prefetch_hints_dropped`, while the remaining refs of the
+    batch still get their chance — the writer drains concurrently, so a
+    momentarily full queue must not abandon every sibling.
 
     Parameters
     ----------
@@ -528,8 +632,9 @@ def prefetch_refs(refs: Sequence["BlockRef"]) -> int:
     int
         Number of hints actually enqueued.
     """
-    global _prefetch_queue
+    global _prefetch_queue, _PREFETCH_DROPPED
     hints = 0
+    dropped = 0
     for ref in refs:
         if not isinstance(ref, BlockRef) or ref.spill_dir is None:
             continue
@@ -548,8 +653,14 @@ def prefetch_refs(refs: Sequence["BlockRef"]) -> int:
         try:
             _prefetch_queue.put_nowait((ref.spill_dir, name))
         except queue.Full:
-            break
+            # skip only this hint: the worker drains concurrently, so a
+            # later sibling may well find a free slot
+            dropped += 1
+            continue
         hints += 1
+    if dropped:
+        with _prefetch_lock:
+            _PREFETCH_DROPPED += dropped
     return hints
 
 
@@ -736,6 +847,10 @@ class BlockRef:
         corrupted block file) is dropped from the per-process cache and
         treated as missing, so the resilience layer sees one uniform
         :class:`BlockLost` signal for every flavour of lost block.
+
+        The first successful file-tier resolve of each block in this
+        process is accounted in :func:`spill_read_bytes` — the
+        data-movement cost locality-aware placement steers around.
         """
         if self.spill_dir is None:
             return None
@@ -743,10 +858,16 @@ class BlockRef:
         if mapped is None:
             return None
         try:
-            return self._view(mapped)
+            view = self._view(mapped)
         except (ValueError, TypeError):
             _invalidate_mapping(os.path.join(self.spill_dir, self.segment + ".blk"))
             return None
+        global _SPILL_READ_BYTES
+        with _REGISTRY_LOCK:
+            if self.segment not in _SPILL_READ_NAMES:
+                _SPILL_READ_NAMES.add(self.segment)
+                _SPILL_READ_BYTES += len(mapped)
+        return view
 
     def slice_rows(self, start: int, stop: int) -> "BlockRef":
         """Return a sub-ref covering rows ``start:stop`` along the first axis.
@@ -1111,6 +1232,20 @@ class SharedMemoryStore:
     def closed(self) -> bool:
         """Whether :meth:`cleanup` ran."""
         return self._closed
+
+    def spilled_names(self) -> frozenset:
+        """Names of blocks currently demoted to the disk tier.
+
+        Only fully spilled blocks are reported — blocks still in the
+        write-behind ``enqueued``/``spilling`` states remain readable
+        from shared memory everywhere and carry no disk-read cost yet.
+        The locality-aware scheduler uses this view to recognise task
+        refs whose resolution would hit the file tier, and to credit
+        ``bytes_spill_reads_avoided`` when it routes such a task to a
+        worker that still holds the block mapped.
+        """
+        with self._lock:
+            return frozenset(self._spilled)
 
     # ------------------------------------------------------------------ #
     def _touch(self, name: str) -> None:
@@ -1860,6 +1995,29 @@ def refs_nbytes(obj: Any) -> int:
 
     _walk(obj, leaf)
     return total
+
+
+def collect_refs(obj: Any) -> List[BlockRef]:
+    """Every :class:`BlockRef` inside ``obj``, in payload-walk order.
+
+    The locality-aware scheduler calls this once per staged payload to
+    learn which blocks a task will resolve, so it can score candidate
+    workers by how much of the task's data they already hold.
+
+    Payload wrappers that are not walkable containers (plain classes the
+    generic walk cannot descend into, like the pilot's ``ComputeUnit``)
+    can expose a ``__refs_payload__`` attribute holding the walkable
+    part of their payload; it is collected in place of the wrapper.
+    """
+    refs: List[BlockRef] = []
+
+    def leaf(x: Any) -> Any:
+        if isinstance(x, BlockRef):
+            refs.append(x)
+        return x
+
+    _walk(getattr(obj, "__refs_payload__", obj), leaf)
+    return refs
 
 
 def maybe_resolve(value: Any) -> Any:

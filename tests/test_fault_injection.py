@@ -114,6 +114,11 @@ def make_block(x):
     return np.full((12, 12), float(x))
 
 
+def scale_block(a):
+    """A task over an ndarray payload (rides the shm plane both ways)."""
+    return a * 2.0
+
+
 def flaky_once(marker_dir):
     """A task function that fails its first invocation per marker dir."""
     def task(x):
@@ -973,3 +978,80 @@ class TestHeartbeatHygiene:
                 [os.getpid()]
         finally:
             clear_heartbeat(str(tmp_path))
+
+
+# --------------------------------------------------------------------------- #
+# per-lane failure domains: one dead worker must cost exactly one task
+# --------------------------------------------------------------------------- #
+class TestLaneFailureDomain:
+    """Worker lanes shrink the blast radius of a SIGKILL to one task.
+
+    The old single shared pool marked *every* in-flight task lost when
+    any worker died; with single-slot lanes only the dead lane's task
+    is, so the counts below are exact even with spare workers — and
+    tasks queued or running on the healthy lanes must be untouched.
+    """
+
+    def test_single_lane_kill_loses_exactly_one_task(self):
+        ex = ProcessExecutor(workers=3, fault_policy=FaultPolicy(),
+                             fault_injector=FaultInjector(
+                                 FaultSpec("kill_worker", at_task=4)))
+        try:
+            results = ex.map_tasks(square, list(range(12)))
+            assert results == [x * x for x in range(12)]
+            assert ex.total_tasks_lost == 1
+            assert ex.total_tasks_retried == 1
+        finally:
+            ex.shutdown()
+
+    def test_shm_lane_kill_mid_wave_is_bit_identical(self):
+        before = shm_entries()
+        ex = SharedMemoryExecutor(workers=3, fault_policy=FaultPolicy(),
+                                  fault_injector=FaultInjector(
+                                      FaultSpec("kill_worker", at_task=4)))
+        try:
+            results = ex.map_tasks(make_block, list(range(12)))
+            for i, block in enumerate(results):
+                assert np.array_equal(block, make_block(i))
+            assert ex.total_tasks_lost == 1
+            assert ex.total_tasks_retried == 1
+        finally:
+            ex.shutdown()
+        assert shm_entries() == before
+
+    def test_lane_kill_under_locality_keeps_exact_accounting(self, tmp_path):
+        """A killed lane under locality placement: results identical,
+        exactly one task lost, and every completed task still carries a
+        placement flag (the rebuilt lane's resident set starts empty, so
+        routing never trusts the dead worker's blocks)."""
+        before = shm_entries()
+        blocks = [np.full((64, 64), float(i)) for i in range(12)]   # 32 KiB each
+        ex = SharedMemoryExecutor(
+            workers=3,
+            store_capacity_bytes=64 * 1024,
+            spill_dir=str(tmp_path),
+            fault_policy=FaultPolicy(locality=True, locality_wait_s=0.02),
+            fault_injector=FaultInjector(
+                FaultSpec("kill_worker", at_task=4)))
+        try:
+            results = ex.map_tasks(scale_block, blocks)
+            for i, block in enumerate(results):
+                assert np.array_equal(block, blocks[i] * 2.0)
+            assert ex.total_tasks_lost == 1
+            assert ex.total_tasks_retried == 1
+            assert (ex.total_tasks_local + ex.total_tasks_remote) == 12
+            assert ex.last_hb_leftovers == []
+        finally:
+            ex.shutdown()
+        assert shm_entries() == before
+
+    def test_psa_lane_kill_under_locality(self, chaos_ensemble,
+                                          reference_matrix, tmp_path):
+        matrix, report = psa(
+            chaos_ensemble, "pilot", executor="shm", workers=3,
+            data_plane="shm", spill_dir=str(tmp_path),
+            fault_policy=FaultPolicy(locality=True, locality_wait_s=0.02),
+            faults=FaultSpec("kill_worker", at_task=2))
+        assert np.array_equal(matrix.values, reference_matrix)
+        assert report.metrics.tasks_lost == 1
+        assert report.metrics.tasks_retried == 1
